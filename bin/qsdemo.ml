@@ -1,0 +1,197 @@
+(* qsdemo: run any workload under any re-optimization strategy, or inspect
+   how a query is planned and split.
+
+     dune exec bin/qsdemo.exe -- run --workload cinema --algo querysplit
+     dune exec bin/qsdemo.exe -- run --workload dsb --algo pop --index pk
+     dune exec bin/qsdemo.exe -- plan --workload cinema --query 3 *)
+
+module Catalog = Qs_storage.Catalog
+module Table = Qs_storage.Table
+module Query = Qs_query.Query
+module Join_graph = Qs_query.Join_graph
+module Estimator = Qs_stats.Estimator
+module Optimizer = Qs_plan.Optimizer
+module Physical = Qs_plan.Physical
+module Strategy = Qs_core.Strategy
+module Querysplit = Qs_core.Querysplit
+module Runner = Qs_harness.Runner
+module Algos = Qs_harness.Algos
+
+open Cmdliner
+
+let algos =
+  [
+    ("querysplit", Algos.querysplit); ("default", Algos.default);
+    ("optimal", Algos.optimal); ("reopt", Algos.reopt); ("pop", Algos.pop);
+    ("ief", Algos.ief); ("perron19", Algos.perron); ("use", Algos.use);
+    ("pessimistic", Algos.pessimistic); ("fs", Algos.fs);
+    ("optrange", Algos.optrange); ("neurocard", Algos.neurocard);
+    ("deepdb", Algos.deepdb); ("mscn", Algos.mscn);
+  ]
+
+let workload_arg =
+  let doc = "Workload: cinema (JOB-like), starbench (TPC-H-like) or dsb." in
+  Arg.(value & opt (enum [ ("cinema", `Cinema); ("starbench", `Star); ("dsb", `Dsb) ]) `Cinema
+       & info [ "workload"; "w" ] ~doc)
+
+let scale_arg =
+  Arg.(value & opt float 0.3 & info [ "scale" ] ~doc:"Data scale factor.")
+
+let seed_arg = Arg.(value & opt int 2023 & info [ "seed" ] ~doc:"Generator seed.")
+
+let queries_arg =
+  Arg.(value & opt int 20 & info [ "queries"; "n" ] ~doc:"Number of JOB-like queries.")
+
+let timeout_arg =
+  Arg.(value & opt float 30.0 & info [ "timeout" ] ~doc:"Per-query timeout (s).")
+
+let index_arg =
+  let doc = "Index configuration: pk or pkfk." in
+  Arg.(value & opt (enum [ ("pk", Catalog.Pk_only); ("pkfk", Catalog.Pk_fk) ]) Catalog.Pk_fk
+       & info [ "index" ] ~doc)
+
+let algo_arg =
+  let doc = "Algorithm: " ^ String.concat ", " (List.map fst algos) ^ "." in
+  Arg.(value & opt (enum algos) Algos.querysplit & info [ "algo"; "a" ] ~doc)
+
+let stats_arg =
+  Arg.(value & opt bool true
+       & info [ "collect-stats" ] ~doc:"ANALYZE materialized temps (the §6.4 switch).")
+
+let build_cinema ~scale ~seed ~index =
+  let cat = Qs_workload.Cinema.build ~scale ~seed () in
+  Catalog.build_indexes cat index;
+  cat
+
+let run_cmd workload scale seed n timeout index algo collect_stats =
+  match workload with
+  | `Cinema ->
+      let cat = build_cinema ~scale ~seed ~index in
+      let env = Runner.make_env ~seed cat in
+      let queries = Qs_workload.Cinema.queries cat ~seed:(seed + 1) ~n in
+      Printf.printf "%s on %d cinema queries (scale %.2f)\n" algo.Runner.label
+        (List.length queries) scale;
+      let rs = Runner.run_spj ~collect_stats ~timeout env algo queries in
+      List.iter
+        (fun (r : Runner.qresult) ->
+          Printf.printf "  %-14s %8.4fs%s  mats=%d (%s)\n" r.Runner.query r.Runner.time
+            (if r.Runner.timed_out then " TIMEOUT" else "")
+            r.Runner.mats
+            (Qs_harness.Report.bytes_mb r.Runner.mat_bytes))
+        rs;
+      Printf.printf "total: %s\n" (Qs_harness.Report.seconds (Runner.total_time rs))
+  | `Star | `Dsb ->
+      let cat, trees =
+        match workload with
+        | `Star ->
+            let cat = Qs_workload.Starbench.build ~scale ~seed () in
+            (cat, Qs_workload.Starbench.queries cat ~seed:(seed + 1))
+        | _ ->
+            let cat = Qs_workload.Dsb.build ~scale ~seed () in
+            (cat, Qs_workload.Dsb.nonspj_queries cat ~seed:(seed + 1))
+      in
+      Catalog.build_indexes cat index;
+      let env = Runner.make_env ~seed cat in
+      Printf.printf "%s on %d non-SPJ queries\n" algo.Runner.label (List.length trees);
+      let rs = Runner.run_logical ~collect_stats ~timeout env algo trees in
+      List.iter
+        (fun (r : Runner.qresult) ->
+          Printf.printf "  %-14s %8.4fs%s\n" r.Runner.query r.Runner.time
+            (if r.Runner.timed_out then " TIMEOUT" else ""))
+        rs;
+      Printf.printf "total: %s\n" (Qs_harness.Report.seconds (Runner.total_time rs))
+
+let plan_cmd scale seed qidx =
+  let cat = build_cinema ~scale ~seed ~index:Catalog.Pk_fk in
+  let env = Runner.make_env ~seed cat in
+  let queries = Qs_workload.Cinema.queries cat ~seed:(seed + 1) ~n:(qidx + 1) in
+  let q = List.nth queries qidx in
+  print_endline (Query.to_sql q);
+  Format.printf "@.%a@." Join_graph.pp (Join_graph.build cat q);
+  let ctx = Strategy.make_ctx env.Runner.registry Estimator.default in
+  let frag = Strategy.fragment_of_query ctx q in
+  Printf.printf "--- default plan ---\n";
+  print_string (Physical.to_string (Optimizer.optimize cat Estimator.default frag).Optimizer.plan);
+  Printf.printf "\n--- optimal plan (true cardinalities) ---\n";
+  let oracle = Estimator.oracle ~exec:env.Runner.oracle_exec in
+  print_string (Physical.to_string (Optimizer.optimize cat oracle frag).Optimizer.plan);
+  Printf.printf "\n--- QuerySplit subqueries (RCenter) ---\n";
+  List.iter
+    (fun (sq, cost, rows) ->
+      Printf.printf "%s (est cost %.1f, est rows %.0f)\n%s\n\n" sq.Query.name cost rows
+        (Query.to_sql sq))
+    (Querysplit.subquery_plans ctx q Querysplit.default_config)
+
+let sql_cmd workload scale seed index sql_text =
+  let cat =
+    match workload with
+    | `Cinema -> build_cinema ~scale ~seed ~index
+    | `Star ->
+        let c = Qs_workload.Starbench.build ~scale ~seed () in
+        Catalog.build_indexes c index;
+        c
+    | `Dsb ->
+        let c = Qs_workload.Dsb.build ~scale ~seed () in
+        Catalog.build_indexes c index;
+        c
+  in
+  match Qs_query.Sql.parse_result sql_text with
+  | Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 1
+  | Ok q -> (
+      match Query.validate cat q with
+      | Error msg ->
+          Printf.eprintf "invalid query: %s\n" msg;
+          exit 1
+      | Ok () ->
+          let env = Runner.make_env ~seed cat in
+          let ctx = Strategy.make_ctx env.Runner.registry Estimator.default in
+          let outcome =
+            (Querysplit.strategy Querysplit.default_config).Strategy.run ctx q
+          in
+          List.iter
+            (fun (it : Strategy.iteration) ->
+              Printf.printf "iter %d: %-24s est=%-10.0f actual=%-8d %.4fs\n"
+                it.Strategy.index it.Strategy.description it.Strategy.est_rows
+                it.Strategy.actual_rows it.Strategy.elapsed)
+            outcome.Strategy.iterations;
+          Printf.printf "\n%d rows in %.4fs\n"
+            (Table.n_rows outcome.Strategy.result)
+            outcome.Strategy.elapsed;
+          Format.printf "%a" (Table.pp_sample ~limit:20) outcome.Strategy.result)
+
+let run_term =
+  Term.(
+    const run_cmd $ workload_arg $ scale_arg $ seed_arg $ queries_arg $ timeout_arg
+    $ index_arg $ algo_arg $ stats_arg)
+
+let query_arg =
+  Arg.(value & opt int 0 & info [ "query"; "q" ] ~doc:"Query index to inspect.")
+
+let plan_term = Term.(const plan_cmd $ scale_arg $ seed_arg $ query_arg)
+
+let sql_text_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The SQL text.")
+
+let sql_term =
+  Term.(const sql_cmd $ workload_arg $ scale_arg $ seed_arg $ index_arg $ sql_text_arg)
+
+let () =
+  let run =
+    Cmd.v (Cmd.info "run" ~doc:"Run a workload under an algorithm") run_term
+  in
+  let plan =
+    Cmd.v (Cmd.info "plan" ~doc:"Inspect planning and query splitting") plan_term
+  in
+  let sql =
+    Cmd.v
+      (Cmd.info "sql" ~doc:"Run an SPJ SQL query through QuerySplit")
+      sql_term
+  in
+  let group =
+    Cmd.group
+      (Cmd.info "qsdemo" ~doc:"QuerySplit demonstration CLI" ~version:"1.0")
+      [ run; plan; sql ]
+  in
+  exit (Cmd.eval group)

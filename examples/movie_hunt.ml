@@ -1,0 +1,53 @@
+(* A JOB-style workout: generate the Cinema (IMDB-shaped) database, pick a
+   complex inverse-star query, and compare how Default / re-optimizers /
+   QuerySplit / Optimal execute it — including the per-iteration trace that
+   the paper's Figures 16–19 plot.
+
+   Run with: dune exec examples/movie_hunt.exe *)
+
+module Catalog = Qs_storage.Catalog
+module Table = Qs_storage.Table
+module Query = Qs_query.Query
+module Strategy = Qs_core.Strategy
+module Runner = Qs_harness.Runner
+module Algos = Qs_harness.Algos
+
+let () =
+  print_endline "building the Cinema database (IMDB-shaped, skewed, correlated)...";
+  let cat = Qs_workload.Cinema.build ~scale:0.5 ~seed:7 () in
+  Catalog.build_indexes cat Catalog.Pk_fk;
+  let env = Runner.make_env ~seed:7 cat in
+  List.iter
+    (fun (tbl : Table.t) ->
+      Printf.printf "  %-16s %7d rows\n" tbl.Table.name (Table.n_rows tbl))
+    (List.sort (fun (a : Table.t) b -> compare a.Table.name b.Table.name)
+       (Catalog.tables cat));
+
+  (* pick the widest generated query *)
+  let queries = Qs_workload.Cinema.queries cat ~seed:11 ~n:25 in
+  let q =
+    List.fold_left
+      (fun best cand ->
+        if List.length cand.Query.rels > List.length best.Query.rels then cand else best)
+      (List.hd queries) queries
+  in
+  Printf.printf "\nchosen query (%d relations):\n%s\n" (List.length q.Query.rels)
+    (Query.to_sql q);
+
+  let show label algo =
+    let r = List.hd (Runner.run_spj ~timeout:30.0 env algo [ q ]) in
+    Printf.printf "\n%-12s %.4fs engine time, %d materializations\n" label r.Runner.time
+      r.Runner.mats;
+    List.iter
+      (fun (it : Strategy.iteration) ->
+        Printf.printf "  iter %d: %-28s est=%-9.0f actual=%-8d %.4fs%s\n"
+          it.Strategy.index it.Strategy.description it.Strategy.est_rows
+          it.Strategy.actual_rows it.Strategy.elapsed
+          (if it.Strategy.replanned then "  [re-planned]" else ""))
+      r.Runner.iterations
+  in
+  show "Default" Algos.default;
+  show "Pop" Algos.pop;
+  show "Perron19" Algos.perron;
+  show "QuerySplit" Algos.querysplit;
+  show "Optimal" Algos.optimal

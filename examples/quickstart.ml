@@ -1,0 +1,103 @@
+(* Quickstart: build a three-table database by hand, declare its keys, and
+   watch QuerySplit divide and execute a join query.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Value = Qs_storage.Value
+module Table = Qs_storage.Table
+module Schema = Qs_storage.Schema
+module Catalog = Qs_storage.Catalog
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+module Join_graph = Qs_query.Join_graph
+module Estimator = Qs_stats.Estimator
+module Stats_registry = Qs_stats.Stats_registry
+module Strategy = Qs_core.Strategy
+module Querysplit = Qs_core.Querysplit
+module Qsa = Qs_core.Qsa
+
+let table name cols rows =
+  Table.of_rows ~name ~schema:(Schema.make name cols)
+    (List.map Array.of_list rows)
+
+let () =
+  (* 1. a mini movie database: two "relationship" tables around entities *)
+  let i x = Value.Int x and s x = Value.Str x in
+  let movies =
+    table "movies"
+      [ ("id", Value.TInt); ("title", Value.TStr); ("year", Value.TInt) ]
+      [
+        [ i 1; s "heat"; i 1995 ]; [ i 2; s "ronin"; i 1998 ];
+        [ i 3; s "casino"; i 1995 ]; [ i 4; s "sphere"; i 1998 ];
+      ]
+  in
+  let people =
+    table "people"
+      [ ("id", Value.TInt); ("name", Value.TStr) ]
+      [ [ i 1; s "de niro" ]; [ i 2; s "pacino" ]; [ i 3; s "stone" ] ]
+  in
+  let casting =
+    table "casting"
+      [ ("id", Value.TInt); ("movie_id", Value.TInt); ("person_id", Value.TInt) ]
+      [
+        [ i 1; i 1; i 1 ]; [ i 2; i 1; i 2 ]; [ i 3; i 2; i 1 ];
+        [ i 4; i 3; i 1 ]; [ i 5; i 3; i 3 ]; [ i 6; i 4; i 3 ];
+      ]
+  in
+  let cat = Catalog.create () in
+  Catalog.add_table cat ~pk:"id" movies;
+  Catalog.add_table cat ~pk:"id" people;
+  Catalog.add_table cat ~pk:"id" casting;
+  Catalog.add_fk cat ~from_table:"casting" ~from_column:"movie_id" ~to_table:"movies"
+    ~to_column:"id";
+  Catalog.add_fk cat ~from_table:"casting" ~from_column:"person_id" ~to_table:"people"
+    ~to_column:"id";
+  Catalog.build_indexes cat Catalog.Pk_fk;
+
+  (* 2. an SPJ query: who played in 1995 movies? *)
+  let q =
+    Query.make ~name:"q95"
+      ~output:[ { Expr.rel = "m"; name = "title" }; { Expr.rel = "p"; name = "name" } ]
+      [
+        { Query.alias = "m"; table = "movies" };
+        { Query.alias = "c"; table = "casting" };
+        { Query.alias = "p"; table = "people" };
+      ]
+      [
+        Expr.eq (Expr.col "c" "movie_id") (Expr.col "m" "id");
+        Expr.eq (Expr.col "c" "person_id") (Expr.col "p" "id");
+        Expr.Cmp (Expr.Eq, Expr.col "m" "year", Expr.vint 1995);
+      ]
+  in
+  print_endline (Query.to_sql q);
+
+  (* 3. the directed join graph QuerySplit builds (§4.1 of the paper) *)
+  Format.printf "@.%a" Join_graph.pp (Join_graph.build cat q);
+
+  (* 4. the subquery set chosen by the RCenter policy *)
+  let registry = Stats_registry.create cat in
+  let ctx = Strategy.make_ctx registry Estimator.default in
+  Format.printf "@.RCenter subqueries:@.";
+  List.iter
+    (fun (sq, cost, rows) ->
+      Format.printf "  %s  (est cost %.2f, est rows %.0f)@.    %s@." sq.Query.name cost
+        rows
+        (String.concat " " (String.split_on_char '\n' (Query.to_sql sq))))
+    (Querysplit.subquery_plans ctx q
+       Querysplit.default_config);
+
+  (* 4b. the same query can come straight from SQL text *)
+  let parsed =
+    Qs_query.Sql.parse ~name:"q95_sql"
+      "SELECT m.title, p.name FROM movies AS m, casting AS c, people AS p \
+       WHERE c.movie_id = m.id AND c.person_id = p.id AND m.year = 1995"
+  in
+  assert (Query.aliases parsed = Query.aliases q);
+
+  (* 5. run it *)
+  let outcome = (Querysplit.strategy Querysplit.default_config).Strategy.run ctx q in
+  Format.printf "@.result (%d rows, %.4fs, %d re-optimization iterations):@."
+    (Table.n_rows outcome.Strategy.result)
+    outcome.Strategy.elapsed
+    (List.length outcome.Strategy.iterations);
+  Format.printf "%a" (Table.pp_sample ~limit:10) outcome.Strategy.result

@@ -1,0 +1,13 @@
+(** Executing full logical trees under a strategy (§3.3).
+
+    The tree is segmented at non-SPJ operators and evaluated bottom-up:
+    each SPJ segment runs through the given strategy; each non-SPJ
+    operator consumes the materialized outputs of its children; [Let]
+    bindings are registered as pseudo base relations so parent segments
+    can scan them. The final outcome concatenates the iteration traces of
+    all segments. *)
+
+val run : Strategy.t -> Strategy.ctx -> Qs_plan.Logical.t -> Strategy.outcome
+(** A fresh pseudo-relation scope is used per call (the context's
+    [pseudo] table is cleared). A timeout in any segment times out the
+    whole query. *)

@@ -1,0 +1,10 @@
+(** FS [44]: robust plan selection. Candidate plans are generated under
+    optimistic, neutral and pessimistic join-cardinality scalings of the
+    context's estimator; each candidate is re-costed under every scenario
+    and the plan with the smallest *worst-case* cost is executed
+    (non-adaptively). *)
+
+val strategy : Strategy.t
+
+val scale_factors : float list
+(** The perturbation scenarios (per additional join). *)

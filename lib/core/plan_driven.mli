@@ -1,0 +1,49 @@
+(** The plan-driven re-optimization baselines (§6.3): all of them pick
+    subtrees of a *global physical plan* to execute, observe actual
+    cardinalities at their respective checkpoints, and re-plan the
+    remainder when the deviation is large enough. This family is exactly
+    what the paper contrasts QuerySplit against — the shared weakness
+    being that the reference plan itself may be far from optimal (§2.2).
+
+    - [reopt] (Kabra & DeWitt [21]): observes only at pipeline breakers
+      (results feeding a hash-join build side); q-error > 2 triggers
+      re-planning. Otherwise execution continues with the current plan.
+    - [pop] (Markl et al. [29]): observes at *every* join output,
+      including nested-loop outers, and eagerly materializes there.
+    - [ief] (Neumann & Galindo-Legaria [31]): each iteration executes the
+      executable join with the highest cardinality-estimation
+      *uncertainty*, then always re-plans.
+    - [perron] (Perron et al. [35], the practical variant of Appendix B):
+      materializes every join output, ANALYZEs it, re-plans on
+      q-error > 32.
+    - [optrange] (Wolf et al. [45]): like Pop, but with a wide trigger
+      band approximating the plan's optimality range, so fewer
+      unnecessary re-optimizations fire.
+
+    [strategy ~selector] lets Table 5 replace each algorithm's native
+    next-subplan choice with the Φ rankings of §4.2. *)
+
+type selector =
+  | Deepest  (** first executable join in execution order *)
+  | Max_uncertainty  (** IEF's native choice *)
+  | Phi of Ssa.policy  (** QuerySplit's ranking applied to plan nodes *)
+
+type policy = {
+  name : string;
+  selector : selector;
+  observe_breakers_only : bool;
+  threshold : float;  (** q-error above which re-planning triggers *)
+  analyze_temps : bool;  (** run ANALYZE on every checkpoint temp *)
+  always_replan : bool;
+  count_all_mats : bool;
+      (** count every checkpoint as a materialization (Table 4), not just
+          the triggered ones *)
+}
+
+val reopt : policy
+val pop : policy
+val ief : policy
+val perron : policy
+val optrange : policy
+
+val strategy : ?selector:selector -> policy -> Strategy.t

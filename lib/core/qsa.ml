@@ -1,0 +1,84 @@
+module Catalog = Qs_storage.Catalog
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+module Join_graph = Qs_query.Join_graph
+
+type policy = RCenter | ECenter | MinSubquery
+
+let policy_name = function
+  | RCenter -> "RCenter"
+  | ECenter -> "ECenter"
+  | MinSubquery -> "MinSubquery"
+
+let all_policies = [ RCenter; ECenter; MinSubquery ]
+
+let dedup_by_aliases subqueries =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun sq ->
+      let key = String.concat "," (List.sort compare (Query.aliases sq)) in
+      if Hashtbl.mem seen key then false
+      else (
+        Hashtbl.replace seen key ();
+        true))
+    subqueries
+
+(* Vertices not appearing in any subquery become singletons; predicates not
+   implied by the union get a dedicated subquery over their relations. *)
+let complete_cover q subqueries =
+  let covered_aliases = List.concat_map Query.aliases subqueries in
+  let singletons =
+    Query.aliases q
+    |> List.filter (fun a -> not (List.mem a covered_aliases))
+    |> List.map (fun a -> Query.restrict ~name:(q.Query.name ^ "_" ^ a) q [ a ])
+  in
+  let with_singletons = subqueries @ singletons in
+  let union_preds = List.concat_map (fun s -> s.Query.preds) with_singletons in
+  let extra =
+    q.Query.preds
+    |> List.filter (fun p -> not (Query.implies union_preds p))
+    |> List.map (fun p ->
+           Query.restrict ~name:(q.Query.name ^ "_p") q (Expr.rels_of_pred p))
+  in
+  dedup_by_aliases (with_singletons @ extra)
+
+let center_split cat q ~reversed =
+  let graph = Join_graph.build cat q in
+  let graph = if reversed then Join_graph.reverse graph else graph in
+  let centers =
+    List.filter_map
+      (fun v ->
+        match Join_graph.out_neighbors graph v with
+        | [] -> None
+        | outs -> Some (v, outs))
+      graph.Join_graph.vertices
+  in
+  let subqueries =
+    List.mapi
+      (fun i (center, outs) ->
+        Query.restrict
+          ~name:(Printf.sprintf "%s_s%d@%s" q.Query.name (i + 1) center)
+          q (center :: outs))
+      centers
+  in
+  complete_cover q subqueries
+
+let min_split q =
+  let subqueries =
+    Query.join_preds q
+    |> List.mapi (fun i p ->
+           Query.restrict
+             ~name:(Printf.sprintf "%s_m%d" q.Query.name (i + 1))
+             q (Expr.rels_of_pred p))
+  in
+  complete_cover q (dedup_by_aliases subqueries)
+
+let split cat q policy =
+  let subqueries =
+    match policy with
+    | RCenter -> center_split cat q ~reversed:false
+    | ECenter -> center_split cat q ~reversed:true
+    | MinSubquery -> min_split q
+  in
+  assert (Query.covers subqueries q);
+  subqueries

@@ -1,0 +1,30 @@
+(** The Query Splitting Algorithm (§4.1): divide an SPJ query into a
+    subquery set that covers it (Definition 1).
+
+    - [RCenter] (the paper's default, a.k.a. FK-Center): one subquery per
+      join-graph vertex with outgoing edges — the relation with the
+      foreign keys at the center, joined to the entities it references.
+      Preserves the non-expanding PK–FK joins inside subqueries.
+    - [ECenter] (PK-Center): the dual, built on the reversed join graph.
+    - [MinSubquery]: one two-relation subquery per join predicate — the
+      smallest possible units.
+
+    Every subquery is the induced restriction of the original query over
+    its alias set, so all predicates internal to the alias set (and the
+    relations' filters) are included. The returned set always covers the
+    input query; [split] asserts this. *)
+
+module Catalog = Qs_storage.Catalog
+module Query = Qs_query.Query
+
+type policy = RCenter | ECenter | MinSubquery
+
+val policy_name : policy -> string
+
+val all_policies : policy list
+
+val split : Catalog.t -> Query.t -> policy -> Query.t list
+(** A single-relation query (or one whose join graph yields a single
+    center covering everything) returns a singleton set — QuerySplit then
+    degenerates to ordinary optimization, as the paper notes for strict
+    star schemas. *)

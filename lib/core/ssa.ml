@@ -1,0 +1,21 @@
+type policy = Phi1 | Phi2 | Phi3 | Phi4 | Phi5 | Global_deep
+
+let policy_name = function
+  | Phi1 -> "phi1:C"
+  | Phi2 -> "phi2:C*logS"
+  | Phi3 -> "phi3:C*sqrtS"
+  | Phi4 -> "phi4:C*S"
+  | Phi5 -> "phi5:S"
+  | Global_deep -> "global_deep"
+
+let all_phi = [ Phi1; Phi2; Phi3; Phi4; Phi5 ]
+
+let phi policy ~cost ~size =
+  let s = Float.max 2.0 size in
+  match policy with
+  | Phi1 -> cost
+  | Phi2 -> cost *. log s
+  | Phi3 -> cost *. sqrt s
+  | Phi4 -> cost *. s
+  | Phi5 -> size
+  | Global_deep -> invalid_arg "Ssa.phi: Global_deep is not a pointwise ranking"

@@ -1,0 +1,20 @@
+(** The Subquery Selection Algorithm's ranking functions (§4.2, Table 2).
+
+    At each QuerySplit iteration the remaining subqueries are optimized
+    and the one minimizing Φ(C, S) — C the optimizer's cost estimate, S
+    its output-cardinality estimate — executes next. Φ1…Φ5 weight S
+    increasingly heavily; Φ4 = C·S is the paper's default.
+    [Global_deep] instead follows the deepest join of a global physical
+    plan (the §6.2 baseline) and is handled by the QuerySplit loop
+    itself. *)
+
+type policy = Phi1 | Phi2 | Phi3 | Phi4 | Phi5 | Global_deep
+
+val policy_name : policy -> string
+
+val all_phi : policy list
+(** Φ1 … Φ5, without [Global_deep]. *)
+
+val phi : policy -> cost:float -> size:float -> float
+(** Raises [Invalid_argument] for [Global_deep] (it is not a pointwise
+    ranking). Sizes are clamped at 2 under the logarithm. *)

@@ -1,0 +1,12 @@
+(** Non-adaptive strategies: plan once with the context's estimator and
+    execute.
+
+    [default] is PostgreSQL's behaviour (and becomes the paper's "Optimal"
+    when the context carries the oracle estimator; "NeuroCard" etc. when
+    it carries a learned simulator). [use_robust] is the USE baseline
+    [17]: sketch-style upper-bound estimation, hash joins only (it ignores
+    indexes — footnote 3 of the paper). *)
+
+val default : Strategy.t
+
+val use_robust : Strategy.t

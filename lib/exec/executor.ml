@@ -1,0 +1,283 @@
+module Physical = Qs_plan.Physical
+module Table = Qs_storage.Table
+module Schema = Qs_storage.Schema
+module Value = Qs_storage.Value
+module Index = Qs_storage.Index
+module Fragment = Qs_stats.Fragment
+module Expr = Qs_query.Expr
+
+exception Timeout
+
+let default_row_limit = 2_000_000
+
+type stats = (int, int) Hashtbl.t
+
+let check_deadline = function
+  | Some d when Unix.gettimeofday () > d -> raise Timeout
+  | _ -> ()
+
+(* Deadline checks are amortized over batches of rows. *)
+let batch = 16384
+
+let filter_input ?deadline (input : Fragment.input) =
+  let tbl = input.Fragment.table in
+  match input.Fragment.filters with
+  | [] -> tbl
+  | filters -> (
+      (* tables are immutable, so the filtered result is cached on the
+         input record — re-optimization re-scans the same inputs many
+         times *)
+      match Hashtbl.find_opt input.Fragment.scratch "filtered" with
+      | Some cached -> (Obj.obj cached : Table.t)
+      | None ->
+          let schema = tbl.Table.schema in
+          let out = ref [] in
+          Array.iteri
+            (fun i row ->
+              if i mod batch = 0 then check_deadline deadline;
+              if List.for_all (Expr.eval schema row) filters then out := row :: !out)
+            tbl.Table.rows;
+          let result =
+            Table.create ~name:tbl.Table.name ~schema (Array.of_list (List.rev !out))
+          in
+          Hashtbl.replace input.Fragment.scratch "filtered" (Obj.repr result);
+          result)
+
+(* Join-key extraction: positions of the equi-join columns on each side,
+   plus the residual predicates evaluated on the concatenated row. *)
+let split_join_preds (lschema : Schema.t) preds =
+  let is_left (c : Expr.colref) = Schema.mem lschema ~rel:c.Expr.rel ~name:c.Expr.name in
+  List.partition_map
+    (fun p ->
+      match Expr.join_sides p with
+      | Some (a, b) when is_left a -> Either.Left (a, b)
+      | Some (a, b) when is_left b -> Either.Left (b, a)
+      | _ -> Either.Right p)
+    preds
+
+let key_positions schema cols =
+  List.map (fun (c : Expr.colref) -> Schema.find_exn schema ~rel:c.Expr.rel ~name:c.Expr.name) cols
+
+let key_of_row row positions = List.map (fun p -> row.(p)) positions
+
+let has_null = List.exists Value.is_null
+
+let hash_join ?deadline ?(limit = max_int) ~(build : Table.t) ~(probe : Table.t) preds =
+  let out_schema = Schema.concat probe.Table.schema build.Table.schema in
+  (* orient keys wrt the build side *)
+  let build_cols, residual = split_join_preds build.Table.schema preds in
+  let bpos = key_positions build.Table.schema (List.map fst build_cols) in
+  let ppos = key_positions probe.Table.schema (List.map snd build_cols) in
+  let index : (Value.t list, Value.t array list) Hashtbl.t =
+    Hashtbl.create (max 16 (Table.n_rows build))
+  in
+  Array.iteri
+    (fun i row ->
+      if i mod batch = 0 then check_deadline deadline;
+      let k = key_of_row row bpos in
+      if not (has_null k) then
+        Hashtbl.replace index k (row :: Option.value (Hashtbl.find_opt index k) ~default:[]))
+    build.Table.rows;
+  let out = ref [] in
+  let emitted = ref 0 in
+  Array.iteri
+    (fun i prow ->
+      if i mod batch = 0 then check_deadline deadline;
+      let k = key_of_row prow ppos in
+      if not (has_null k) then
+        match Hashtbl.find_opt index k with
+        | None -> ()
+        | Some matches ->
+            List.iter
+              (fun brow ->
+                incr emitted;
+                if !emitted mod batch = 0 then check_deadline deadline;
+                let row = Array.append prow brow in
+                if List.for_all (Expr.eval out_schema row) residual then begin
+                  out := row :: !out;
+                  if !emitted > limit then raise Timeout
+                end)
+              matches)
+    probe.Table.rows;
+  Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
+
+let hash_join_count ?deadline ~(build : Table.t) ~(probe : Table.t) preds =
+  let out_schema = Schema.concat probe.Table.schema build.Table.schema in
+  let build_cols, residual = split_join_preds build.Table.schema preds in
+  let bpos = key_positions build.Table.schema (List.map fst build_cols) in
+  let ppos = key_positions probe.Table.schema (List.map snd build_cols) in
+  let index : (Value.t list, Value.t array list) Hashtbl.t =
+    Hashtbl.create (max 16 (Table.n_rows build))
+  in
+  Array.iteri
+    (fun i row ->
+      if i mod batch = 0 then check_deadline deadline;
+      let k = key_of_row row bpos in
+      if not (has_null k) then
+        Hashtbl.replace index k (row :: Option.value (Hashtbl.find_opt index k) ~default:[]))
+    build.Table.rows;
+  (* pre-count build groups so the residual-free case never walks pairs *)
+  let counts : (Value.t list, int) Hashtbl.t = Hashtbl.create (Hashtbl.length index) in
+  Hashtbl.iter (fun k rows -> Hashtbl.replace counts k (List.length rows)) index;
+  let total = ref 0 in
+  let steps = ref 0 in
+  Array.iteri
+    (fun i prow ->
+      if i mod batch = 0 then check_deadline deadline;
+      let k = key_of_row prow ppos in
+      if not (has_null k) then
+        if residual = [] then
+          total := !total + Option.value (Hashtbl.find_opt counts k) ~default:0
+        else
+          match Hashtbl.find_opt index k with
+          | None -> ()
+          | Some matches ->
+              List.iter
+                (fun brow ->
+                  incr steps;
+                  if !steps mod batch = 0 then check_deadline deadline;
+                  let row = Array.append prow brow in
+                  if List.for_all (Expr.eval out_schema row) residual then incr total)
+                matches)
+    probe.Table.rows;
+  !total
+
+let index_nl_join ?deadline ?(limit = max_int) ~(outer : Table.t)
+    ~(inner_input : Fragment.input) ~(index : Index.t) ~(outer_key : Expr.colref) preds =
+  let inner_tbl = inner_input.Fragment.table in
+  let out_schema = Schema.concat outer.Table.schema inner_tbl.Table.schema in
+  let okpos =
+    Schema.find_exn outer.Table.schema ~rel:outer_key.Expr.rel ~name:outer_key.Expr.name
+  in
+  (* Residual predicates: everything except the indexed equality is checked
+     after the lookup, as are the inner input's filters. *)
+  let inner_schema = inner_tbl.Table.schema in
+  let out = ref [] in
+  let probes = ref 0 in
+  let matched = ref 0 in
+  Array.iter
+    (fun orow ->
+      incr probes;
+      if !probes mod 1024 = 0 then check_deadline deadline;
+      let key = orow.(okpos) in
+      if not (Value.is_null key) then
+        List.iter
+          (fun rid ->
+            let irow = inner_tbl.Table.rows.(rid) in
+            if List.for_all (Expr.eval inner_schema irow) inner_input.Fragment.filters
+            then begin
+              incr matched;
+              let row = Array.append orow irow in
+              if List.for_all (Expr.eval out_schema row) preds then begin
+                out := row :: !out;
+                if !matched > limit then raise Timeout
+              end
+            end)
+          (Index.lookup index key))
+    outer.Table.rows;
+  Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
+
+let nl_join ?deadline ?(limit = max_int) ~(outer : Table.t) ~(inner : Table.t) preds =
+  let out_schema = Schema.concat outer.Table.schema inner.Table.schema in
+  let out = ref [] in
+  let steps = ref 0 in
+  let kept = ref 0 in
+  Array.iter
+    (fun orow ->
+      Array.iter
+        (fun irow ->
+          incr steps;
+          if !steps mod batch = 0 then check_deadline deadline;
+          let row = Array.append orow irow in
+          if List.for_all (Expr.eval out_schema row) preds then begin
+            out := row :: !out;
+            incr kept;
+            if !kept > limit then raise Timeout
+          end)
+        inner.Table.rows)
+    outer.Table.rows;
+  Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
+
+let run ?deadline ?(row_limit = default_row_limit) plan =
+  let stats : stats = Hashtbl.create 16 in
+  let rec go (p : Physical.t) =
+    let result =
+      match p.Physical.node with
+      | Physical.Scan input -> filter_input ?deadline input
+      | Physical.Join j -> (
+          match j.Physical.method_ with
+          | Physical.Hash ->
+              let build = go j.Physical.left in
+              let probe = go j.Physical.right in
+              hash_join ?deadline ~limit:row_limit ~build ~probe j.Physical.preds
+          | Physical.Index_nl ->
+              let outer = go j.Physical.left in
+              let inner_input =
+                match j.Physical.right.Physical.node with
+                | Physical.Scan i -> i
+                | _ -> invalid_arg "Executor.run: index NL inner must be a scan"
+              in
+              let index, outer_key, inner_key =
+                match j.Physical.index with
+                | Some x -> x
+                | None -> invalid_arg "Executor.run: index NL without index"
+              in
+              (* The indexed equality is enforced by the lookup itself;
+                 everything else is checked per matched row. *)
+              let indexed = Expr.eq (Expr.Col outer_key) (Expr.Col inner_key) in
+              let residual =
+                List.filter (fun pr -> not (Expr.equal_pred pr indexed)) j.Physical.preds
+              in
+              index_nl_join ?deadline ~limit:row_limit ~outer ~inner_input ~index
+                ~outer_key residual
+          | Physical.Nl ->
+              let outer = go j.Physical.left in
+              let inner = go j.Physical.right in
+              nl_join ?deadline ~limit:row_limit ~outer ~inner j.Physical.preds)
+    in
+    Hashtbl.replace stats p.Physical.id (Table.n_rows result);
+    result
+  in
+  let out = go plan in
+  (out, stats)
+
+let project ?name (tbl : Table.t) cols =
+  match cols with
+  | [] -> tbl
+  | _ ->
+      let seen = Hashtbl.create 8 in
+      let cols =
+        List.filter
+          (fun (c : Expr.colref) ->
+            if Hashtbl.mem seen (c.Expr.rel, c.Expr.name) then false
+            else (
+              Hashtbl.replace seen (c.Expr.rel, c.Expr.name) ();
+              true))
+          cols
+      in
+      let positions =
+        List.map
+          (fun (c : Expr.colref) ->
+            Schema.find_exn tbl.Table.schema ~rel:c.Expr.rel ~name:c.Expr.name)
+          cols
+      in
+      let schema = Array.of_list (List.map (fun p -> tbl.Table.schema.(p)) positions) in
+      let rows =
+        Array.map (fun row -> Array.of_list (List.map (fun p -> row.(p)) positions)) tbl.Table.rows
+      in
+      Table.create ~name:(Option.value name ~default:tbl.Table.name) ~schema rows
+
+let cartesian ~name tables =
+  match tables with
+  | [] -> invalid_arg "Executor.cartesian: no tables"
+  | [ t ] -> Table.create ~name ~schema:t.Table.schema t.Table.rows
+  | first :: rest ->
+      List.fold_left
+        (fun acc t ->
+          let schema = Schema.concat acc.Table.schema t.Table.schema in
+          let rows = ref [] in
+          Array.iter
+            (fun a -> Array.iter (fun b -> rows := Array.append a b :: !rows) t.Table.rows)
+            acc.Table.rows;
+          Table.create ~name ~schema (Array.of_list (List.rev !rows)))
+        first rest

@@ -1,0 +1,55 @@
+(** Physical-plan execution.
+
+    Every operator materializes its output (the fully-materialized model
+    re-optimization converts execution into — §2.2); per-node actual
+    cardinalities are reported so the re-optimization strategies can
+    compare them with the optimizer's estimates.
+
+    Execution checks an optional deadline between row batches and raises
+    {!Timeout}; the paper's 1000-second per-query timeout is modelled this
+    way. *)
+
+module Physical = Qs_plan.Physical
+module Table = Qs_storage.Table
+module Fragment = Qs_stats.Fragment
+module Expr = Qs_query.Expr
+
+exception Timeout
+
+val default_row_limit : int
+(** Per-operator output cap for plan execution (default 5 M rows): a plan
+    materializing more than this is hopeless in this in-memory engine and
+    is treated like a timeout — the analogue of the paper's 1000-second
+    query cap, which the PostgreSQL "Default" configuration also hits on
+    several JOB queries. *)
+
+type stats = (int, int) Hashtbl.t
+(** Physical node id → actual output rows. *)
+
+val run : ?deadline:float -> ?row_limit:int -> Physical.t -> Table.t * stats
+(** Evaluate the plan bottom-up. The output schema is the concatenation of
+    the leaf schemas (alias-qualified); apply {!project} for the query's
+    final projection. *)
+
+val project : ?name:string -> Table.t -> Expr.colref list -> Table.t
+(** Keep only the named columns (in the given order, duplicates removed);
+    an empty list keeps everything. *)
+
+val filter_input : ?deadline:float -> Fragment.input -> Table.t
+(** Scan one input applying its filters (the executor's leaf operator,
+    exposed for the naive counter and tests). *)
+
+val hash_join : ?deadline:float -> ?limit:int -> build:Table.t -> probe:Table.t ->
+  Expr.pred list -> Table.t
+(** One hash join over materialized inputs: equality conjuncts become the
+    hash key, the rest are residual filters (exposed for the naive
+    counter and tests). *)
+
+val hash_join_count : ?deadline:float -> build:Table.t -> probe:Table.t ->
+  Expr.pred list -> int
+(** Cardinality of [hash_join] without materializing its output — the
+    oracle's way of counting explosive final joins in O(1) memory. *)
+
+val cartesian : name:string -> Table.t list -> Table.t
+(** Cross product of independent result tables — the final merge step of
+    QuerySplit when isolated subquery results remain (§3.1). *)

@@ -1,0 +1,22 @@
+module Table = Qs_storage.Table
+module Fragment = Qs_stats.Fragment
+module Table_stats = Qs_stats.Table_stats
+module Analyze = Qs_stats.Analyze
+module Expr = Qs_query.Expr
+
+let namer () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    "T" ^ string_of_int !n
+
+let materialize ~name ~keep tbl =
+  let projected = Executor.project ~name tbl keep in
+  Table.create ~name ~schema:projected.Table.schema projected.Table.rows
+
+let stats_of ~collect tbl =
+  if collect then Analyze.of_table tbl else Analyze.rowcount_of_table tbl
+
+let to_input ~name ~provenance ~provides ~collect_stats tbl =
+  Fragment.temp_input ~id:name ~provenance tbl ~provides
+    ~stats:(stats_of ~collect:collect_stats tbl)

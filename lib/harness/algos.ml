@@ -1,0 +1,74 @@
+module Estimator = Qs_stats.Estimator
+module Querysplit = Qs_core.Querysplit
+module Static = Qs_core.Static
+module Plan_driven = Qs_core.Plan_driven
+module Fs = Qs_core.Fs
+
+let default_est (_ : Runner.env) = Estimator.default
+
+let querysplit_with config =
+  {
+    Runner.label = "QuerySplit";
+    strategy = Querysplit.strategy config;
+    estimator = default_est;
+    warm = false;
+  }
+
+let querysplit = querysplit_with Querysplit.default_config
+
+let default =
+  { Runner.label = "Default"; strategy = Static.default; estimator = default_est; warm = false }
+
+let optimal =
+  {
+    Runner.label = "Optimal";
+    strategy = Static.default;
+    estimator = (fun env -> Estimator.oracle ~exec:env.Runner.oracle_exec);
+    warm = true;
+  }
+
+let plan_driven label policy =
+  { Runner.label; strategy = Plan_driven.strategy policy; estimator = default_est; warm = false }
+
+let reopt = plan_driven "Reopt" Plan_driven.reopt
+let pop = plan_driven "Pop" Plan_driven.pop
+let ief = plan_driven "IEF" Plan_driven.ief
+let perron = plan_driven "Perron19" Plan_driven.perron
+let optrange = plan_driven "OptRange" Plan_driven.optrange
+
+let use =
+  { Runner.label = "USE"; strategy = Static.use_robust; estimator = default_est; warm = false }
+
+let pessimistic =
+  {
+    Runner.label = "Pessi.";
+    strategy = Static.default;
+    estimator = (fun _ -> Estimator.pessimistic);
+    warm = false;
+  }
+
+let fs = { Runner.label = "FS"; strategy = Fs.strategy; estimator = default_est; warm = false }
+
+let learned label kind =
+  {
+    Runner.label = label;
+    strategy = Static.default;
+    estimator =
+      (fun env ->
+        Estimator.learned kind ~seed:env.Runner.seed ~exec:env.Runner.oracle_exec);
+    warm = true;
+  }
+
+let neurocard = learned "NeuroCard" Estimator.Neurocard
+let deepdb = learned "DeepDB" Estimator.Deepdb
+let mscn = learned "MSCN" Estimator.Mscn
+
+let fig11_roster =
+  [
+    default; optimal; reopt; pop; ief; perron; use; pessimistic; fs; optrange;
+    neurocard; deepdb; mscn; querysplit;
+  ]
+
+let nonspj_roster = [ default; optimal; reopt; pop; ief; perron; fs; optrange; querysplit ]
+
+let reopt_roster = [ reopt; pop; ief; perron; querysplit ]

@@ -1,0 +1,30 @@
+(** The algorithm roster of the paper's evaluation (§6.3). *)
+
+val querysplit : Runner.algo
+(** RCenter + Φ4, the paper's default configuration. *)
+
+val querysplit_with : Qs_core.Querysplit.config -> Runner.algo
+
+val default : Runner.algo
+val optimal : Runner.algo
+val reopt : Runner.algo
+val pop : Runner.algo
+val ief : Runner.algo
+val perron : Runner.algo
+val use : Runner.algo
+val pessimistic : Runner.algo
+val fs : Runner.algo
+val optrange : Runner.algo
+val neurocard : Runner.algo
+val deepdb : Runner.algo
+val mscn : Runner.algo
+
+val fig11_roster : Runner.algo list
+(** Every bar of Figure 11, QuerySplit last. *)
+
+val nonspj_roster : Runner.algo list
+(** The subset shown for TPC-H / DSB non-SPJ (Figs. 12 and 14). *)
+
+val reopt_roster : Runner.algo list
+(** The four plan-driven re-optimizers plus QuerySplit (Table 4,
+    Fig. 15). *)

@@ -1,0 +1,502 @@
+module Catalog = Qs_storage.Catalog
+module Query = Qs_query.Query
+module Estimator = Qs_stats.Estimator
+module Optimizer = Qs_plan.Optimizer
+module Similarity = Qs_plan.Similarity
+module Strategy = Qs_core.Strategy
+module Querysplit = Qs_core.Querysplit
+module Qsa = Qs_core.Qsa
+module Ssa = Qs_core.Ssa
+module Plan_driven = Qs_core.Plan_driven
+module Cinema = Qs_workload.Cinema
+module Starbench = Qs_workload.Starbench
+module Dsb = Qs_workload.Dsb
+
+type setup = {
+  scale : float;
+  seed : int;
+  n_queries : int;
+  timeout : float;
+}
+
+let default_setup = { scale = 0.5; seed = 2023; n_queries = 91; timeout = 5.0 }
+
+(* --- workload environments -------------------------------------------- *)
+
+(* Environments are expensive (data generation, query curation, and the
+   oracle's true-cardinality memo); share them across experiments. *)
+let env_cache : (float * int * int, Runner.env * Query.t list) Hashtbl.t =
+  Hashtbl.create 4
+
+let cinema_env ?(index = Catalog.Pk_fk) s =
+  let key = (s.scale, s.seed, s.n_queries) in
+  let env, queries =
+    match Hashtbl.find_opt env_cache key with
+    | Some v -> v
+    | None ->
+        let cat = Cinema.build ~scale:s.scale ~seed:s.seed () in
+        let env = Runner.make_env ~seed:s.seed cat in
+        let queries = Cinema.queries cat ~seed:(s.seed + 1) ~n:s.n_queries in
+        Hashtbl.replace env_cache key (env, queries);
+        (env, queries)
+  in
+  (* the index configuration is the only per-experiment difference; data,
+     statistics and the oracle memo are index-independent *)
+  Catalog.build_indexes env.Runner.catalog index;
+  (env, queries)
+
+let pct n d = Printf.sprintf "%.0f%%" (100.0 *. float_of_int n /. float_of_int d)
+
+(* ---------------------------------------------------------------------- *)
+(* Table 1: initial-vs-optimal plan similarity                             *)
+(* ---------------------------------------------------------------------- *)
+
+let table1 s =
+  Report.section "Table 1: plan divergence of the default optimizer";
+  let env, queries = cinema_env s in
+  let oracle = Estimator.oracle ~exec:env.Runner.oracle_exec in
+  let ctx = Strategy.make_ctx env.Runner.registry Estimator.default in
+  let buckets = Hashtbl.create 4 in
+  List.iter
+    (fun q ->
+      let frag = Strategy.fragment_of_query ctx q in
+      let p_def = (Optimizer.optimize env.Runner.catalog Estimator.default frag).Optimizer.plan in
+      let p_opt = (Optimizer.optimize env.Runner.catalog oracle frag).Optimizer.plan in
+      let b = Similarity.bucket (Similarity.score p_def p_opt) in
+      Hashtbl.replace buckets b (1 + Option.value (Hashtbl.find_opt buckets b) ~default:0))
+    queries;
+  let n = List.length queries in
+  let get b = Option.value (Hashtbl.find_opt buckets b) ~default:0 in
+  Report.table ~title:"similarity of initial vs. optimal plan"
+    ~headers:[ "Similarity"; "0"; "1"; "2"; ">2" ]
+    [ [ "Ratio"; pct (get "0") n; pct (get "1") n; pct (get "2") n; pct (get ">2") n ] ]
+
+(* ---------------------------------------------------------------------- *)
+(* Table 3: QSA x SSA policy grid                                          *)
+(* ---------------------------------------------------------------------- *)
+
+let ssa_grid = Ssa.all_phi @ [ Ssa.Global_deep ]
+
+let table3 s =
+  Report.section "Table 3: JOB-like total time per QSA x SSA policy";
+  let env, queries = cinema_env s in
+  let rows =
+    List.map
+      (fun ssa ->
+        Ssa.policy_name ssa
+        :: List.map
+             (fun qsa ->
+               let algo = Algos.querysplit_with { Querysplit.default_config with Querysplit.qsa; ssa } in
+               let rs = Runner.run_spj ~timeout:s.timeout env algo queries in
+               Report.seconds (Runner.total_time rs))
+             Qsa.all_policies)
+      ssa_grid
+  in
+  Report.table ~title:"total execution time"
+    ~headers:("SSA \\ QSA" :: List.map Qsa.policy_name Qsa.all_policies)
+    rows
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 10: robustness to injected CE noise                              *)
+(* ---------------------------------------------------------------------- *)
+
+let noisy_algo s config ~mu ~sigma =
+  let base = Algos.querysplit_with config in
+  {
+    base with
+    Runner.label = Printf.sprintf "%s sigma=%g" base.Runner.label sigma;
+    warm = (sigma <> 0.0 || mu <> 0.0);
+    estimator =
+      (fun env ->
+        if sigma = 0.0 && mu = 0.0 then Estimator.default
+        else Estimator.noisy ~seed:s.seed ~mu ~sigma ~exec:env.Runner.oracle_exec);
+  }
+
+let fig10 s =
+  Report.section "Figure 10: QuerySplit under erroneous cardinality estimation";
+  let env, queries = cinema_env s in
+  (* the noise sweep runs 40+ configurations; every second query keeps the
+     grid affordable without changing the curves' shape *)
+  let queries = List.filteri (fun i _ -> i mod 2 = 0) queries in
+  Printf.printf "(noise sweep over %d of the queries)\n" (List.length queries);
+  let run config ~mu ~sigma =
+    Runner.total_time
+      (Runner.run_spj ~timeout:s.timeout env (noisy_algo s config ~mu ~sigma) queries)
+  in
+  let sigmas = [ 0.0; 0.5; 1.0; 2.0; 4.0 ] in
+  let qsa_series =
+    List.map
+      (fun qsa ->
+        ( Qsa.policy_name qsa ^ " + phi4",
+          List.map
+            (fun sigma ->
+              (Printf.sprintf "%g" sigma, run { Querysplit.default_config with Querysplit.qsa; ssa = Ssa.Phi4 } ~mu:0.0 ~sigma))
+            sigmas ))
+      Qsa.all_policies
+  in
+  Report.series ~title:"total time vs sigma (mu = 0)" ~x_label:"sigma" qsa_series;
+  let phi_series =
+    List.map
+      (fun ssa ->
+        ( "RCenter + " ^ Ssa.policy_name ssa,
+          List.map
+            (fun sigma ->
+              ( Printf.sprintf "%g" sigma,
+                run { Querysplit.default_config with Querysplit.qsa = Qsa.RCenter; ssa } ~mu:0.0 ~sigma ))
+            sigmas ))
+      Ssa.all_phi
+  in
+  Report.series ~title:"total time vs sigma per cost function (mu = 0)" ~x_label:"sigma"
+    phi_series;
+  let mus = [ -1.0; 0.0; 1.0 ] in
+  let mu_series =
+    [
+      ( "RCenter + phi4 (sigma = 1)",
+        List.map
+          (fun mu ->
+            ( Printf.sprintf "%g" mu,
+              run Querysplit.default_config ~mu ~sigma:1.0 ))
+          mus );
+    ]
+  in
+  Report.series ~title:"total time vs mu (sigma = 1)" ~x_label:"mu" mu_series
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 11 + Table 4                                                     *)
+(* ---------------------------------------------------------------------- *)
+
+let fig11 s =
+  Report.section "Figure 11: JOB-like end-to-end comparison";
+  List.iter
+    (fun (cfg, cfg_name) ->
+      let env, queries = cinema_env ~index:cfg s in
+      let rows =
+        List.map
+          (fun algo ->
+            let rs = Runner.run_spj ~timeout:s.timeout env algo queries in
+            let tos = List.length (List.filter (fun r -> r.Runner.timed_out) rs) in
+            [
+              algo.Runner.label;
+              Report.seconds (Runner.total_time rs);
+              (if tos > 0 then Printf.sprintf "%d TO" tos else "");
+            ])
+          Algos.fig11_roster
+      in
+      Report.table
+        ~title:(Printf.sprintf "total time, %s indexes" cfg_name)
+        ~headers:[ "algorithm"; "total time"; "timeouts" ]
+        rows)
+    [ (Catalog.Pk_only, "Pk-only"); (Catalog.Pk_fk, "Pk+Fk") ]
+
+let table4 s =
+  Report.section "Table 4: materialization frequency and memory";
+  let env, queries = cinema_env s in
+  let rows =
+    List.map
+      (fun algo ->
+        let rs = Runner.run_spj ~timeout:s.timeout env algo queries in
+        let n_q = List.length rs in
+        let total_mats = List.fold_left (fun a r -> a + r.Runner.mats) 0 rs in
+        let total_bytes = List.fold_left (fun a r -> a + r.Runner.mat_bytes) 0 rs in
+        let per_sub =
+          if total_mats = 0 then 0.0
+          else float_of_int total_bytes /. float_of_int total_mats /. 1048576.0
+        in
+        [
+          algo.Runner.label;
+          Printf.sprintf "%.2f" per_sub;
+          Printf.sprintf "%.2f" (float_of_int total_mats /. float_of_int n_q);
+          Printf.sprintf "%.2f" (float_of_int total_bytes /. float_of_int n_q /. 1048576.0);
+        ])
+      (Algos.reopt_roster @ [ Algos.optimal ])
+  in
+  Report.table ~title:"per-query materialization"
+    ~headers:
+      [ "algorithm"; "avg MB per subquery"; "avg mat. freq per query"; "total MB per query" ]
+    rows
+
+(* ---------------------------------------------------------------------- *)
+(* Figures 12-14: Starbench (TPC-H-like) and DSB                           *)
+(* ---------------------------------------------------------------------- *)
+
+let logical_comparison ~title ~timeout env trees roster =
+  let rows =
+    List.map
+      (fun algo ->
+        let rs = Runner.run_logical ~timeout env algo trees in
+        let tos = List.length (List.filter (fun r -> r.Runner.timed_out) rs) in
+        [
+          algo.Runner.label;
+          Report.seconds (Runner.total_time rs);
+          (if tos > 0 then Printf.sprintf "%d TO" tos else "");
+        ])
+      roster
+  in
+  Report.table ~title ~headers:[ "algorithm"; "total time"; "timeouts" ] rows
+
+let fig12 s =
+  Report.section "Figure 12: TPC-H-like (Starbench) execution time";
+  let cat = Starbench.build ~scale:s.scale ~seed:s.seed () in
+  List.iter
+    (fun (cfg, cfg_name) ->
+      Catalog.build_indexes cat cfg;
+      let env = Runner.make_env ~seed:s.seed cat in
+      let trees = Starbench.queries cat ~seed:(s.seed + 1) in
+      logical_comparison
+        ~title:(Printf.sprintf "Starbench, %s indexes" cfg_name)
+        ~timeout:s.timeout env trees Algos.nonspj_roster)
+    [ (Catalog.Pk_only, "Pk-only"); (Catalog.Pk_fk, "Pk+Fk") ]
+
+let fig13 s =
+  Report.section "Figure 13: DSB SPJ queries";
+  let cat = Dsb.build ~scale:s.scale ~seed:s.seed () in
+  List.iter
+    (fun (cfg, cfg_name) ->
+      Catalog.build_indexes cat cfg;
+      let env = Runner.make_env ~seed:s.seed cat in
+      let queries = Dsb.spj_queries cat ~seed:(s.seed + 1) in
+      let rows =
+        List.map
+          (fun algo ->
+            let rs = Runner.run_spj ~timeout:s.timeout env algo queries in
+            [ algo.Runner.label; Report.seconds (Runner.total_time rs) ])
+          Algos.fig11_roster
+      in
+      Report.table
+        ~title:(Printf.sprintf "DSB SPJ, %s indexes" cfg_name)
+        ~headers:[ "algorithm"; "total time" ] rows)
+    [ (Catalog.Pk_only, "Pk-only"); (Catalog.Pk_fk, "Pk+Fk") ]
+
+let fig14 s =
+  Report.section "Figure 14: DSB non-SPJ queries";
+  let cat = Dsb.build ~scale:s.scale ~seed:s.seed () in
+  Catalog.build_indexes cat Catalog.Pk_fk;
+  let env = Runner.make_env ~seed:s.seed cat in
+  let trees = Dsb.nonspj_queries cat ~seed:(s.seed + 1) in
+  logical_comparison ~title:"DSB non-SPJ, Pk+Fk indexes" ~timeout:s.timeout env trees
+    Algos.nonspj_roster
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 15: statistics collection on/off                                 *)
+(* ---------------------------------------------------------------------- *)
+
+let fig15 s =
+  Report.section "Figure 15: runtime statistics collection on temps";
+  let env, queries = cinema_env s in
+  let rows =
+    List.map
+      (fun algo ->
+        let on =
+          Runner.total_time
+            (Runner.run_spj ~collect_stats:true ~timeout:s.timeout env algo queries)
+        in
+        let off =
+          Runner.total_time
+            (Runner.run_spj ~collect_stats:false ~timeout:s.timeout env algo queries)
+        in
+        [ algo.Runner.label; Report.seconds on; Report.seconds off ])
+      Algos.reopt_roster
+  in
+  Report.table ~title:"total time with and without ANALYZE on temps"
+    ~headers:[ "algorithm"; "stats on"; "stats off (row count only)" ]
+    rows
+
+(* ---------------------------------------------------------------------- *)
+(* Table 5: existing re-optimizers with the phi cost functions             *)
+(* ---------------------------------------------------------------------- *)
+
+let table5 s =
+  Report.section "Table 5: plan-driven re-optimizers driven by phi rankings";
+  let env, queries = cinema_env s in
+  let base_policies =
+    [
+      ("Reopt", Plan_driven.reopt);
+      ("Pop", Plan_driven.pop);
+      ("IEF", Plan_driven.ief);
+      ("Perron19", Plan_driven.perron);
+    ]
+  in
+  let run_with label policy selector =
+    let strategy =
+      match selector with
+      | None -> Plan_driven.strategy policy
+      | Some sel -> Plan_driven.strategy ~selector:sel policy
+    in
+    let algo =
+      { Runner.label; strategy; estimator = (fun _ -> Estimator.default); warm = false }
+    in
+    Runner.total_time (Runner.run_spj ~timeout:s.timeout env algo queries)
+  in
+  let rows =
+    List.map
+      (fun ssa ->
+        Ssa.policy_name ssa
+        :: List.map
+             (fun (label, policy) ->
+               Report.seconds (run_with label policy (Some (Plan_driven.Phi ssa))))
+             base_policies)
+      Ssa.all_phi
+    @ [
+        "original"
+        :: List.map
+             (fun (label, policy) -> Report.seconds (run_with label policy None))
+             base_policies;
+      ]
+  in
+  Report.table ~title:"total JOB-like time"
+    ~headers:("selector \\ algo" :: List.map fst base_policies)
+    rows
+
+(* ---------------------------------------------------------------------- *)
+(* Table 6 + Figures 16-19: categorisation and timelines                   *)
+(* ---------------------------------------------------------------------- *)
+
+type categorized = {
+  cat_name : string;
+  query : string;
+  qs_time : float;
+  best_other : float;
+  effect : float;
+}
+
+let max_intermediate (r : Runner.qresult) =
+  List.fold_left (fun a i -> max a i.Strategy.actual_rows) 0 r.Runner.iterations
+
+let categorize s =
+  let env, queries = cinema_env s in
+  let others = [ Algos.pop; Algos.ief; Algos.perron ] in
+  let qs_rs = Runner.run_spj ~timeout:s.timeout env Algos.querysplit queries in
+  let other_rs =
+    List.map (fun a -> Runner.run_spj ~timeout:s.timeout env a queries) others
+  in
+  let results =
+    List.mapi
+      (fun i (qs : Runner.qresult) ->
+        let alt = List.map (fun rs -> List.nth rs i) other_rs in
+        let best_other =
+          List.fold_left (fun a (r : Runner.qresult) -> Float.min a r.Runner.time)
+            Float.infinity alt
+        in
+        let min_other_peak =
+          List.fold_left (fun a r -> min a (max_intermediate r)) max_int alt
+        in
+        let qs_peak = max_intermediate qs in
+        let effect = (best_other -. qs.Runner.time) /. Float.max 1e-9 best_other in
+        let cat_name =
+          if Float.abs effect < 0.15 then "No difference"
+          else if effect < 0.0 then "Worse"
+          else if float_of_int qs_peak < 0.3 *. float_of_int min_other_peak then
+            "Avoided Large Join"
+          else "Delayed Large Join"
+        in
+        { cat_name; query = qs.Runner.query; qs_time = qs.Runner.time; best_other; effect })
+      qs_rs
+  in
+  (env, queries, results, qs_rs, other_rs, others)
+
+let table6 s =
+  Report.section "Table 6: query categories vs the best alternative re-optimizer";
+  let _, queries, results, _, _, _ = categorize s in
+  let n = List.length queries in
+  let rows =
+    List.map
+      (fun cat ->
+        let in_cat = List.filter (fun r -> r.cat_name = cat) results in
+        let freq = List.length in_cat in
+        let avg_effect =
+          if freq = 0 then 0.0
+          else
+            List.fold_left (fun a r -> a +. r.effect) 0.0 in_cat /. float_of_int freq
+        in
+        [ cat; Printf.sprintf "%d / %d" freq n; Printf.sprintf "%.1f%%" (100.0 *. avg_effect) ])
+      [ "Avoided Large Join"; "Delayed Large Join"; "No difference"; "Worse" ]
+  in
+  Report.table ~title:"category frequency and average performance effect"
+    ~headers:[ "Category"; "Frequency"; "Average Perf. Effect" ]
+    rows
+
+let fig16_19 s =
+  Report.section "Figures 16-19: re-optimization timelines per category";
+  let _, queries, results, qs_rs, other_rs, others = categorize s in
+  ignore queries;
+  List.iter
+    (fun cat ->
+      match List.find_opt (fun r -> r.cat_name = cat) results with
+      | None -> Printf.printf "\n[%s] no query in this category\n" cat
+      | Some rep ->
+          Printf.printf "\n[%s] representative query: %s\n" cat rep.query;
+          let idx =
+            let rec find i = function
+              | [] -> 0
+              | r :: _ when r.query = rep.query -> i
+              | _ :: rest -> find (i + 1) rest
+            in
+            find 0 results
+          in
+          let print_timeline label (r : Runner.qresult) =
+            Printf.printf "  %-12s sizes:" label;
+            List.iter (fun it -> Printf.printf " %d" it.Strategy.actual_rows) r.Runner.iterations;
+            Printf.printf "\n  %-12s times:" label;
+            List.iter
+              (fun (it : Strategy.iteration) -> Printf.printf " %.4f" it.Strategy.elapsed)
+              r.Runner.iterations;
+            print_newline ()
+          in
+          print_timeline "QuerySplit" (List.nth qs_rs idx);
+          List.iteri
+            (fun ai rs -> print_timeline (List.nth others ai).Runner.label (List.nth rs idx))
+            other_rs)
+    [ "Avoided Large Join"; "Delayed Large Join"; "No difference"; "Worse" ]
+
+(* ---------------------------------------------------------------------- *)
+(* Ablation (beyond the paper): QuerySplit implementation choices          *)
+(* ---------------------------------------------------------------------- *)
+
+let ablation s =
+  Report.section "Ablation: QuerySplit implementation choices";
+  let env, queries = cinema_env s in
+  let variants =
+    [
+      ("full", Querysplit.default_config);
+      ("no plan cache", { Querysplit.default_config with Querysplit.plan_cache = false });
+      ("no column pruning",
+       { Querysplit.default_config with Querysplit.prune_columns = false });
+      ("neither",
+       {
+         Querysplit.default_config with
+         Querysplit.plan_cache = false;
+         prune_columns = false;
+       });
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, config) ->
+        let algo = Algos.querysplit_with config in
+        let rs = Runner.run_spj ~timeout:s.timeout env algo queries in
+        let bytes = List.fold_left (fun a r -> a + r.Runner.mat_bytes) 0 rs in
+        [
+          label;
+          Report.seconds (Runner.total_time rs);
+          Printf.sprintf "%.1f" (float_of_int bytes /. 1048576.0);
+        ])
+      variants
+  in
+  Report.table ~title:"QuerySplit variants"
+    ~headers:[ "variant"; "total time"; "materialized MB (all queries)" ]
+    rows
+
+let all s =
+  table1 s;
+  table3 s;
+  fig10 s;
+  fig11 s;
+  table4 s;
+  fig12 s;
+  fig13 s;
+  fig14 s;
+  fig15 s;
+  table5 s;
+  table6 s;
+  fig16_19 s;
+  ablation s

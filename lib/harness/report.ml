@@ -1,0 +1,35 @@
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let table ~title ~headers rows =
+  Printf.printf "\n-- %s --\n" title;
+  let all = headers :: rows in
+  let n_cols = List.length headers in
+  let width i =
+    List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init n_cols width in
+  let print_row row =
+    let cells =
+      List.map2 (fun cell w -> Printf.sprintf "%-*s" w cell) row widths
+    in
+    print_endline ("| " ^ String.concat " | " cells ^ " |")
+  in
+  print_row headers;
+  print_endline
+    ("|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|");
+  List.iter print_row rows
+
+let series ~title ~x_label named =
+  Printf.printf "\n-- %s --\n" title;
+  List.iter
+    (fun (name, points) ->
+      Printf.printf "%s:\n" name;
+      List.iter
+        (fun (x, y) -> Printf.printf "  %s=%s  %.4f\n" x_label x y)
+        points)
+    named
+
+let seconds s = Printf.sprintf "%.3fs" s
+
+let bytes_mb b = Printf.sprintf "%.2fMB" (float_of_int b /. 1024.0 /. 1024.0)

@@ -1,0 +1,17 @@
+(** Plain-text rendering of experiment tables and series, in the shape the
+    paper reports them. *)
+
+val table : title:string -> headers:string list -> string list list -> unit
+(** Print an aligned table to stdout. *)
+
+val series : title:string -> x_label:string -> (string * (string * float) list) list -> unit
+(** Print named series of (x, y) points — the textual stand-in for the
+    paper's figures. *)
+
+val seconds : float -> string
+(** "12.34s" with sensible precision. *)
+
+val bytes_mb : int -> string
+
+val section : string -> unit
+(** Banner for an experiment. *)

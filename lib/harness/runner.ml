@@ -1,0 +1,133 @@
+module Catalog = Qs_storage.Catalog
+module Query = Qs_query.Query
+module Logical = Qs_plan.Logical
+module Estimator = Qs_stats.Estimator
+module Stats_registry = Qs_stats.Stats_registry
+module Strategy = Qs_core.Strategy
+module Driver = Qs_core.Driver
+module Naive = Qs_exec.Naive
+module Timer = Qs_util.Timer
+
+type env = {
+  catalog : Catalog.t;
+  registry : Stats_registry.t;
+  oracle_exec : Estimator.exec_fn;
+  seed : int;
+}
+
+let make_env ?(seed = 1234) catalog =
+  (* one memo per environment: every oracle-backed estimator built from
+     this env shares the true cardinalities already computed *)
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let wcache = Naive.make_cache () in
+  let oracle_exec frag =
+    let k = Qs_stats.Fragment.key frag in
+    match Hashtbl.find_opt memo k with
+    | Some c -> c
+    | None ->
+        let c = Naive.count ~cache:wcache frag in
+        Hashtbl.replace memo k c;
+        c
+  in
+  { catalog; registry = Stats_registry.create catalog; oracle_exec; seed }
+
+type algo = {
+  label : string;
+  strategy : Strategy.t;
+  estimator : env -> Estimator.t;
+  warm : bool;
+}
+
+type qresult = {
+  query : string;
+  time : float;
+  timed_out : bool;
+  mats : int;
+  mat_bytes : int;
+  iterations : Strategy.iteration list;
+}
+
+(* Wrap an estimator so the time spent estimating is accounted separately
+   from engine time; the deadline is pushed forward by the same amount so
+   oracle-backed estimators cannot eat the query's execution budget. *)
+let instrumented (est : Estimator.t) ~deadline =
+  let spent = ref 0.0 in
+  let wrapped =
+    {
+      Estimator.name = est.Estimator.name;
+      card =
+        (fun frag ->
+          let t0 = Timer.now () in
+          let r = est.Estimator.card frag in
+          let dt = Timer.now () -. t0 in
+          spent := !spent +. dt;
+          (match !deadline with Some d -> deadline := Some (d +. dt) | None -> ());
+          r);
+    }
+  in
+  (wrapped, spent)
+
+let run_one ~collect_stats ~timeout env algo runner name =
+  if algo.warm then begin
+    (* populate the oracle memo so the timed pass measures engine work *)
+    let wctx =
+      Strategy.make_ctx ~collect_stats
+        ~deadline:(Some (Timer.now () +. (4.0 *. timeout)))
+        ~seed:env.seed env.registry (algo.estimator env)
+    in
+    (try ignore (runner wctx) with _ -> ());
+    Gc.major ()
+  end;
+  let deadline = Some (Timer.now () +. timeout) in
+  let ctx0 =
+    Strategy.make_ctx ~collect_stats ~deadline ~seed:env.seed env.registry
+      Estimator.default
+  in
+  let est, est_time = instrumented (algo.estimator env) ~deadline:ctx0.Strategy.deadline in
+  let ctx = { ctx0 with Strategy.estimator = est } in
+  let outcome = runner ctx in
+  let mats =
+    List.length (List.filter (fun i -> i.Strategy.materialized) outcome.Strategy.iterations)
+  in
+  let mat_bytes =
+    List.fold_left (fun a i -> a + i.Strategy.mat_bytes) 0 outcome.Strategy.iterations
+  in
+  let time =
+    if outcome.Strategy.timed_out then timeout
+    else Float.max 0.0 (outcome.Strategy.elapsed -. !est_time)
+  in
+  {
+    query = name;
+    time;
+    timed_out = outcome.Strategy.timed_out;
+    mats;
+    mat_bytes;
+    iterations = outcome.Strategy.iterations;
+  }
+
+let run_spj ?(collect_stats = true) ?(timeout = 30.0) env algo queries =
+  List.map
+    (fun (q : Query.t) ->
+      run_one ~collect_stats ~timeout env algo
+        (fun ctx -> algo.strategy.Strategy.run ctx q)
+        q.Query.name)
+    queries
+
+let run_logical ?(collect_stats = true) ?(timeout = 30.0) env algo trees =
+  List.map
+    (fun tree ->
+      run_one ~collect_stats ~timeout env algo
+        (fun ctx -> Driver.run algo.strategy ctx tree)
+        (Logical.name tree))
+    trees
+
+let total_time results = List.fold_left (fun a r -> a +. r.time) 0.0 results
+
+let qresult_row r =
+  [
+    r.query;
+    Report.seconds r.time;
+    (if r.timed_out then "TO" else "");
+    string_of_int r.mats;
+    Report.bytes_mb r.mat_bytes;
+  ]

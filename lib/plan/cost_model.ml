@@ -1,0 +1,25 @@
+let cpu_tuple = 0.01
+let cpu_operator = 0.0025
+
+let scan ~rows ~n_filters =
+  rows *. (cpu_tuple +. (float_of_int n_filters *. cpu_operator))
+
+let hash_join ~build_rows ~probe_rows ~out_rows =
+  (build_rows *. 0.02) +. (probe_rows *. 0.012) +. (out_rows *. cpu_tuple)
+
+(* A B+Tree descent costs noticeably more than one hash probe: pointer
+   chasing through ~log nodes. This is what makes index NL join lose to
+   hash join once the outer side grows — the trade-off Figure 2 of the
+   paper turns on. *)
+let btree_probe inner_rows = 0.05 +. (0.012 *. (log (Float.max 2.0 inner_rows) /. log 2.0))
+
+let index_nl_join ~outer_rows ~inner_rows ~matches ~out_rows =
+  (outer_rows *. btree_probe inner_rows) +. (matches *. cpu_operator)
+  +. (out_rows *. cpu_tuple)
+
+let nl_join ~outer_rows ~inner_rows ~out_rows =
+  (outer_rows *. inner_rows *. cpu_operator) +. (out_rows *. cpu_tuple)
+
+let materialize ~rows ~width = rows *. (0.005 +. (0.0005 *. float_of_int width))
+
+let analyze ~rows ~width = rows *. 0.004 *. float_of_int width

@@ -1,0 +1,31 @@
+(** The optimizer's cost model (PostgreSQL-flavoured, simplified to the
+    operators this engine implements).
+
+    Costs are abstract units roughly proportional to the wall-clock work of
+    the in-memory executor; only relative magnitudes matter for plan
+    choice. Child costs are *not* included here — the optimizer adds
+    them. *)
+
+val cpu_tuple : float
+val cpu_operator : float
+
+val scan : rows:float -> n_filters:int -> float
+(** Full scan of an input applying its filters. *)
+
+val hash_join : build_rows:float -> probe_rows:float -> out_rows:float -> float
+(** Build a hash table on the build side, probe with the other. *)
+
+val index_nl_join : outer_rows:float -> inner_rows:float -> matches:float ->
+  out_rows:float -> float
+(** One B+Tree probe per outer row; [matches] is the expected total number
+    of index hits before residual filters. *)
+
+val nl_join : outer_rows:float -> inner_rows:float -> out_rows:float -> float
+(** Materialized inner rescan per outer row (the plain nested loop the
+    optimizer falls back to for non-equi predicates). *)
+
+val materialize : rows:float -> width:int -> float
+(** Writing an intermediate result to a temp table. *)
+
+val analyze : rows:float -> width:int -> float
+(** Statistics collection over a materialized temp (§6.4 trade-off). *)

@@ -1,0 +1,82 @@
+module Expr = Qs_query.Expr
+module Query = Qs_query.Query
+
+type agg_fn = Count_star | Count | Sum | Min | Max | Avg
+
+type agg = {
+  fn : agg_fn;
+  arg : Expr.scalar option;
+  label : string;
+}
+
+type t =
+  | Spj of Query.t
+  | Agg of {
+      name : string;
+      group_by : Expr.colref list;
+      aggs : agg list;
+      input : t;
+    }
+  | Union_all of { name : string; inputs : t list }
+  | Semi of semi
+  | Anti of semi
+  | Let of { bindings : t list; body : t }
+
+and semi = {
+  name : string;
+  left : t;
+  right : t;
+  on : Expr.pred list;
+}
+
+let rec name = function
+  | Spj q -> q.Query.name
+  | Agg { name; _ } -> name
+  | Union_all { name; _ } -> name
+  | Semi { name; _ } | Anti { name; _ } -> name
+  | Let { body; _ } -> name body
+
+let is_spj = function Spj _ -> true | _ -> false
+
+let children = function
+  | Spj _ -> []
+  | Agg { input; _ } -> [ input ]
+  | Union_all { inputs; _ } -> inputs
+  | Semi { left; right; _ } | Anti { left; right; _ } -> [ left; right ]
+  | Let { bindings; body } -> bindings @ [ body ]
+
+let rec spj_count t =
+  match t with
+  | Spj _ -> 1
+  | _ -> List.fold_left (fun acc c -> acc + spj_count c) 0 (children t)
+
+let group_label (c : Expr.colref) = c.Expr.rel ^ "_" ^ c.Expr.name
+
+let fn_name = function
+  | Count_star -> "COUNT(*)"
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Avg -> "AVG"
+
+let rec pp fmt t =
+  match t with
+  | Spj q -> Format.fprintf fmt "SPJ %s" q.Query.name
+  | Agg { name; group_by; aggs; input } ->
+      Format.fprintf fmt "Agg %s [%s | %s] (%a)" name
+        (String.concat ", " (List.map group_label group_by))
+        (String.concat ", " (List.map (fun a -> fn_name a.fn ^ " AS " ^ a.label) aggs))
+        pp input
+  | Union_all { name; inputs } ->
+      Format.fprintf fmt "UnionAll %s (%s)" name
+        (String.concat " + "
+           (List.map (fun i -> Format.asprintf "%a" pp i) inputs))
+  | Semi { name; left; right; _ } ->
+      Format.fprintf fmt "Semi %s (%a EXISTS %a)" name pp left pp right
+  | Anti { name; left; right; _ } ->
+      Format.fprintf fmt "Anti %s (%a NOT EXISTS %a)" name pp left pp right
+  | Let { bindings; body } ->
+      Format.fprintf fmt "Let [%s] in %a"
+        (String.concat "; " (List.map (fun b -> Format.asprintf "%a" pp b) bindings))
+        pp body

@@ -1,0 +1,60 @@
+(** Logical query trees, including the non-SPJ operators of §3.3.
+
+    The SPJ core of a query is a {!Qs_query.Query.t}; non-SPJ operators
+    (aggregation, UNION ALL, semi/anti join) segment the tree. QuerySplit
+    and the baselines run on each SPJ segment; a non-SPJ operator's output
+    is materialized and then referenced by its parent segment as if it were
+    a base relation (its name appears as the [table] of a relation in the
+    parent query, resolved against the driver's temp registry rather than
+    the catalog). *)
+
+module Expr = Qs_query.Expr
+module Query = Qs_query.Query
+
+type agg_fn = Count_star | Count | Sum | Min | Max | Avg
+
+type agg = {
+  fn : agg_fn;
+  arg : Expr.scalar option;  (** None only for [Count_star] *)
+  label : string;  (** output column name *)
+}
+
+type t =
+  | Spj of Query.t
+  | Agg of {
+      name : string;  (** the pseudo-relation name of the output *)
+      group_by : Expr.colref list;
+      aggs : agg list;
+      input : t;
+    }
+  | Union_all of { name : string; inputs : t list }
+  | Semi of semi
+  | Anti of semi
+      (** EXISTS / NOT EXISTS: rows of [left] with (no) match in [right]. *)
+  | Let of { bindings : t list; body : t }
+      (** Evaluate each binding, expose its output under its {!name} as a
+          pseudo base relation, then evaluate [body] — the plan-tree
+          segmentation of Figure 7. *)
+
+and semi = {
+  name : string;
+  left : t;
+  right : t;
+  on : Expr.pred list;  (** predicates between left and right aliases *)
+}
+
+val name : t -> string
+(** The relation name under which the node's output is visible. For [Spj]
+    it is the query name. *)
+
+val is_spj : t -> bool
+
+val children : t -> t list
+
+val spj_count : t -> int
+(** Number of SPJ segments in the tree. *)
+
+val group_label : Expr.colref -> string
+(** Output column name for a group-by key: ["rel_name"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Cost-based plan enumeration: dynamic programming over connected input
+    subsets (DPsize/DPsub style), PostgreSQL-flavoured access-path and
+    join-method selection.
+
+    The estimator is a parameter — feeding {!Qs_stats.Estimator.default}
+    gives the "Default" optimizer of the paper, the oracle gives "Optimal",
+    and the noisy / learned / pessimistic variants give the corresponding
+    baselines. Index nested-loop joins are only considered when the inner
+    side is a single *base* input whose join column has a B+Tree in the
+    catalog's current index configuration — materialized temporaries have
+    no indexes, which is exactly the unrecoverable-hash-join effect of the
+    paper's Figure 2. *)
+
+module Catalog = Qs_storage.Catalog
+module Fragment = Qs_stats.Fragment
+module Estimator = Qs_stats.Estimator
+
+type result = {
+  plan : Physical.t;
+  est_rows : float;
+  est_cost : float;
+}
+
+val optimize : ?allowed:Physical.join_method list -> Catalog.t -> Estimator.t ->
+  Fragment.t -> result
+(** Raises [Invalid_argument] on an empty fragment. [allowed] restricts
+    the join methods considered (default: all three) — the USE baseline
+    plans with hash joins only. Fragments with more
+    than [dp_input_limit] inputs are planned greedily (cheapest-pair
+    agglomeration) instead of by exact DP. Disconnected fragments get
+    Cartesian (nested-loop) joins between their components, planned last. *)
+
+val dp_input_limit : int
+
+val cost_plan : Catalog.t -> Estimator.t -> Fragment.t -> Physical.t -> float
+(** Re-derive the cumulative cost of a *fixed* plan shape under a
+    different estimator (used by the FS robust-plan baseline: candidate
+    plans are costed under perturbed cardinalities). *)
+
+val estimate_subset : Estimator.t -> Fragment.t -> Fragment.input list -> float
+(** The estimator's row count for a sub-join of the fragment. *)

@@ -1,0 +1,71 @@
+(* A join subtree is canonicalized as its sorted alias set; two plans share
+   a subtree when some join node of each covers the same alias set *and*
+   all of that node's internal join structure matches recursively. For the
+   similarity score, matching alias sets at every level is equivalent to
+   matching structure, because a join node's children partition its alias
+   set: if both plans contain nodes for set S and the partition of S
+   differs, the sub-partitions themselves are non-common sets — so taking
+   the largest common *hereditarily common* set is captured by requiring
+   that every descendant join set of the candidate node in plan A is also a
+   join set in plan B and vice versa. *)
+
+let join_sets plan =
+  Physical.join_leaf_sets plan |> List.map (fun s -> String.concat "," s)
+
+let rec subtree_sets (p : Physical.t) =
+  match p.Physical.node with
+  | Physical.Scan _ -> []
+  | Physical.Join j ->
+      (String.concat "," (List.sort compare p.Physical.rels), p)
+      :: (subtree_sets j.Physical.left @ subtree_sets j.Physical.right)
+
+let rec hereditarily_common (p : Physical.t) other_sets =
+  match p.Physical.node with
+  | Physical.Scan _ -> true
+  | Physical.Join j ->
+      List.mem (String.concat "," (List.sort compare p.Physical.rels)) other_sets
+      && hereditarily_common j.Physical.left other_sets
+      && hereditarily_common j.Physical.right other_sets
+
+let first_joins (p : Physical.t) =
+  List.filter
+    (fun n ->
+      match n.Physical.node with
+      | Physical.Join
+          { left = { node = Physical.Scan _; _ }; right = { node = Physical.Scan _; _ }; _ }
+        ->
+          true
+      | _ -> false)
+    (Physical.joins_post_order p)
+
+let score a b =
+  let sets_b = join_sets b in
+  let common_leaf_counts =
+    subtree_sets a
+    |> List.filter_map (fun (set, node) ->
+           if List.mem set sets_b && hereditarily_common node sets_b then
+             Some (List.length node.Physical.rels)
+           else None)
+  in
+  match common_leaf_counts with
+  | _ :: _ -> List.fold_left max 0 common_leaf_counts
+  | [] ->
+      (* No common join subtree: 1 if some pair of first joins shares a
+         scanned relation, 0 otherwise. *)
+      let fa = first_joins a and fb = first_joins b in
+      let shares =
+        List.exists
+          (fun na ->
+            List.exists
+              (fun nb ->
+                List.exists (fun r -> List.mem r nb.Physical.rels) na.Physical.rels)
+              fb)
+          fa
+      in
+      if shares then 1 else 0
+
+let bucket = function
+  | 0 -> "0"
+  | 1 -> "1"
+  | 2 -> "2"
+  | _ -> ">2"

@@ -1,0 +1,16 @@
+(** Plan-similarity score (Table 1 of the paper).
+
+    The score of two plans is the number of leaf relations in their largest
+    common subtree, where a subtree is identified by the *set* of relations
+    a join node covers (build/probe roles are ignored — swapping hash-join
+    sides does not change what has been joined):
+
+    - 0: the first joins of the plans share no relation at all;
+    - 1: the first joins share exactly one scanned relation;
+    - 2: the plans agree on the first join but diverge right after;
+    - k > 2: a k-leaf join subtree is common to both plans. *)
+
+val score : Physical.t -> Physical.t -> int
+
+val bucket : int -> string
+(** "0" | "1" | "2" | ">2" — the Table 1 buckets. *)

@@ -1,0 +1,166 @@
+module Catalog = Qs_storage.Catalog
+
+type kind = Directed | Bidirectional
+
+type edge = {
+  src : string;
+  dst : string;
+  kind : kind;
+  pred : Expr.pred;
+}
+
+type t = {
+  query : Query.t;
+  vertices : string list;
+  edges : edge list;
+  dropped : Expr.pred list;
+}
+
+let orient cat query (a : Expr.colref) (b : Expr.colref) =
+  let ta = Query.table_of_alias query a.rel and tb = Query.table_of_alias query b.rel in
+  let is_fk ~from_table ~from_column ~to_table ~to_column =
+    List.exists
+      (fun (fk : Catalog.fk) ->
+        fk.from_table = from_table && fk.from_column = from_column
+        && fk.to_table = to_table && fk.to_column = to_column)
+      (Catalog.fks cat)
+  in
+  if is_fk ~from_table:ta ~from_column:a.name ~to_table:tb ~to_column:b.name then
+    `Directed (a.rel, b.rel)
+  else if is_fk ~from_table:tb ~from_column:b.name ~to_table:ta ~to_column:a.name then
+    `Directed (b.rel, a.rel)
+  else `Bidirectional (a.rel, b.rel)
+
+(* Remove predicates made redundant by equality transitivity: inside each
+   column-equivalence class, keep only a spanning forest of the class's join
+   predicates, keeping directed (PK–FK) edges in preference to bidirectional
+   ones (§4.1). Non-equality join predicates are never redundant here. *)
+let remove_redundant edges =
+  let module UF = struct
+    let parent : (Expr.colref, Expr.colref) Hashtbl.t = Hashtbl.create 16
+
+    let rec find c =
+      match Hashtbl.find_opt parent c with
+      | None -> c
+      | Some p when p = c -> c
+      | Some p ->
+          let root = find p in
+          Hashtbl.replace parent c root;
+          root
+
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then (
+        Hashtbl.replace parent ra rb;
+        true)
+      else false
+  end in
+  let eq_edges, other_edges =
+    List.partition (fun e -> Expr.join_sides e.pred <> None) edges
+  in
+  (* Directed first so they win the spanning forest. *)
+  let ordered =
+    List.stable_sort
+      (fun a b ->
+        match (a.kind, b.kind) with
+        | Directed, Bidirectional -> -1
+        | Bidirectional, Directed -> 1
+        | _ -> 0)
+      eq_edges
+  in
+  let kept, dropped =
+    List.fold_left
+      (fun (kept, dropped) e ->
+        match Expr.join_sides e.pred with
+        | Some (a, b) ->
+            if UF.union a b then (e :: kept, dropped) else (kept, e.pred :: dropped)
+        | None -> assert false)
+      ([], []) ordered
+  in
+  (List.rev kept @ other_edges, List.rev dropped)
+
+let build cat query =
+  let vertices = Query.aliases query in
+  let edges =
+    List.filter_map
+      (fun p ->
+        match Expr.rels_of_pred p with
+        | [ _; _ ] -> (
+            match Expr.join_sides p with
+            | Some (a, b) -> (
+                match orient cat query a b with
+                | `Directed (src, dst) -> Some { src; dst; kind = Directed; pred = p }
+                | `Bidirectional (src, dst) ->
+                    Some { src; dst; kind = Bidirectional; pred = p })
+            | None ->
+                (* non-equality join predicate: undirected, never redundant *)
+                let rels = Expr.rels_of_pred p in
+                Some
+                  {
+                    src = List.nth rels 0;
+                    dst = List.nth rels 1;
+                    kind = Bidirectional;
+                    pred = p;
+                  })
+        | _ -> None)
+      query.Query.preds
+  in
+  let edges, dropped = remove_redundant edges in
+  { query; vertices; edges; dropped }
+
+let reverse t =
+  {
+    t with
+    edges =
+      List.map
+        (fun e ->
+          match e.kind with
+          | Directed -> { e with src = e.dst; dst = e.src }
+          | Bidirectional -> e)
+        t.edges;
+  }
+
+let dedup xs =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs |> List.rev
+
+let out_neighbors t v =
+  List.filter_map
+    (fun e ->
+      if e.src = v then Some e.dst
+      else if e.kind = Bidirectional && e.dst = v then Some e.src
+      else None)
+    t.edges
+  |> dedup
+
+let has_outgoing t v = out_neighbors t v <> []
+
+let neighbors t v =
+  List.filter_map
+    (fun e ->
+      if e.src = v then Some e.dst else if e.dst = v then Some e.src else None)
+    t.edges
+  |> dedup
+
+let is_connected t =
+  match t.vertices with
+  | [] -> true
+  | first :: _ ->
+      let visited = Hashtbl.create 16 in
+      let rec dfs v =
+        if not (Hashtbl.mem visited v) then (
+          Hashtbl.replace visited v ();
+          List.iter dfs (neighbors t v))
+      in
+      dfs first;
+      List.for_all (Hashtbl.mem visited) t.vertices
+
+let pp fmt t =
+  Format.fprintf fmt "join graph over {%s}@." (String.concat ", " t.vertices);
+  List.iter
+    (fun e ->
+      let arrow = match e.kind with Directed -> "->" | Bidirectional -> "<->" in
+      Format.fprintf fmt "  %s %s %s  (%s)@." e.src arrow e.dst (Expr.to_string e.pred))
+    t.edges;
+  if t.dropped <> [] then
+    Format.fprintf fmt "  dropped: %s@."
+      (String.concat "; " (List.map Expr.to_string t.dropped))

@@ -1,0 +1,50 @@
+(** The directed join graph of §4.1.
+
+    Vertices are the query's relation aliases; each equality join predicate
+    becomes an edge. An edge points from the FK side (R-relation,
+    "relationship") to the PK side (E-relation, "entity"); a join between
+    two relations of the same kind is bidirectional. Redundant predicates —
+    those implied by equality transitivity, i.e. forming cycles inside one
+    column-equivalence class — are removed, preferentially dropping
+    bidirectional edges (keeping the non-expanding PK–FK joins). *)
+
+module Catalog = Qs_storage.Catalog
+
+type kind = Directed | Bidirectional
+
+type edge = {
+  src : string;  (** for [Directed], the FK / relationship side *)
+  dst : string;
+  kind : kind;
+  pred : Expr.pred;
+}
+
+type t = private {
+  query : Query.t;
+  vertices : string list;
+  edges : edge list;  (** retained after redundancy removal *)
+  dropped : Expr.pred list;  (** removed redundant join predicates *)
+}
+
+val build : Catalog.t -> Query.t -> t
+(** Orientation comes from the catalog's FK constraints: predicate
+    [a.x = b.y] is directed a→b when table(a).x is declared as a foreign
+    key referencing table(b).y; b→a in the reverse case; bidirectional
+    otherwise. *)
+
+val reverse : t -> t
+(** Flips every directed edge (the ECenter / PK-Center dual of §4.1). *)
+
+val out_neighbors : t -> string -> string list
+(** Distinct targets reachable over outgoing edges; bidirectional edges
+    count as outgoing from both ends. *)
+
+val has_outgoing : t -> string -> bool
+
+val neighbors : t -> string -> string list
+(** Targets ignoring direction. *)
+
+val is_connected : t -> bool
+(** Whether the retained edges connect all vertices (ignoring direction). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,164 @@
+module Catalog = Qs_storage.Catalog
+module Schema = Qs_storage.Schema
+
+type rel = { alias : string; table : string }
+
+type t = {
+  name : string;
+  rels : rel list;
+  preds : Expr.pred list;
+  output : Expr.colref list;
+}
+
+let make ?(name = "q") ?(output = []) rels preds =
+  let aliases = List.map (fun r -> r.alias) rels in
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  (match dup aliases with
+  | Some a -> invalid_arg ("Query.make: duplicate alias " ^ a)
+  | None -> ());
+  let check_ref ctx (c : Expr.colref) =
+    if not (List.mem c.rel aliases) then
+      invalid_arg (Printf.sprintf "Query.make: %s references unknown alias %s" ctx c.rel)
+  in
+  List.iter (fun p -> List.iter (check_ref (Expr.to_string p)) (Expr.cols_of_pred p)) preds;
+  List.iter (check_ref "output") output;
+  { name; rels; preds; output }
+
+let validate cat t =
+  let check_col (c : Expr.colref) table =
+    let tbl = Catalog.table cat table in
+    if Schema.find_by_name tbl.schema c.name = None then
+      Error (Printf.sprintf "column %s.%s not in table %s" c.rel c.name table)
+    else Ok ()
+  in
+  let table_of alias = (List.find (fun r -> r.alias = alias) t.rels).table in
+  let all_refs =
+    List.concat_map Expr.cols_of_pred t.preds @ t.output
+  in
+  List.fold_left
+    (fun acc (c : Expr.colref) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () -> (
+          match List.find_opt (fun r -> r.alias = c.rel) t.rels with
+          | None -> Error ("unknown alias " ^ c.rel)
+          | Some _ ->
+              if not (Catalog.mem_table cat (table_of c.rel)) then
+                Error ("unknown table " ^ table_of c.rel)
+              else check_col c (table_of c.rel)))
+    (Ok ())
+    all_refs
+  |> fun res ->
+  match res with
+  | Error _ as e -> e
+  | Ok () ->
+      List.fold_left
+        (fun acc r ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () ->
+              if Catalog.mem_table cat r.table then Ok ()
+              else Error ("unknown table " ^ r.table))
+        (Ok ()) t.rels
+
+let aliases t = List.map (fun r -> r.alias) t.rels
+
+let table_of_alias t alias =
+  match List.find_opt (fun r -> r.alias = alias) t.rels with
+  | Some r -> r.table
+  | None -> invalid_arg ("Query.table_of_alias: unknown alias " ^ alias)
+
+let filters t alias =
+  List.filter (fun p -> Expr.rels_of_pred p = [ alias ]) t.preds
+
+let join_preds t = List.filter (fun p -> List.length (Expr.rels_of_pred p) >= 2) t.preds
+
+let pred_mem p ps = List.exists (Expr.equal_pred p) ps
+
+let is_subquery sub ~of_ =
+  List.for_all (fun r -> List.mem r of_.rels) sub.rels
+  && List.for_all (fun p -> pred_mem p of_.preds) sub.preds
+
+let restrict ?name t keep =
+  let rels = List.filter (fun r -> List.mem r.alias keep) t.rels in
+  let preds =
+    List.filter
+      (fun p -> List.for_all (fun a -> List.mem a keep) (Expr.rels_of_pred p))
+      t.preds
+  in
+  let output = List.filter (fun (c : Expr.colref) -> List.mem c.rel keep) t.output in
+  let name = Option.value name ~default:t.name in
+  make ~name ~output rels preds
+
+(* Union-find over column references for equality transitivity. *)
+let equiv_classes preds =
+  let parent : (Expr.colref, Expr.colref) Hashtbl.t = Hashtbl.create 16 in
+  let rec find c =
+    match Hashtbl.find_opt parent c with
+    | None -> c
+    | Some p when p = c -> c
+    | Some p ->
+        let root = find p in
+        Hashtbl.replace parent c root;
+        root
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  let members = Hashtbl.create 16 in
+  let note c = if not (Hashtbl.mem members c) then Hashtbl.replace members c () in
+  List.iter
+    (fun p ->
+      match Expr.join_sides p with
+      | Some (a, b) ->
+          note a;
+          note b;
+          union a b
+      | None -> ())
+    preds;
+  let classes = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun c () ->
+      let root = find c in
+      let cur = Option.value (Hashtbl.find_opt classes root) ~default:[] in
+      Hashtbl.replace classes root (c :: cur))
+    members;
+  Hashtbl.fold (fun _ cls acc -> cls :: acc) classes []
+
+let implies ps p =
+  pred_mem p ps
+  ||
+  match Expr.join_sides p with
+  | None -> false
+  | Some (a, b) ->
+      List.exists (fun cls -> List.mem a cls && List.mem b cls) (equiv_classes ps)
+
+let covers subs q =
+  let union_rels = List.concat_map (fun s -> s.rels) subs in
+  let union_preds = List.concat_map (fun s -> s.preds) subs in
+  List.for_all (fun r -> List.mem r union_rels) q.rels
+  && List.for_all (fun s -> is_subquery s ~of_:q) subs
+  && List.for_all (fun p -> implies union_preds p) q.preds
+
+let to_sql t =
+  let out =
+    match t.output with
+    | [] -> "*"
+    | cols -> String.concat ", " (List.map (fun (c : Expr.colref) -> c.rel ^ "." ^ c.name) cols)
+  in
+  let from =
+    String.concat ", "
+      (List.map (fun r -> Printf.sprintf "%s AS %s" r.table r.alias) t.rels)
+  in
+  let where =
+    match t.preds with
+    | [] -> ""
+    | ps -> "\nWHERE " ^ String.concat "\n  AND " (List.map Expr.to_string ps)
+  in
+  Printf.sprintf "SELECT %s\nFROM %s%s;" out from where
+
+let pp fmt t = Format.fprintf fmt "%s: %s" t.name (to_sql t)

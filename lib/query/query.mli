@@ -1,0 +1,62 @@
+(** SPJ queries in the paper's normal form q(R, P) (§3.2).
+
+    A query is a set of base-relation instances (alias → table) and a set of
+    conjunct predicates over the aliases, plus an output projection. The
+    cover relation of Definition 1 — the correctness condition for any
+    Query Splitting Algorithm — is implemented here. *)
+
+module Catalog = Qs_storage.Catalog
+
+type rel = { alias : string; table : string }
+
+type t = private {
+  name : string;  (** display identifier, e.g. "job_17b" *)
+  rels : rel list;
+  preds : Expr.pred list;
+  output : Expr.colref list;  (** empty means "all columns" *)
+}
+
+val make : ?name:string -> ?output:Expr.colref list -> rel list -> Expr.pred list -> t
+(** Raises [Invalid_argument] on duplicate aliases, or predicates/outputs
+    referencing an alias that is not in the relation list. *)
+
+val validate : Catalog.t -> t -> (unit, string) result
+(** Checks every table exists and every referenced column exists in the
+    aliased table's schema. *)
+
+val aliases : t -> string list
+
+val table_of_alias : t -> string -> string
+(** Raises [Invalid_argument] for an unknown alias. *)
+
+val filters : t -> string -> Expr.pred list
+(** Single-relation predicates on the given alias. *)
+
+val join_preds : t -> Expr.pred list
+(** Predicates touching two or more aliases. *)
+
+val is_subquery : t -> of_:t -> bool
+(** R' ⊆ R and P' ⊆ P (predicates modulo symmetric equality). *)
+
+val restrict : ?name:string -> t -> string list -> t
+(** [restrict q aliases] is the subquery of [q] induced by the alias set:
+    those relations plus every predicate fully contained in the set. *)
+
+val equiv_classes : Expr.pred list -> Expr.colref list list
+(** Equivalence classes of column references under the equality join
+    predicates (transitivity), used both by cover-checking and by the join
+    graph's redundant-edge removal. *)
+
+val implies : Expr.pred list -> Expr.pred -> bool
+(** [implies ps p]: [p] is a member of [ps] (modulo symmetric equality) or
+    is a column equality that follows from the equality classes of [ps]. *)
+
+val covers : t list -> t -> bool
+(** Definition 1: the subquery set covers the query — every relation
+    appears, and the union of predicates logically implies every original
+    predicate. *)
+
+val to_sql : t -> string
+(** SQL-ish rendering for demos and docs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** A SQL front-end for the SPJ fragment this engine optimizes.
+
+    Parses the dialect the Join Order Benchmark queries are written in:
+
+    {v
+    SELECT t.title, n.name
+    FROM title AS t, cast_info AS ci, name AS n
+    WHERE ci.movie_id = t.id
+      AND ci.person_id = n.id
+      AND t.production_year BETWEEN 1990 AND 2005
+      AND n.name LIKE 'smith%'
+      AND n.gender IS NOT NULL
+      AND (t.kind_id = 1 OR t.kind_id = 2);
+    v}
+
+    Supported: comma-separated FROM with mandatory aliases ([AS] optional),
+    [*] or qualified column projections, conjunctions of comparisons
+    (=, <>, !=, <, <=, >, >=), [BETWEEN … AND …], [IN (…)], [LIKE],
+    [NOT LIKE], [IS NULL / IS NOT NULL], parenthesised [OR] groups, and
+    integer / float / single-quoted string literals. Keywords are
+    case-insensitive. A trailing semicolon is optional.
+
+    Not supported (by design — the engine's optimizer input is SPJ):
+    subqueries, GROUP BY / aggregates (build a {!Qs_plan.Logical} tree for
+    those), explicit JOIN syntax, arithmetic in predicates. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message pointing at the offending
+    token. *)
+
+val parse : ?name:string -> string -> Query.t
+(** [parse sql] builds the query; raises {!Parse_error} on malformed
+    input and [Invalid_argument] if the query references an alias it does
+    not declare. *)
+
+val parse_result : ?name:string -> string -> (Query.t, string) result
+(** Exception-free variant. *)

@@ -1,0 +1,48 @@
+module Table = Qs_storage.Table
+
+let default_sample = 8192
+
+(* Evenly-strided row sample; deterministic so stats are reproducible. *)
+let sample_rows (tbl : Table.t) sample =
+  let n = Table.n_rows tbl in
+  if n <= sample then tbl.Table.rows
+  else
+    let stride = float_of_int n /. float_of_int sample in
+    Array.init sample (fun i -> tbl.Table.rows.(int_of_float (float_of_int i *. stride)))
+
+(* Scale a sampled distinct count up to the full table: values seen once in
+   a small sample suggest many unseen distincts (a crude stand-in for the
+   Haas–Stokes estimator PostgreSQL uses). *)
+let extrapolate_distinct ~sampled ~sample_n ~total_n d =
+  if sampled >= total_n || sample_n = 0 then d
+  else begin
+    let ratio = float_of_int d /. float_of_int sample_n in
+    if ratio > 0.5 then
+      (* nearly-unique column: assume proportionality *)
+      int_of_float (ratio *. float_of_int total_n)
+    else d
+  end
+
+let of_table ?n_mcv ?n_buckets ?(sample = default_sample) (tbl : Table.t) =
+  let total_n = Table.n_rows tbl in
+  let rows = sample_rows tbl sample in
+  let sample_n = Array.length rows in
+  let cols =
+    Array.to_list tbl.schema
+    |> List.mapi (fun i col ->
+           let values = Array.map (fun r -> r.(i)) rows in
+           let cs = Column_stats.of_values ?n_mcv ?n_buckets values in
+           let cs =
+             {
+               cs with
+               Column_stats.n_values = total_n;
+               n_distinct =
+                 extrapolate_distinct ~sampled:sample_n ~sample_n ~total_n
+                   cs.Column_stats.n_distinct;
+             }
+           in
+           (col, cs))
+  in
+  Table_stats.make ~n_rows:total_n cols
+
+let rowcount_of_table tbl = Table_stats.rowcount_only (Table.n_rows tbl)

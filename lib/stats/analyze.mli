@@ -1,0 +1,15 @@
+(** ANALYZE: compute table statistics by scanning a table, as PostgreSQL's
+    statistics collector does for the materialized temporaries (§5). *)
+
+val default_sample : int
+(** Rows sampled per ANALYZE (PostgreSQL samples too; 300×statistics
+    target there). *)
+
+val of_table : ?n_mcv:int -> ?n_buckets:int -> ?sample:int -> Qs_storage.Table.t ->
+  Table_stats.t
+(** Statistics for every column, computed over an evenly-strided sample of
+    at most [sample] rows (default {!default_sample}); the distinct count
+    is extrapolated when the sample saturates. *)
+
+val rowcount_of_table : Qs_storage.Table.t -> Table_stats.t
+(** The §6.4 "statistics collector disabled" variant. *)

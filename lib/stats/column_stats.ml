@@ -1,0 +1,75 @@
+module Value = Qs_storage.Value
+
+type t = {
+  n_values : int;
+  null_frac : float;
+  n_distinct : int;
+  min_v : Value.t option;
+  max_v : Value.t option;
+  mcvs : (Value.t * float) list;
+  hist : Histogram.t option;
+}
+
+let of_values ?(n_mcv = 10) ?(n_buckets = 64) values =
+  let n = Array.length values in
+  let non_null = Array.of_seq (Seq.filter (fun v -> not (Value.is_null v)) (Array.to_seq values)) in
+  let nn = Array.length non_null in
+  let null_frac = if n = 0 then 0.0 else float_of_int (n - nn) /. float_of_int n in
+  if nn = 0 then
+    {
+      n_values = n;
+      null_frac;
+      n_distinct = 0;
+      min_v = None;
+      max_v = None;
+      mcvs = [];
+      hist = None;
+    }
+  else begin
+    let counts = Hashtbl.create (min nn 1024) in
+    Array.iter
+      (fun v ->
+        Hashtbl.replace counts v (1 + Option.value (Hashtbl.find_opt counts v) ~default:0))
+      non_null;
+    let n_distinct = Hashtbl.length counts in
+    let sorted = Array.copy non_null in
+    Array.sort Value.compare sorted;
+    let by_freq =
+      Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    (* Only record MCVs that are genuinely more common than average; a
+       uniform column keeps an empty MCV list, as in PostgreSQL. *)
+    let avg = float_of_int nn /. float_of_int n_distinct in
+    let mcvs =
+      by_freq
+      |> List.filteri (fun i _ -> i < n_mcv)
+      |> List.filter (fun (_, c) -> float_of_int c > avg *. 1.25 || n_distinct <= n_mcv)
+      |> List.map (fun (v, c) -> (v, float_of_int c /. float_of_int nn))
+    in
+    {
+      n_values = n;
+      null_frac;
+      n_distinct;
+      min_v = Some sorted.(0);
+      max_v = Some sorted.(nn - 1);
+      mcvs;
+      hist = Histogram.build non_null ~n_buckets;
+    }
+  end
+
+let mcv_total t = List.fold_left (fun a (_, f) -> a +. f) 0.0 t.mcvs
+
+let mcv_freq t v = List.assoc_opt v (List.map (fun (k, f) -> (k, f)) t.mcvs)
+
+let max_freq t =
+  match t.mcvs with
+  | (_, f) :: _ -> f
+  | [] -> if t.n_distinct = 0 then 1.0 else 1.0 /. float_of_int t.n_distinct
+
+let byte_size_hint t =
+  64
+  + List.fold_left (fun a (v, _) -> a + Value.byte_size v + 8) 0 t.mcvs
+  + match t.hist with
+    | None -> 0
+    | Some h -> Array.fold_left (fun a v -> a + Value.byte_size v) 0 (Histogram.bounds h)

@@ -1,0 +1,242 @@
+module Expr = Qs_query.Expr
+
+module Value = Qs_storage.Value
+module Rng = Qs_util.Rng
+
+type t = { name : string; card : Fragment.t -> float }
+
+type exec_fn = Fragment.t -> int
+
+(* ------------------------------------------------------------------ *)
+(* Default: PostgreSQL-style                                           *)
+(* ------------------------------------------------------------------ *)
+
+let input_stats_of (i : Fragment.input) (c : Expr.colref) =
+  Table_stats.find i.stats ~rel:c.rel ~name:c.name
+
+let filtered_rows (i : Fragment.input) =
+  match Hashtbl.find_opt i.Fragment.memo "frows" with
+  | Some v -> v
+  | None ->
+      let n = float_of_int (Table_stats.n_rows i.stats) in
+      let v =
+        if n = 0.0 then 0.0
+        else
+          let sel = Selectivity.conj ~stats_of:(input_stats_of i) i.filters in
+          Float.max 1.0 (n *. sel)
+      in
+      Hashtbl.replace i.Fragment.memo "frows" v;
+      v
+
+(* Effective distinct count of a join column: the analyzed ndv, clamped by
+   the post-filter row estimate; DEFAULT_NUM_DISTINCT when unknown. *)
+let effective_ndv frag (c : Expr.colref) =
+  let input = Fragment.input_of_alias frag c.rel in
+  let key = "ndv:" ^ c.rel ^ "." ^ c.name in
+  match Hashtbl.find_opt input.Fragment.memo key with
+  | Some v -> v
+  | None ->
+      let rows =
+        match Fragment.rows_of frag c with Some r -> float_of_int r | None -> 1.0
+      in
+      let frows = filtered_rows input in
+      let v =
+        match Fragment.stats_of frag c with
+        | Some cs when cs.Column_stats.n_distinct > 0 ->
+            Float.max 1.0
+              (Float.min (float_of_int cs.Column_stats.n_distinct) (Float.max frows 1.0))
+        | _ -> Float.max 1.0 (Float.min (float_of_int Selectivity.default_num_distinct) rows)
+      in
+      Hashtbl.replace input.Fragment.memo key v;
+      v
+
+let null_free_frac frag (c : Expr.colref) =
+  match Fragment.stats_of frag c with
+  | Some cs -> 1.0 -. cs.Column_stats.null_frac
+  | None -> 1.0
+
+let join_pred_selectivity frag p =
+  match Expr.join_sides p with
+  | Some (a, b) ->
+      let ndv = Float.max (effective_ndv frag a) (effective_ndv frag b) in
+      null_free_frac frag a *. null_free_frac frag b /. ndv
+  | None -> (
+      (* non-equality cross-input predicate *)
+      match p with
+      | Expr.Cmp (Expr.Eq, _, _) -> Selectivity.default_eq_sel
+      | _ -> Selectivity.default_range_sel)
+
+let default_card (frag : Fragment.t) =
+  let base =
+    List.fold_left (fun acc i -> acc *. filtered_rows i) 1.0 frag.inputs
+  in
+  let sel =
+    List.fold_left (fun acc p -> acc *. join_pred_selectivity frag p) 1.0 frag.preds
+  in
+  let any_empty = List.exists (fun i -> Table_stats.n_rows i.Fragment.stats = 0) frag.inputs in
+  if any_empty then 0.0 else Float.max 1.0 (base *. sel)
+
+let default = { name = "default"; card = default_card }
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: true cardinalities by (memoized) execution                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Each estimator instance memoizes on the fragment's logical key. Callers
+   that want sharing across instances (the benchmark runner does) pass an
+   [exec] that is itself memoized — see Runner.make_env. *)
+let memoized_card ~exec =
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  fun frag ->
+    let k = Fragment.key frag in
+    match Hashtbl.find_opt memo k with
+    | Some c -> c
+    | None ->
+        let c = exec frag in
+        Hashtbl.replace memo k c;
+        c
+
+let oracle ~exec =
+  let true_card = memoized_card ~exec in
+  { name = "oracle"; card = (fun frag -> float_of_int (true_card frag)) }
+
+(* ------------------------------------------------------------------ *)
+(* Noise injection (Fig. 10): err = 2^N(mu, sigma^2) * true            *)
+(* ------------------------------------------------------------------ *)
+
+let deterministic_gauss ~seed ~key ~mu ~sigma =
+  let rng = Rng.create (seed lxor Hashtbl.hash key) in
+  Rng.gaussian rng ~mu ~sigma
+
+let noisy ~seed ~mu ~sigma ~exec =
+  let true_card = memoized_card ~exec in
+  let card frag =
+    let true_c = float_of_int (true_card frag) in
+    let n = deterministic_gauss ~seed ~key:(Fragment.key frag) ~mu ~sigma in
+    Float.max 1.0 (Float.pow 2.0 n *. Float.max 1.0 true_c)
+  in
+  { name = Printf.sprintf "noisy(mu=%g,sigma=%g)" mu sigma; card }
+
+(* ------------------------------------------------------------------ *)
+(* Pessimistic upper bounds (Cai et al. [7], simulated)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Maximum number of rows of [input] sharing one value of column [c]. The
+   raw (unfiltered) row count keeps this a true upper bound: a filter can
+   only shrink the largest group. *)
+let max_matches frag (c : Expr.colref) =
+  let input = Fragment.input_of_alias frag c.rel in
+  let raw = float_of_int (Table_stats.n_rows input.Fragment.stats) in
+  match Fragment.stats_of frag c with
+  | Some cs -> Float.max 1.0 (Column_stats.max_freq cs *. raw)
+  | None -> Float.max 1.0 (sqrt raw)
+
+let pessimistic_card (frag : Fragment.t) =
+  (* Greedy bound per connected component: grow from the smallest input;
+     each extension multiplies by the joined column's max frequency. *)
+  let bound_component (inputs : Fragment.input list) =
+    match inputs with
+    | [] -> 1.0
+    | _ ->
+        let sub = Fragment.restrict frag inputs in
+        let remaining = ref (List.sort (fun a b -> compare (filtered_rows a) (filtered_rows b)) inputs) in
+        let first = List.hd !remaining in
+        remaining := List.tl !remaining;
+        let in_set = ref [ first ] in
+        let bound = ref (filtered_rows first) in
+        let connecting i =
+          List.filter
+            (fun p ->
+              let rels = Expr.rels_of_pred p in
+              List.exists (fun a -> List.mem a i.Fragment.provides) rels
+              && List.exists
+                   (fun a ->
+                     List.exists (fun j -> List.mem a j.Fragment.provides) !in_set)
+                   rels)
+            sub.preds
+        in
+        while !remaining <> [] do
+          (* prefer a connected input; otherwise a cartesian extension *)
+          let next =
+            match List.find_opt (fun i -> connecting i <> []) !remaining with
+            | Some i -> i
+            | None -> List.hd !remaining
+          in
+          remaining := List.filter (fun i -> i.Fragment.id <> next.Fragment.id) !remaining;
+          let growth =
+            match connecting next with
+            | [] -> filtered_rows next
+            | preds ->
+                List.fold_left
+                  (fun acc p ->
+                    match Expr.join_sides p with
+                    | Some (a, b) ->
+                        let c =
+                          if List.mem a.Expr.rel next.Fragment.provides then a else b
+                        in
+                        Float.min acc (max_matches frag c)
+                    | None -> acc)
+                  (filtered_rows next) preds
+          in
+          in_set := next :: !in_set;
+          bound := !bound *. growth
+        done;
+        !bound
+  in
+  List.fold_left
+    (fun acc comp -> acc *. bound_component comp)
+    1.0
+    (Fragment.connected_components frag)
+
+let pessimistic = { name = "pessimistic"; card = pessimistic_card }
+
+(* ------------------------------------------------------------------ *)
+(* Learned estimator simulators                                        *)
+(* ------------------------------------------------------------------ *)
+
+type learned_kind = Neurocard | Deepdb | Mscn
+
+let kind_name = function
+  | Neurocard -> "neurocard"
+  | Deepdb -> "deepdb"
+  | Mscn -> "mscn"
+
+let kind_sigma = function Neurocard -> 0.3 | Deepdb -> 0.4 | Mscn -> 0.8
+
+let rec pred_has_string = function
+  | Expr.Like _ -> true
+  | Expr.Cmp (_, a, b) -> scalar_has_string a || scalar_has_string b
+  | Expr.Between (s, lo, hi) ->
+      scalar_has_string s || is_str lo || is_str hi
+  | Expr.In_list (s, vs) -> scalar_has_string s || List.exists is_str vs
+  | Expr.Is_null s | Expr.Not_null s -> scalar_has_string s
+  | Expr.Or ps -> List.exists pred_has_string ps
+
+and scalar_has_string = function
+  | Expr.Const v -> is_str v
+  | Expr.Col _ -> false
+  | Expr.Arith (_, a, b) -> scalar_has_string a || scalar_has_string b
+
+and is_str = function Value.Str _ -> true | _ -> false
+
+let supports_learned kind (frag : Fragment.t) =
+  let filter_preds = List.concat_map (fun i -> i.Fragment.filters) frag.inputs in
+  let no_strings = not (List.exists pred_has_string (filter_preds @ frag.preds)) in
+  match kind with
+  | Neurocard | Deepdb -> no_strings
+  | Mscn -> no_strings && List.length frag.inputs <= 5
+
+let learned kind ~seed ~exec =
+  let sigma = kind_sigma kind in
+  let true_card = memoized_card ~exec in
+  let card frag =
+    if supports_learned kind frag then
+      let true_c = float_of_int (true_card frag) in
+      let n =
+        deterministic_gauss ~seed:(seed + Hashtbl.hash (kind_name kind))
+          ~key:(Fragment.key frag) ~mu:0.0 ~sigma
+      in
+      Float.max 1.0 (Float.pow 2.0 n *. Float.max 1.0 true_c)
+    else default_card frag
+  in
+  { name = kind_name kind; card }

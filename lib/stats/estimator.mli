@@ -1,0 +1,56 @@
+(** Cardinality estimators.
+
+    An estimator maps a fragment (any sub-join of the current query state)
+    to an estimated output row count; the optimizer's dynamic programming
+    consults it for every connected subset it enumerates. All of the
+    paper's estimation regimes are provided:
+
+    - {!default}: PostgreSQL-style — histogram/MCV restriction selectivity
+      multiplied under the independence assumption, equi-join selectivity
+      1/max(ndv); this is the estimator whose errors re-optimization
+      corrects.
+    - {!oracle}: true cardinalities, obtained by actually executing the
+      fragment (memoized). Feeding it to the optimizer yields the paper's
+      "Optimal" baseline.
+    - {!noisy}: err_card = 2^N(µ,σ²) · true_card — the controlled-error
+      injection of the robustness test (Fig. 10). Deterministic per
+      fragment for a given seed.
+    - {!pessimistic}: upper-bound estimation in the spirit of Cai et al.
+      [7] — join growth bounded by maximum key frequency.
+    - {!learned}: simulators of NeuroCard / DeepDB / MSCN — near-true
+      estimates on fragments they support, falling back to {!default} on
+      string predicates (and, for MSCN, on joins wider than its training
+      templates), reproducing the fallback behaviour the paper reports on
+      JOB. *)
+
+module Expr = Qs_query.Expr
+
+type t = { name : string; card : Fragment.t -> float }
+
+type exec_fn = Fragment.t -> int
+(** Counts the true output cardinality of a fragment (supplied by the
+    executor layer; estimators stay executor-agnostic). *)
+
+val default : t
+
+val oracle : exec:exec_fn -> t
+(** Shares one global memo table per [exec] function instance. *)
+
+val noisy : seed:int -> mu:float -> sigma:float -> exec:exec_fn -> t
+
+val pessimistic : t
+
+type learned_kind = Neurocard | Deepdb | Mscn
+
+val learned : learned_kind -> seed:int -> exec:exec_fn -> t
+
+val supports_learned : learned_kind -> Fragment.t -> bool
+(** Whether the simulated model covers the fragment (no string predicates;
+    MSCN additionally requires at most 5 relations). Exposed for tests. *)
+
+val join_pred_selectivity : Fragment.t -> Expr.pred -> float
+(** The default estimator's selectivity for one cross-input predicate
+    (exposed for the cost model and tests). *)
+
+val filtered_rows : Fragment.input -> float
+(** The default estimator's post-filter row estimate for one input. *)

@@ -1,0 +1,176 @@
+module Expr = Qs_query.Expr
+module Query = Qs_query.Query
+
+module Table = Qs_storage.Table
+module Schema = Qs_storage.Schema
+module Catalog = Qs_storage.Catalog
+
+type input = {
+  id : string;
+  table : Table.t;
+  provides : string list;
+  filters : Expr.pred list;
+  stats : Table_stats.t;
+  is_temp : bool;
+  base_table : string option;
+  provenance : string;
+  memo : (string, float) Hashtbl.t;
+  scratch : (string, Obj.t) Hashtbl.t;
+}
+
+type t = {
+  inputs : input list;
+  preds : Expr.pred list;
+  output : Expr.colref list;
+}
+
+let requalify_stats alias stats =
+  Table_stats.make ~n_rows:(Table_stats.n_rows stats)
+    (List.map
+       (fun ((c : Schema.column), cs) -> ({ c with Schema.rel = alias }, cs))
+       (Table_stats.columns stats))
+
+let base_provenance ~alias ~table filters =
+  let fs = List.sort compare (List.map Expr.to_string filters) in
+  Printf.sprintf "%s=%s[%s]" alias table (String.concat " & " fs)
+
+let base_input registry ~alias ~table filters =
+  let tbl = Catalog.table (Stats_registry.catalog registry) table in
+  {
+    id = alias;
+    table = Table.rename tbl alias;
+    provides = [ alias ];
+    filters;
+    stats = requalify_stats alias (Stats_registry.stats registry table);
+    is_temp = false;
+    base_table = Some table;
+    provenance = base_provenance ~alias ~table filters;
+    memo = Hashtbl.create 4;
+    scratch = Hashtbl.create 4;
+  }
+
+let temp_input ~id ~provenance table ~provides ~stats =
+  {
+    id; table; provides; filters = []; stats; is_temp = true; base_table = None;
+    provenance; memo = Hashtbl.create 4; scratch = Hashtbl.create 4;
+  }
+
+let of_query registry (q : Query.t) =
+  let inputs =
+    List.map
+      (fun (r : Query.rel) ->
+        base_input registry ~alias:r.alias ~table:r.table (Query.filters q r.alias))
+      q.rels
+  in
+  let preds = List.filter (fun p -> List.length (Expr.rels_of_pred p) >= 2) q.preds in
+  { inputs; preds; output = q.output }
+
+let provides t = List.concat_map (fun i -> i.provides) t.inputs
+
+let find_input t id =
+  match List.find_opt (fun i -> i.id = id) t.inputs with
+  | Some i -> i
+  | None -> invalid_arg ("Fragment.find_input: no input " ^ id)
+
+let input_of_alias t alias =
+  match List.find_opt (fun i -> List.mem alias i.provides) t.inputs with
+  | Some i -> i
+  | None -> invalid_arg ("Fragment.input_of_alias: no input provides " ^ alias)
+
+let restrict t subset =
+  let aliases = List.concat_map (fun i -> i.provides) subset in
+  let preds =
+    List.filter
+      (fun p -> List.for_all (fun a -> List.mem a aliases) (Expr.rels_of_pred p))
+      t.preds
+  in
+  let output = List.filter (fun (c : Expr.colref) -> List.mem c.rel aliases) t.output in
+  { inputs = subset; preds; output }
+
+let overlaps t aliases = List.exists (fun a -> List.mem a (provides t)) aliases
+
+let substitute t ~temp =
+  let overlapping, disjoint =
+    List.partition
+      (fun i -> List.exists (fun a -> List.mem a temp.provides) i.provides)
+      t.inputs
+  in
+  if overlapping = [] then t
+  else begin
+    List.iter
+      (fun i ->
+        if not (List.for_all (fun a -> List.mem a temp.provides) i.provides) then
+          invalid_arg
+            (Printf.sprintf
+               "Fragment.substitute: input %s only partially covered by temp %s" i.id
+               temp.id))
+      overlapping;
+    let preds =
+      List.filter
+        (fun p ->
+          not
+            (List.for_all (fun a -> List.mem a temp.provides) (Expr.rels_of_pred p)))
+        t.preds
+    in
+    { t with inputs = temp :: disjoint; preds }
+  end
+
+let stats_of t (c : Expr.colref) =
+  List.find_opt (fun i -> List.mem c.rel i.provides) t.inputs
+  |> Option.map (fun i -> Table_stats.find i.stats ~rel:c.rel ~name:c.name)
+  |> Option.join
+
+let rows_of t (c : Expr.colref) =
+  List.find_opt (fun i -> List.mem c.rel i.provides) t.inputs
+  |> Option.map (fun i -> Table_stats.n_rows i.stats)
+
+let key t =
+  let inputs = List.sort compare (List.map (fun i -> i.provenance) t.inputs) in
+  let preds = List.sort compare (List.map Expr.to_string t.preds) in
+  String.concat " | " inputs ^ " || " ^ String.concat " & " preds
+
+let connected_components t =
+  let visited = Hashtbl.create 16 in
+  let linked a b =
+    List.exists
+      (fun p ->
+        let rels = Expr.rels_of_pred p in
+        List.exists (fun r -> List.mem r a.provides) rels
+        && List.exists (fun r -> List.mem r b.provides) rels)
+      t.preds
+  in
+  let rec component acc frontier =
+    match frontier with
+    | [] -> acc
+    | i :: rest ->
+        if Hashtbl.mem visited i.id then component acc rest
+        else begin
+          Hashtbl.replace visited i.id ();
+          let adjacent =
+            List.filter
+              (fun j -> (not (Hashtbl.mem visited j.id)) && linked i j)
+              t.inputs
+          in
+          component (i :: acc) (adjacent @ rest)
+        end
+  in
+  List.filter_map
+    (fun i ->
+      if Hashtbl.mem visited i.id then None else Some (component [] [ i ]))
+    t.inputs
+
+let to_string t =
+  let input_str i =
+    let base = match i.base_table with Some b -> "=" ^ b | None -> "(temp)" in
+    let filters =
+      match i.filters with
+      | [] -> ""
+      | fs -> "{" ^ String.concat " & " (List.map Expr.to_string fs) ^ "}"
+    in
+    Printf.sprintf "%s%s%s" i.id base filters
+  in
+  Printf.sprintf "[%s] on %s"
+    (String.concat ", " (List.map input_str t.inputs))
+    (String.concat " & " (List.map Expr.to_string t.preds))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

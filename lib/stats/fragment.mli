@@ -1,0 +1,101 @@
+(** Planning fragments: the unit the optimizer, the executor and every
+    cardinality estimator operate on.
+
+    A fragment is a set of *inputs* (base-table instances or materialized
+    temporaries, each carrying its own filters and known statistics) plus
+    the join predicates across them. A freshly parsed SPJ query becomes a
+    fragment whose inputs are all base relations; as QuerySplit (or any
+    re-optimization baseline) materializes intermediate results, inputs get
+    replaced by temp-table inputs and the fragment shrinks. *)
+
+module Expr = Qs_query.Expr
+module Query = Qs_query.Query
+
+module Table = Qs_storage.Table
+module Catalog = Qs_storage.Catalog
+
+type input = {
+  id : string;  (** unique within the fragment: the alias, or a temp name *)
+  table : Table.t;  (** schema columns are qualified by original aliases *)
+  provides : string list;  (** original query aliases this input covers *)
+  filters : Expr.pred list;  (** single-input predicates, not yet applied *)
+  stats : Table_stats.t;  (** what the optimizer currently knows *)
+  is_temp : bool;
+  base_table : string option;  (** catalog name when scanning a base table *)
+  provenance : string;
+      (** logical identity: for a base input, alias/table/filters; for a
+          temp, the {!key} of the fragment that was materialized into it.
+          Lets logically-equal fragments share one oracle memo entry. *)
+  memo : (string, float) Hashtbl.t;
+      (** scratch cache for estimator-derived per-input quantities
+          (post-filter rows, per-column effective ndv); keyed by a label
+          chosen by the estimator. Never part of the input's identity. *)
+  scratch : (string, Obj.t) Hashtbl.t;
+      (** opaque per-input cache for the execution layer (filtered rows,
+          weighted groupings); safe because tables are immutable. Never
+          part of the input's identity. *)
+}
+
+type t = {
+  inputs : input list;
+  preds : Expr.pred list;  (** predicates spanning two or more inputs *)
+  output : Expr.colref list;  (** projection; empty = all columns *)
+}
+
+val base_input : Stats_registry.t -> alias:string -> table:string -> Expr.pred list -> input
+(** An input scanning a base table under a query alias: the schema and the
+    cached table statistics are requalified to the alias. *)
+
+val temp_input : id:string -> provenance:string -> Table.t -> provides:string list ->
+  stats:Table_stats.t -> input
+(** An input scanning a materialized temporary. Its schema must already
+    carry the original alias qualifiers. *)
+
+val requalify_stats : string -> Table_stats.t -> Table_stats.t
+(** Re-key every column's stats under a new relation qualifier (used when
+    a table is scanned under a query alias). *)
+
+val of_query : Stats_registry.t -> Query.t -> t
+(** The initial fragment of an SPJ query: one base input per relation, with
+    the query's single-relation predicates attached as input filters. *)
+
+val provides : t -> string list
+
+val find_input : t -> string -> input
+(** By input id; raises [Invalid_argument] when absent. *)
+
+val input_of_alias : t -> string -> input
+(** The input providing the given original alias. *)
+
+val restrict : t -> input list -> t
+(** Sub-fragment over the given inputs: keeps exactly the predicates fully
+    contained in their combined aliases; output restricted likewise. *)
+
+val substitute : t -> temp:input -> t
+(** Replaces every input overlapping [temp.provides] by [temp] (each such
+    input's aliases must be contained in [temp.provides]) and drops the
+    predicates that became internal to [temp] — the paper's
+    result-substitution step (§3.1). Returns the fragment unchanged when
+    nothing overlaps. *)
+
+val overlaps : t -> string list -> bool
+(** Does the fragment share any alias with the given set? *)
+
+val stats_of : t -> Expr.colref -> Column_stats.t option
+(** Column-stats lookup across all inputs (None when the owning input has
+    row-count-only statistics). *)
+
+val rows_of : t -> Expr.colref -> int option
+(** Row count of the input providing the column. *)
+
+val key : t -> string
+(** Canonical identity of the *logical* fragment — sorted input
+    provenances plus sorted cross-input predicates. Projection is excluded
+    (it does not change cardinality). *)
+
+val connected_components : t -> input list list
+(** Groups of inputs connected by the fragment's predicates. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

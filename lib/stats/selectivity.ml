@@ -1,0 +1,135 @@
+module Expr = Qs_query.Expr
+
+module Value = Qs_storage.Value
+
+let default_eq_sel = 0.005
+let default_range_sel = 1.0 /. 3.0
+let default_like_sel = 0.005
+let default_num_distinct = 200
+
+let clamp s = Float.min 1.0 (Float.max 1e-9 s)
+
+(* A scalar that folds to a constant (literals and arithmetic on them). *)
+let const_value = function
+  | Expr.Const v -> Some v
+  | Expr.Col _ -> None
+  | Expr.Arith _ as s -> (
+      (* evaluate on an empty row: only succeeds if no columns involved *)
+      match Expr.eval_scalar [||] [||] s with
+      | v -> Some v
+      | exception _ -> None)
+
+let eq_sel (cs : Column_stats.t) v =
+  match Column_stats.mcv_freq cs v with
+  | Some f -> f
+  | None ->
+      let others = 1.0 -. Column_stats.mcv_total cs -. cs.null_frac in
+      let rest_distinct = cs.n_distinct - List.length cs.mcvs in
+      if rest_distinct <= 0 then default_eq_sel
+      else Float.max 0.0 (others /. float_of_int rest_distinct)
+
+let range_sel (cs : Column_stats.t) op v =
+  match cs.hist with
+  | None -> default_range_sel
+  | Some h -> (
+      let nonnull = 1.0 -. cs.null_frac in
+      match op with
+      | Expr.Lt -> Histogram.fraction_lt h v *. nonnull
+      | Expr.Le -> Histogram.fraction_le h v *. nonnull
+      | Expr.Gt -> (1.0 -. Histogram.fraction_le h v) *. nonnull
+      | Expr.Ge -> (1.0 -. Histogram.fraction_lt h v) *. nonnull
+      | _ -> default_range_sel)
+
+(* LIKE selectivity: a left-anchored pattern behaves like a range over the
+   prefix; otherwise use a fixed default scaled by pattern restrictiveness,
+   following the spirit of PostgreSQL's patternsel. *)
+let like_sel (cs : Column_stats.t option) pattern =
+  let prefix =
+    let buf = Buffer.create 8 in
+    (try
+       String.iter
+         (fun c -> if c = '%' || c = '_' then raise Exit else Buffer.add_char buf c)
+         pattern
+     with Exit -> ());
+    Buffer.contents buf
+  in
+  match (cs, prefix) with
+  | Some cs, p when String.length p > 0 -> (
+      match cs.hist with
+      | Some h ->
+          (* [p, p ^ 0xff): fraction of strings starting with the prefix *)
+          let lo = Value.Str p in
+          let hi = Value.Str (p ^ "\xff") in
+          let frac = Histogram.fraction_between h ~lo ~hi in
+          let residual_wildcards =
+            String.length pattern - String.length p > 1
+          in
+          clamp (frac *. if residual_wildcards then 0.5 else 1.0)
+      | None -> default_like_sel)
+  | _ -> default_like_sel
+
+let flip = function
+  | Expr.Lt -> Expr.Gt
+  | Expr.Le -> Expr.Ge
+  | Expr.Gt -> Expr.Lt
+  | Expr.Ge -> Expr.Le
+  | op -> op
+
+let rec pred ~(stats_of : Expr.colref -> Column_stats.t option) p =
+  clamp
+    (match p with
+    | Expr.Cmp (op, Expr.Col c, rhs) -> (
+        match const_value rhs with
+        | Some v -> cmp_col_const ~stats_of c op v
+        | None -> non_const_cmp ~stats_of p)
+    | Expr.Cmp (op, lhs, Expr.Col c) -> (
+        match const_value lhs with
+        | Some v -> cmp_col_const ~stats_of c (flip op) v
+        | None -> non_const_cmp ~stats_of p)
+    | Expr.Cmp _ -> default_eq_sel
+    | Expr.Between (Expr.Col c, lo, hi) -> (
+        match stats_of c with
+        | Some cs -> (
+            match cs.hist with
+            | Some h -> Histogram.fraction_between h ~lo ~hi *. (1.0 -. cs.null_frac)
+            | None -> default_range_sel)
+        | None -> default_range_sel)
+    | Expr.Between _ -> default_range_sel
+    | Expr.In_list (Expr.Col c, vs) -> (
+        match stats_of c with
+        | Some cs -> List.fold_left (fun a v -> a +. eq_sel cs v) 0.0 vs
+        | None -> default_eq_sel *. float_of_int (List.length vs))
+    | Expr.In_list _ -> default_eq_sel
+    | Expr.Like (Expr.Col c, pat) -> like_sel (stats_of c) pat
+    | Expr.Like _ -> default_like_sel
+    | Expr.Is_null (Expr.Col c) -> (
+        match stats_of c with Some cs -> cs.null_frac | None -> 0.01)
+    | Expr.Is_null _ -> 0.01
+    | Expr.Not_null (Expr.Col c) -> (
+        match stats_of c with Some cs -> 1.0 -. cs.null_frac | None -> 0.99)
+    | Expr.Not_null _ -> 0.99
+    | Expr.Or ps ->
+        (* P(or) = 1 - prod(1 - s_i), still assuming independence *)
+        1.0 -. List.fold_left (fun a q -> a *. (1.0 -. pred ~stats_of q)) 1.0 ps)
+
+and cmp_col_const ~stats_of c op v =
+  match stats_of c with
+  | None -> (
+      match op with
+      | Expr.Eq -> default_eq_sel
+      | Expr.Ne -> 1.0 -. default_eq_sel
+      | _ -> default_range_sel)
+  | Some cs -> (
+      match op with
+      | Expr.Eq -> eq_sel cs v
+      | Expr.Ne -> 1.0 -. eq_sel cs v -. cs.null_frac
+      | _ -> range_sel cs op v)
+
+and non_const_cmp ~stats_of p =
+  (* column-vs-column within one relation, or other shapes with no constant *)
+  ignore stats_of;
+  match p with
+  | Expr.Cmp (Expr.Eq, _, _) -> default_eq_sel
+  | _ -> default_range_sel
+
+let conj ~stats_of ps = clamp (List.fold_left (fun a p -> a *. pred ~stats_of p) 1.0 ps)

@@ -1,0 +1,30 @@
+(** Restriction-clause selectivity estimation, PostgreSQL style.
+
+    Selectivities of the conjuncts of a filter are *multiplied* — the
+    independence assumption (§2.1). On the correlated data our workload
+    generators produce, this is exactly where the systematic
+    underestimation the paper exploits comes from. *)
+
+module Expr = Qs_query.Expr
+
+module Value = Qs_storage.Value
+
+val default_eq_sel : float
+(** Used when no statistics are available (PostgreSQL's DEFAULT_EQ_SEL). *)
+
+val default_range_sel : float
+val default_like_sel : float
+
+val default_num_distinct : int
+(** Distinct-count guess for a column with no stats
+    (DEFAULT_NUM_DISTINCT). *)
+
+val pred :
+  stats_of:(Expr.colref -> Column_stats.t option) -> Expr.pred -> float
+(** Selectivity of one predicate over the relation(s) its columns live in.
+    Join predicates (two-relation equalities) are *not* handled here — see
+    {!Estimator}. Result is clamped to [1e-9, 1.0]. *)
+
+val conj :
+  stats_of:(Expr.colref -> Column_stats.t option) -> Expr.pred list -> float
+(** Product of the conjunct selectivities (independence assumption). *)

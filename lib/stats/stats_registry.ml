@@ -1,0 +1,20 @@
+module Catalog = Qs_storage.Catalog
+
+type t = {
+  catalog : Catalog.t;
+  cache : (string, Table_stats.t) Hashtbl.t;
+}
+
+let create catalog = { catalog; cache = Hashtbl.create 16 }
+
+let catalog t = t.catalog
+
+let stats t name =
+  match Hashtbl.find_opt t.cache name with
+  | Some s -> s
+  | None ->
+      let s = Analyze.of_table (Catalog.table t.catalog name) in
+      Hashtbl.replace t.cache name s;
+      s
+
+let invalidate t name = Hashtbl.remove t.cache name

@@ -1,0 +1,15 @@
+(** Lazily-computed, cached ANALYZE statistics for the base tables of a
+    catalog (PostgreSQL keeps these in pg_statistic). *)
+
+type t
+
+val create : Qs_storage.Catalog.t -> t
+
+val catalog : t -> Qs_storage.Catalog.t
+
+val stats : t -> string -> Table_stats.t
+(** Stats of the named base table, computed on first request. Column stats
+    are keyed by the table's own name. *)
+
+val invalidate : t -> string -> unit
+(** Drop the cached entry (tests / simulated stale-statistics scenarios). *)

@@ -1,0 +1,23 @@
+module Schema = Qs_storage.Schema
+
+type t = {
+  n_rows : int;
+  cols : (Schema.column * Column_stats.t) list;
+}
+
+let make ~n_rows cols = { n_rows; cols }
+
+let rowcount_only n_rows = { n_rows; cols = [] }
+
+let n_rows t = t.n_rows
+
+let has_column_stats t = t.cols <> []
+
+let find t ~rel ~name =
+  List.find_opt (fun ((c : Schema.column), _) -> c.rel = rel && c.name = name) t.cols
+  |> Option.map snd
+
+let columns t = t.cols
+
+let byte_size_hint t =
+  16 + List.fold_left (fun a (_, cs) -> a + Column_stats.byte_size_hint cs) 0 t.cols

@@ -1,0 +1,24 @@
+(** Statistics for a whole relation: the row count plus (optionally)
+    per-column statistics.
+
+    The "row count only" form models the paper's §6.4 setting where the
+    statistics collector is disabled for materialized intermediate results
+    and the optimizer learns nothing but the cardinality. *)
+
+type t
+
+val make : n_rows:int -> (Qs_storage.Schema.column * Column_stats.t) list -> t
+
+val rowcount_only : int -> t
+
+val n_rows : t -> int
+
+val has_column_stats : t -> bool
+
+val find : t -> rel:string -> name:string -> Column_stats.t option
+(** Column stats looked up by the qualified column identity used in the
+    relation's schema. *)
+
+val columns : t -> (Qs_storage.Schema.column * Column_stats.t) list
+
+val byte_size_hint : t -> int

@@ -1,0 +1,50 @@
+(** B+Tree secondary index: maps a key value to the row ids holding it.
+
+    The paper's evaluation builds a B+Tree on every primary-key and (in the
+    Pk+Fk configuration) foreign-key column; the optimizer's index
+    nested-loop join probes these trees. The engine's tables are immutable,
+    so it only ever inserts — but the tree is a complete implementation
+    with deletion and rebalancing, usable as a standalone index. *)
+
+type t
+
+val create : unit -> t
+
+val insert : t -> Value.t -> int -> unit
+(** [insert t key row] records that [row] carries [key]. Duplicate keys
+    accumulate; NULL keys are ignored (SQL index semantics). *)
+
+val delete : t -> Value.t -> int -> bool
+(** [delete t key row] removes one posting of [row] under [key]; when the
+    posting list empties the key is removed and nodes are rebalanced
+    (borrow from a sibling, else merge). Returns whether anything was
+    removed. NULL keys return [false]. *)
+
+val find : t -> Value.t -> int list
+(** Row ids carrying exactly this key (empty if absent or NULL). *)
+
+val mem : t -> Value.t -> bool
+
+val range : t -> lo:(Value.t * bool) option -> hi:(Value.t * bool) option ->
+  (Value.t -> int list -> unit) -> unit
+(** [range t ~lo ~hi f] applies [f] to every (key, rows) with
+    lo < key < hi; the booleans make each bound inclusive. [None] means
+    unbounded. Keys are visited in ascending order. *)
+
+val n_keys : t -> int
+(** Number of distinct (non-null) keys. *)
+
+val n_entries : t -> int
+(** Total number of (key, row) pairs inserted. *)
+
+val height : t -> int
+
+val keys : t -> Value.t list
+(** All keys in ascending order (testing helper). *)
+
+val check_invariants : t -> (unit, string) result
+(** Structural validation used by the property tests: sorted keys, balanced
+    depth, node occupancy, leaf chaining. *)
+
+val of_column : Table.t -> col:int -> t
+(** Build an index over one column of a table. *)

@@ -1,0 +1,23 @@
+type t = {
+  table : string;
+  column : string;
+  unique : bool;
+  tree : Btree.t;
+}
+
+let build (tbl : Table.t) ~column ~unique =
+  let col =
+    match Schema.find_by_name tbl.schema column with
+    | Some i -> i
+    | None ->
+        invalid_arg (Printf.sprintf "Index.build: no column %s in %s" column tbl.name)
+  in
+  let tree = Btree.of_column tbl ~col in
+  if unique && Btree.n_keys tree <> Btree.n_entries tree then
+    invalid_arg
+      (Printf.sprintf "Index.build: duplicate keys in unique index %s.%s" tbl.name column);
+  { table = tbl.name; column; unique; tree }
+
+let lookup t key = Btree.find t.tree key
+
+let name t = t.table ^ "." ^ t.column

@@ -1,0 +1,19 @@
+(** A named B+Tree index over one column of a base table. *)
+
+type t = private {
+  table : string;
+  column : string;
+  unique : bool; (* true for primary-key indexes *)
+  tree : Btree.t;
+}
+
+val build : Table.t -> column:string -> unique:bool -> t
+(** Builds the tree over the named column; raises [Invalid_argument] if the
+    column does not exist, or if [unique] is set and a duplicate non-null
+    key is found. *)
+
+val lookup : t -> Value.t -> int list
+(** Row ids matching the key. *)
+
+val name : t -> string
+(** ["table.column"], the catalog key. *)

@@ -1,0 +1,46 @@
+type column = { rel : string; name : string; ty : Value.ty }
+
+type t = column array
+
+let column ~rel ~name ~ty = { rel; name; ty }
+
+let make rel cols =
+  Array.of_list (List.map (fun (name, ty) -> { rel; name; ty }) cols)
+
+let arity = Array.length
+
+let concat = Array.append
+
+let requalify alias s = Array.map (fun c -> { c with rel = alias }) s
+
+let find s ~rel ~name =
+  let found = ref None in
+  Array.iteri
+    (fun i c -> if !found = None && c.rel = rel && c.name = name then found := Some i)
+    s;
+  !found
+
+let find_exn s ~rel ~name =
+  match find s ~rel ~name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Schema.find_exn: no column %s.%s" rel name)
+
+let find_by_name s name =
+  let hits = ref [] in
+  Array.iteri (fun i c -> if c.name = name then hits := i :: !hits) s;
+  match !hits with [ i ] -> Some i | _ -> None
+
+let mem s ~rel ~name = find s ~rel ~name <> None
+
+let column_id c = c.rel ^ "." ^ c.name
+
+let to_string s =
+  s |> Array.to_list
+  |> List.map (fun c -> Printf.sprintf "%s:%s" (column_id c) (Value.ty_to_string c.ty))
+  |> String.concat ", "
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun (x : column) y -> x = y) a b

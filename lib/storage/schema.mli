@@ -1,0 +1,45 @@
+(** Relation schemas.
+
+    A column is qualified by the relation name it belongs to (a base-table
+    name, a query alias, or a temporary-table name), so joined schemas keep
+    unambiguous column identities. *)
+
+type column = { rel : string; name : string; ty : Value.ty }
+
+type t = column array
+
+val column : rel:string -> name:string -> ty:Value.ty -> column
+
+val make : string -> (string * Value.ty) list -> t
+(** [make rel cols] builds a schema whose columns are all qualified by
+    [rel]. *)
+
+val arity : t -> int
+
+val concat : t -> t -> t
+(** Schema of a join output: left columns then right columns. *)
+
+val requalify : string -> t -> t
+(** [requalify alias s] re-labels every column as belonging to [alias]
+    (used when a base table is scanned under a query alias, or when a
+    materialized temp table adopts the surviving columns). *)
+
+val find : t -> rel:string -> name:string -> int option
+(** Position of the column qualified as [rel.name], if present. *)
+
+val find_exn : t -> rel:string -> name:string -> int
+
+val find_by_name : t -> string -> int option
+(** Position of the unique column called [name] regardless of qualifier;
+    [None] if absent or ambiguous. *)
+
+val mem : t -> rel:string -> name:string -> bool
+
+val column_id : column -> string
+(** ["rel.name"], the display / lookup form. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

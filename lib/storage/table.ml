@@ -1,0 +1,40 @@
+type t = {
+  name : string;
+  schema : Schema.t;
+  rows : Value.t array array;
+}
+
+let create ~name ~schema rows =
+  let arity = Schema.arity schema in
+  Array.iter
+    (fun r ->
+      if Array.length r <> arity then
+        invalid_arg
+          (Printf.sprintf "Table.create %s: row arity %d, schema arity %d" name
+             (Array.length r) arity))
+    rows;
+  { name; schema; rows }
+
+let of_rows ~name ~schema rows = create ~name ~schema (Array.of_list rows)
+
+let n_rows t = Array.length t.rows
+
+let column_values t col = Array.map (fun r -> r.(col)) t.rows
+
+let get t ~row ~col = t.rows.(row).(col)
+
+let byte_size t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun a v -> a + Value.byte_size v) acc row)
+    0 t.rows
+
+let rename t name = { t with name; schema = Schema.requalify name t.schema }
+
+let pp_sample ?(limit = 10) fmt t =
+  Format.fprintf fmt "table %s (%d rows): %a@." t.name (n_rows t) Schema.pp t.schema;
+  let shown = min limit (n_rows t) in
+  for i = 0 to shown - 1 do
+    let cells = Array.to_list (Array.map Value.to_string t.rows.(i)) in
+    Format.fprintf fmt "  | %s@." (String.concat " | " cells)
+  done;
+  if n_rows t > shown then Format.fprintf fmt "  ... (%d more)@." (n_rows t - shown)

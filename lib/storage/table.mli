@@ -1,0 +1,32 @@
+(** In-memory row-store tables.
+
+    Tables are immutable after construction; the engine materializes
+    intermediate results as fresh tables. *)
+
+type t = private {
+  name : string;
+  schema : Schema.t;
+  rows : Value.t array array;
+}
+
+val create : name:string -> schema:Schema.t -> Value.t array array -> t
+(** Rows must match the schema arity. *)
+
+val of_rows : name:string -> schema:Schema.t -> Value.t array list -> t
+
+val n_rows : t -> int
+
+val column_values : t -> int -> Value.t array
+(** All values of the column at the given position (in row order). *)
+
+val get : t -> row:int -> col:int -> Value.t
+
+val byte_size : t -> int
+(** Approximate memory footprint of the row data (Table 4 accounting). *)
+
+val rename : t -> string -> t
+(** New table sharing rows, with the given name and columns requalified to
+    it. *)
+
+val pp_sample : ?limit:int -> Format.formatter -> t -> unit
+(** Debug/demo printer: schema plus the first [limit] rows (default 10). *)

@@ -1,0 +1,88 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = TBool | TInt | TFloat | TStr
+
+let constructor_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 2 (* numeric values share a rank so Int/Float compare numerically *)
+  | Str _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (constructor_rank a) (constructor_rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 1 else 2
+  | Int i -> Hashtbl.hash i
+  | Float f ->
+      (* hash an Int-valued float like the equal Int, to match [equal] *)
+      if Float.is_integer f && Float.abs f < 1e18 then Hashtbl.hash (int_of_float f)
+      else Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let is_null = function Null -> true | _ -> false
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some TBool
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Str _ -> Some TStr
+
+let byte_size = function
+  | Null | Bool _ | Int _ | Float _ -> 8
+  | Str s -> 24 + String.length s
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let pp fmt v =
+  match v with
+  | Str s -> Format.fprintf fmt "%S" s
+  | _ -> Format.pp_print_string fmt (to_string v)
+
+let ty_to_string = function
+  | TBool -> "bool"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TStr -> "string"
+
+let pp_ty fmt ty = Format.pp_print_string fmt (ty_to_string ty)
+
+let as_int = function
+  | Int i -> i
+  | v -> invalid_arg ("Value.as_int: " ^ to_string v)
+
+let as_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> invalid_arg ("Value.as_float: " ^ to_string v)
+
+let as_string = function
+  | Str s -> s
+  | v -> invalid_arg ("Value.as_string: " ^ to_string v)
+
+let as_bool = function
+  | Bool b -> b
+  | v -> invalid_arg ("Value.as_bool: " ^ to_string v)

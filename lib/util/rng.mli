@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every data generator and every noise model in this repository draws from
+    this module so that experiments are reproducible from a single seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform over [0, bound). [bound] must be positive. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform over [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform over [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] picks [k] distinct ints from
+    [0, n); [k <= n]. *)

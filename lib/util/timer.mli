@@ -1,0 +1,8 @@
+(** Wall-clock measurement helpers used by the execution traces and the
+    benchmark harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and also returns the elapsed wall-clock seconds. *)
+
+val now : unit -> float
+(** Monotonic-ish wall clock in seconds. *)

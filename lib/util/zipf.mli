@@ -1,0 +1,16 @@
+(** Zipfian sampling over a finite domain.
+
+    Used by the workload generators to create the skewed value distributions
+    that make cardinality estimation hard (the property JOB and DSB stress). *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over ranks [0, n).
+    [theta = 0.] degenerates to uniform; typical skew is [0.5 .. 1.2]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank; rank 0 is the most frequent. *)
+
+val frequency : t -> int -> float
+(** [frequency t rank] is the probability mass of [rank]. *)

@@ -1,0 +1,21 @@
+(** A DSB-shaped benchmark: TPC-DS-style snowflake schema with *injected
+    skew* (DSB = TPC-DS + skew [11]).
+
+    Two fact tables ([store_sales], [web_sales]) over shared dimensions
+    let the SPJ queries include fact-fact joins (the inverse-star pattern
+    QuerySplit targets), while most queries remain star-shaped. Sales
+    columns are Zipf-skewed and item/promotion/date attributes are
+    correlated, giving the default estimator DSB-like errors — milder than
+    {!Cinema}, harsher than {!Starbench}. *)
+
+module Catalog = Qs_storage.Catalog
+module Query = Qs_query.Query
+module Logical = Qs_plan.Logical
+
+val build : ?scale:float -> seed:int -> unit -> Catalog.t
+
+val spj_queries : Catalog.t -> seed:int -> Query.t list
+(** 15 SPJ queries, named ["dsb_spj_<i>"] (the paper's Fig. 13 set). *)
+
+val nonspj_queries : Catalog.t -> seed:int -> Logical.t list
+(** 37 non-SPJ trees, named ["dsb_q<i>"] (the paper's Fig. 14 set). *)

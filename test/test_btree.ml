@@ -1,0 +1,259 @@
+(* B+Tree: reference-model equivalence, structural invariants, ranges. *)
+
+module Value = Qs_storage.Value
+module Btree = Qs_storage.Btree
+module Rng = Qs_util.Rng
+
+let check_ok t =
+  match Btree.check_invariants t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariant violated: " ^ msg)
+
+let test_empty () =
+  let t = Btree.create () in
+  Alcotest.(check int) "no keys" 0 (Btree.n_keys t);
+  Alcotest.(check (list int)) "find nothing" [] (Btree.find t (Value.Int 5));
+  Alcotest.(check bool) "mem false" false (Btree.mem t (Value.Int 5));
+  check_ok t
+
+let test_single () =
+  let t = Btree.create () in
+  Btree.insert t (Value.Int 10) 0;
+  Alcotest.(check (list int)) "found" [ 0 ] (Btree.find t (Value.Int 10));
+  Alcotest.(check int) "one key" 1 (Btree.n_keys t);
+  check_ok t
+
+let test_duplicates_accumulate () =
+  let t = Btree.create () in
+  Btree.insert t (Value.Int 1) 10;
+  Btree.insert t (Value.Int 1) 20;
+  Btree.insert t (Value.Int 1) 30;
+  Alcotest.(check int) "one key" 1 (Btree.n_keys t);
+  Alcotest.(check int) "three entries" 3 (Btree.n_entries t);
+  Alcotest.(check (list int)) "all rows" [ 30; 20; 10 ] (Btree.find t (Value.Int 1))
+
+let test_null_ignored () =
+  let t = Btree.create () in
+  Btree.insert t Value.Null 1;
+  Alcotest.(check int) "no keys" 0 (Btree.n_keys t);
+  Alcotest.(check (list int)) "null finds nothing" [] (Btree.find t Value.Null)
+
+let test_sequential_inserts () =
+  let t = Btree.create () in
+  for i = 0 to 9999 do
+    Btree.insert t (Value.Int i) i
+  done;
+  check_ok t;
+  Alcotest.(check int) "10000 keys" 10_000 (Btree.n_keys t);
+  Alcotest.(check bool) "height logarithmic" true (Btree.height t <= 5);
+  for i = 0 to 9999 do
+    assert (Btree.find t (Value.Int i) = [ i ])
+  done
+
+let test_reverse_inserts () =
+  let t = Btree.create () in
+  for i = 9999 downto 0 do
+    Btree.insert t (Value.Int i) i
+  done;
+  check_ok t;
+  Alcotest.(check int) "10000 keys" 10_000 (Btree.n_keys t)
+
+let test_string_keys () =
+  let t = Btree.create () in
+  List.iteri (fun i k -> Btree.insert t (Value.Str k) i) [ "pear"; "apple"; "fig" ];
+  Alcotest.(check (list int)) "apple" [ 1 ] (Btree.find t (Value.Str "apple"));
+  check_ok t;
+  Alcotest.(check bool) "keys sorted" true
+    (Btree.keys t = [ Value.Str "apple"; Value.Str "fig"; Value.Str "pear" ])
+
+let range_to_list t ~lo ~hi =
+  let acc = ref [] in
+  Btree.range t ~lo ~hi (fun k rows -> acc := (k, List.sort compare rows) :: !acc);
+  List.rev !acc
+
+let test_range_basic () =
+  let t = Btree.create () in
+  for i = 0 to 99 do
+    Btree.insert t (Value.Int i) i
+  done;
+  let r = range_to_list t ~lo:(Some (Value.Int 10, true)) ~hi:(Some (Value.Int 13, true)) in
+  Alcotest.(check int) "4 keys" 4 (List.length r);
+  Alcotest.(check bool) "starts at 10" true (fst (List.hd r) = Value.Int 10)
+
+let test_range_exclusive () =
+  let t = Btree.create () in
+  for i = 0 to 20 do
+    Btree.insert t (Value.Int i) i
+  done;
+  let r =
+    range_to_list t ~lo:(Some (Value.Int 5, false)) ~hi:(Some (Value.Int 8, false))
+  in
+  Alcotest.(check int) "2 keys (6,7)" 2 (List.length r)
+
+let test_range_unbounded () =
+  let t = Btree.create () in
+  for i = 0 to 50 do
+    Btree.insert t (Value.Int i) i
+  done;
+  Alcotest.(check int) "all keys" 51 (List.length (range_to_list t ~lo:None ~hi:None));
+  Alcotest.(check int) "upper half" 25
+    (List.length (range_to_list t ~lo:(Some (Value.Int 26, true)) ~hi:None))
+
+let test_unique_index_detection () =
+  let module Table = Qs_storage.Table in
+  let module Schema = Qs_storage.Schema in
+  let schema = Schema.make "t" [ ("id", Value.TInt) ] in
+  let dup = Table.of_rows ~name:"t" ~schema [ [| Value.Int 1 |]; [| Value.Int 1 |] ] in
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Qs_storage.Index.build dup ~column:"id" ~unique:true);
+       false
+     with Invalid_argument _ -> true)
+
+(* Reference model: the tree must agree with a Hashtbl on arbitrary
+   insert sequences, and the invariants must hold at the end. *)
+let qcheck_model =
+  QCheck.Test.make ~name:"btree agrees with hashtable model" ~count:60
+    QCheck.(list (pair (int_range 0 500) (int_range 0 100_000)))
+    (fun ops ->
+      let t = Btree.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, row) ->
+          let key = Value.Int k in
+          Btree.insert t key row;
+          Hashtbl.replace model k (row :: Option.value (Hashtbl.find_opt model k) ~default:[]))
+        ops;
+      (match Btree.check_invariants t with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report m);
+      Hashtbl.fold
+        (fun k rows acc ->
+          acc && List.sort compare (Btree.find t (Value.Int k)) = List.sort compare rows)
+        model true
+      && Btree.n_keys t = Hashtbl.length model)
+
+let qcheck_range_matches_filter =
+  QCheck.Test.make ~name:"range scan = sorted filter" ~count:60
+    QCheck.(triple (list (int_range 0 300)) (int_range 0 300) (int_range 0 300))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = Btree.create () in
+      List.iteri (fun i k -> Btree.insert t (Value.Int k) i) keys;
+      let got =
+        let acc = ref [] in
+        Btree.range t
+          ~lo:(Some (Value.Int lo, true))
+          ~hi:(Some (Value.Int hi, true))
+          (fun k _ -> acc := k :: !acc);
+        List.rev !acc
+      in
+      let expected =
+        List.sort_uniq compare (List.filter (fun k -> k >= lo && k <= hi) keys)
+        |> List.map (fun k -> Value.Int k)
+      in
+      got = expected)
+
+(* --- deletion ------------------------------------------------------- *)
+
+let test_delete_basic () =
+  let t = Btree.create () in
+  Btree.insert t (Value.Int 1) 10;
+  Btree.insert t (Value.Int 1) 20;
+  Alcotest.(check bool) "removed" true (Btree.delete t (Value.Int 1) 10);
+  Alcotest.(check (list int)) "one left" [ 20 ] (Btree.find t (Value.Int 1));
+  Alcotest.(check int) "key survives" 1 (Btree.n_keys t);
+  Alcotest.(check bool) "removed last" true (Btree.delete t (Value.Int 1) 20);
+  Alcotest.(check (list int)) "gone" [] (Btree.find t (Value.Int 1));
+  Alcotest.(check int) "no keys" 0 (Btree.n_keys t);
+  Alcotest.(check bool) "absent returns false" false (Btree.delete t (Value.Int 1) 20);
+  check_ok t
+
+let test_delete_null () =
+  let t = Btree.create () in
+  Alcotest.(check bool) "null no-op" false (Btree.delete t Value.Null 1)
+
+let test_delete_everything_big () =
+  let t = Btree.create () in
+  for i = 0 to 4999 do
+    Btree.insert t (Value.Int i) i
+  done;
+  (* delete in an order that exercises merges on both flanks *)
+  for i = 0 to 4999 do
+    let k = if i mod 2 = 0 then i / 2 else 4999 - (i / 2) in
+    Alcotest.(check bool) "deleted" true (Btree.delete t (Value.Int k) k)
+  done;
+  Alcotest.(check int) "empty" 0 (Btree.n_keys t);
+  Alcotest.(check int) "no entries" 0 (Btree.n_entries t);
+  check_ok t
+
+let test_delete_partial_keeps_invariants () =
+  let t = Btree.create () in
+  let rng = Rng.create 4 in
+  for i = 0 to 9999 do
+    Btree.insert t (Value.Int (Rng.int rng 1000)) i
+  done;
+  for i = 0 to 9999 do
+    if i mod 3 <> 0 then ignore (Btree.delete t (Value.Int (i mod 1000)) i)
+  done;
+  check_ok t
+
+let qcheck_insert_delete_model =
+  QCheck.Test.make ~name:"btree insert/delete agrees with model" ~count:40
+    QCheck.(list (triple bool (int_range 0 120) (int_range 0 40)))
+    (fun ops ->
+      let t = Btree.create () in
+      let model : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (is_insert, k, row) ->
+          let cur = Option.value (Hashtbl.find_opt model k) ~default:[] in
+          if is_insert then begin
+            Btree.insert t (Value.Int k) row;
+            Hashtbl.replace model k (row :: cur)
+          end
+          else begin
+            let removed = Btree.delete t (Value.Int k) row in
+            if removed <> List.mem row cur then QCheck.Test.fail_report "removed flag";
+            if removed then begin
+              let dropped = ref false in
+              let rest =
+                List.filter
+                  (fun r ->
+                    if (not !dropped) && r = row then (dropped := true; false) else true)
+                  cur
+              in
+              if rest = [] then Hashtbl.remove model k else Hashtbl.replace model k rest
+            end
+          end)
+        ops;
+      (match Btree.check_invariants t with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report m);
+      Hashtbl.fold
+        (fun k rows acc ->
+          acc
+          && List.sort compare (Btree.find t (Value.Int k)) = List.sort compare rows)
+        model true
+      && Btree.n_keys t = Hashtbl.length model)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "single" `Quick test_single;
+    Alcotest.test_case "duplicates" `Quick test_duplicates_accumulate;
+    Alcotest.test_case "null ignored" `Quick test_null_ignored;
+    Alcotest.test_case "sequential 10k" `Quick test_sequential_inserts;
+    Alcotest.test_case "reverse 10k" `Quick test_reverse_inserts;
+    Alcotest.test_case "string keys" `Quick test_string_keys;
+    Alcotest.test_case "range basic" `Quick test_range_basic;
+    Alcotest.test_case "range exclusive" `Quick test_range_exclusive;
+    Alcotest.test_case "range unbounded" `Quick test_range_unbounded;
+    Alcotest.test_case "unique index" `Quick test_unique_index_detection;
+    Alcotest.test_case "delete basic" `Quick test_delete_basic;
+    Alcotest.test_case "delete null" `Quick test_delete_null;
+    Alcotest.test_case "delete everything" `Quick test_delete_everything_big;
+    Alcotest.test_case "delete partial invariants" `Quick test_delete_partial_keeps_invariants;
+    QCheck_alcotest.to_alcotest qcheck_model;
+    QCheck_alcotest.to_alcotest qcheck_range_matches_filter;
+    QCheck_alcotest.to_alcotest qcheck_insert_delete_model;
+  ]

@@ -1,0 +1,94 @@
+(* The cost model: the qualitative trade-offs the paper's plans turn on
+   must hold (hash beats index-NL for large outers, index-NL wins for tiny
+   outers, NL is only attractive when both sides look tiny). *)
+
+module Cost_model = Qs_plan.Cost_model
+
+let test_scan_monotone_in_rows () =
+  Alcotest.(check bool) "more rows cost more" true
+    (Cost_model.scan ~rows:10_000.0 ~n_filters:1
+    > Cost_model.scan ~rows:1_000.0 ~n_filters:1)
+
+let test_scan_filters_add_cost () =
+  Alcotest.(check bool) "filters cost" true
+    (Cost_model.scan ~rows:1000.0 ~n_filters:3 > Cost_model.scan ~rows:1000.0 ~n_filters:0)
+
+let test_hash_join_prefers_small_build () =
+  let small_build =
+    Cost_model.hash_join ~build_rows:100.0 ~probe_rows:100_000.0 ~out_rows:1000.0
+  in
+  let big_build =
+    Cost_model.hash_join ~build_rows:100_000.0 ~probe_rows:100.0 ~out_rows:1000.0
+  in
+  Alcotest.(check bool) "build on the small side" true (small_build < big_build)
+
+let test_index_nl_beats_hash_for_tiny_outer () =
+  (* 10 probes into a 100k-row indexed table vs building a 100k hash *)
+  let inl =
+    Cost_model.index_nl_join ~outer_rows:10.0 ~inner_rows:100_000.0 ~matches:30.0
+      ~out_rows:30.0
+  in
+  let hash =
+    Cost_model.hash_join ~build_rows:100_000.0 ~probe_rows:10.0 ~out_rows:30.0
+  in
+  Alcotest.(check bool) "index NL wins" true (inl < hash)
+
+let test_hash_beats_index_nl_for_large_outer () =
+  (* 200k probes vs one 100k build: hashing must win — this asymmetry is
+     exactly why a temp without an index (Figure 2) is so painful *)
+  let inl =
+    Cost_model.index_nl_join ~outer_rows:200_000.0 ~inner_rows:100_000.0
+      ~matches:200_000.0 ~out_rows:200_000.0
+  in
+  let hash =
+    Cost_model.hash_join ~build_rows:100_000.0 ~probe_rows:200_000.0
+      ~out_rows:200_000.0
+  in
+  Alcotest.(check bool) "hash wins" true (hash < inl)
+
+let test_nl_quadratic () =
+  let small = Cost_model.nl_join ~outer_rows:10.0 ~inner_rows:10.0 ~out_rows:5.0 in
+  let big = Cost_model.nl_join ~outer_rows:1000.0 ~inner_rows:1000.0 ~out_rows:5.0 in
+  Alcotest.(check bool) "quadratic growth" true (big > 100.0 *. small)
+
+let test_nl_attractive_only_when_tiny () =
+  (* on believed-tiny inputs NL undercuts hash — the trap underestimates
+     set for the default optimizer *)
+  let nl = Cost_model.nl_join ~outer_rows:5.0 ~inner_rows:5.0 ~out_rows:5.0 in
+  let hash = Cost_model.hash_join ~build_rows:5.0 ~probe_rows:5.0 ~out_rows:5.0 in
+  Alcotest.(check bool) "nl can look cheap" true (nl < hash *. 2.0);
+  let nl_big = Cost_model.nl_join ~outer_rows:5000.0 ~inner_rows:5000.0 ~out_rows:5.0 in
+  let hash_big = Cost_model.hash_join ~build_rows:5000.0 ~probe_rows:5000.0 ~out_rows:5.0 in
+  Alcotest.(check bool) "but never at size" true (hash_big < nl_big)
+
+let test_materialize_and_analyze_scale () =
+  Alcotest.(check bool) "materialize grows with rows" true
+    (Cost_model.materialize ~rows:10_000.0 ~width:4
+    > Cost_model.materialize ~rows:100.0 ~width:4);
+  Alcotest.(check bool) "analyze grows with width" true
+    (Cost_model.analyze ~rows:1000.0 ~width:10 > Cost_model.analyze ~rows:1000.0 ~width:2)
+
+let test_all_costs_positive () =
+  List.iter
+    (fun c -> Alcotest.(check bool) "positive" true (c > 0.0))
+    [
+      Cost_model.scan ~rows:1.0 ~n_filters:0;
+      Cost_model.hash_join ~build_rows:1.0 ~probe_rows:1.0 ~out_rows:1.0;
+      Cost_model.index_nl_join ~outer_rows:1.0 ~inner_rows:1.0 ~matches:1.0 ~out_rows:1.0;
+      Cost_model.nl_join ~outer_rows:1.0 ~inner_rows:1.0 ~out_rows:1.0;
+      Cost_model.materialize ~rows:1.0 ~width:1;
+      Cost_model.analyze ~rows:1.0 ~width:1;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "scan monotone" `Quick test_scan_monotone_in_rows;
+    Alcotest.test_case "scan filters" `Quick test_scan_filters_add_cost;
+    Alcotest.test_case "hash small build" `Quick test_hash_join_prefers_small_build;
+    Alcotest.test_case "index NL tiny outer" `Quick test_index_nl_beats_hash_for_tiny_outer;
+    Alcotest.test_case "hash large outer" `Quick test_hash_beats_index_nl_for_large_outer;
+    Alcotest.test_case "nl quadratic" `Quick test_nl_quadratic;
+    Alcotest.test_case "nl trap" `Quick test_nl_attractive_only_when_tiny;
+    Alcotest.test_case "materialize/analyze" `Quick test_materialize_and_analyze_scale;
+    Alcotest.test_case "positive costs" `Quick test_all_costs_positive;
+  ]

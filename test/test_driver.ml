@@ -1,0 +1,178 @@
+(* The §3.3 driver: non-SPJ segmentation, pseudo relations, and agreement
+   between strategies on logical trees. *)
+
+module Value = Qs_storage.Value
+module Table = Qs_storage.Table
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+module Logical = Qs_plan.Logical
+module Estimator = Qs_stats.Estimator
+module Strategy = Qs_core.Strategy
+module Driver = Qs_core.Driver
+module Static = Qs_core.Static
+module Querysplit = Qs_core.Querysplit
+
+let qs = Querysplit.strategy Querysplit.default_config
+
+let rel alias table = { Query.alias; table }
+let cref r n = { Expr.rel = r; Expr.name = n }
+
+let spj_core () =
+  Query.make ~name:"core"
+    [ rel "o" "orders"; rel "c" "customers"; rel "p" "products" ]
+    [
+      Expr.eq (Expr.col "o" "customer_id") (Expr.col "c" "id");
+      Expr.eq (Expr.col "o" "product_id") (Expr.col "p" "id");
+      Expr.Cmp (Expr.Eq, Expr.col "c" "city", Expr.vstr "oslo");
+    ]
+
+let test_agg_over_spj () =
+  let _, ctx = Fixtures.shop_ctx ~n_orders:800 () in
+  let tree =
+    Logical.Agg
+      {
+        name = "by_kind";
+        group_by = [ cref "p" "kind" ];
+        aggs = [ { Logical.fn = Logical.Count_star; arg = None; label = "orders" } ];
+        input = Logical.Spj (spj_core ());
+      }
+  in
+  let a = Driver.run Static.default ctx tree in
+  let b = Driver.run qs ctx tree in
+  Alcotest.(check bool) "agg agrees" true
+    (Fixtures.tables_equal a.Strategy.result b.Strategy.result);
+  Alcotest.(check bool) "some groups" true (Table.n_rows a.Strategy.result > 0)
+
+let test_agg_sum_value_correct () =
+  let _, ctx = Fixtures.shop_ctx ~n_orders:500 () in
+  (* COUNT over all orders must equal the table size *)
+  let tree =
+    Logical.Agg
+      {
+        name = "cnt";
+        group_by = [];
+        aggs = [ { Logical.fn = Logical.Count_star; arg = None; label = "n" } ];
+        input =
+          Logical.Spj (Query.make ~name:"all_orders" [ rel "o" "orders" ] []);
+      }
+  in
+  let out = Driver.run Static.default ctx tree in
+  Alcotest.(check bool) "count = 500" true
+    (out.Strategy.result.Table.rows.(0).(0) = Value.Int 500)
+
+let test_union_of_aggs () =
+  let _, ctx = Fixtures.shop_ctx () in
+  let mk_branch name city =
+    Logical.Agg
+      {
+        name;
+        group_by = [ cref "c" "city" ];
+        aggs = [ { Logical.fn = Logical.Count_star; arg = None; label = "n" } ];
+        input =
+          Logical.Spj
+            (Query.make ~name:(name ^ "_spj")
+               [ rel "o" "orders"; rel "c" "customers" ]
+               [
+                 Expr.eq (Expr.col "o" "customer_id") (Expr.col "c" "id");
+                 Expr.Cmp (Expr.Eq, Expr.col "c" "city", Expr.vstr city);
+               ]);
+      }
+  in
+  let tree =
+    Logical.Union_all { name = "u"; inputs = [ mk_branch "b1" "oslo"; mk_branch "b2" "lima" ] }
+  in
+  let a = Driver.run Static.default ctx tree in
+  let b = Driver.run qs ctx tree in
+  Alcotest.(check int) "two rows" 2 (Table.n_rows a.Strategy.result);
+  Alcotest.(check bool) "agree" true (Fixtures.tables_equal a.Strategy.result b.Strategy.result)
+
+let test_semi_tree () =
+  let _, ctx = Fixtures.shop_ctx () in
+  let tree =
+    Logical.Semi
+      {
+        name = "buyers";
+        left = Logical.Spj (Query.make ~name:"cust" [ rel "c" "customers" ] []);
+        right =
+          Logical.Spj
+            (Query.make ~name:"big_orders" [ rel "o" "orders" ]
+               [ Expr.Cmp (Expr.Ge, Expr.col "o" "qty", Expr.vint 8) ]);
+        on = [ Expr.eq (Expr.col "o" "customer_id") (Expr.col "c" "id") ];
+      }
+  in
+  let a = Driver.run Static.default ctx tree in
+  let b = Driver.run qs ctx tree in
+  Alcotest.(check bool) "agree" true (Fixtures.tables_equal a.Strategy.result b.Strategy.result);
+  Alcotest.(check bool) "some buyers" true (Table.n_rows a.Strategy.result > 0);
+  Alcotest.(check bool) "fewer than all" true (Table.n_rows a.Strategy.result < 120)
+
+let test_let_binding_pseudo_relation () =
+  let _, ctx = Fixtures.shop_ctx ~n_orders:600 () in
+  (* bind per-product order counts, then query them like a base table *)
+  let binding =
+    Logical.Agg
+      {
+        name = "prod_stats";
+        group_by = [ cref "p" "id" ];
+        aggs = [ { Logical.fn = Logical.Count_star; arg = None; label = "n_orders" } ];
+        input =
+          Logical.Spj
+            (Query.make ~name:"op" [ rel "o" "orders"; rel "p" "products" ]
+               [ Expr.eq (Expr.col "o" "product_id") (Expr.col "p" "id") ]);
+      }
+  in
+  let body =
+    Logical.Spj
+      (Query.make ~name:"hot"
+         [ { Query.alias = "ps"; table = "prod_stats" } ]
+         [ Expr.Cmp (Expr.Ge, Expr.col "ps" "n_orders", Expr.vint 10) ])
+  in
+  let tree = Logical.Let { bindings = [ binding ]; body } in
+  let a = Driver.run Static.default ctx tree in
+  let b = Driver.run qs ctx tree in
+  Alcotest.(check bool) "agree" true (Fixtures.tables_equal a.Strategy.result b.Strategy.result)
+
+let test_iterations_concatenated () =
+  let _, ctx = Fixtures.shop_ctx () in
+  let tree =
+    Logical.Union_all
+      {
+        name = "u";
+        (* both branches project the same two columns, so the union is
+           well-typed; what we check is that the traces concatenate *)
+        inputs =
+          [
+            Logical.Spj (Fixtures.shop_query ~name:"s1" ());
+            Logical.Spj (Fixtures.shop_query ~name:"s2" ());
+          ];
+      }
+  in
+  let o = Driver.run qs ctx tree in
+  (* both segments' iterations are visible in the trace *)
+  Alcotest.(check bool) "traces from both segments" true
+    (List.length o.Strategy.iterations >= 2)
+
+let test_starbench_nonspj_agree () =
+  let cat = Qs_workload.Starbench.build ~scale:0.1 ~seed:9 () in
+  Qs_storage.Catalog.build_indexes cat Qs_storage.Catalog.Pk_fk;
+  let registry = Qs_stats.Stats_registry.create cat in
+  let trees = Qs_workload.Starbench.queries cat ~seed:10 in
+  List.iter
+    (fun tree ->
+      let ctx () = Strategy.make_ctx registry Estimator.default in
+      let a = Driver.run Static.default (ctx ()) tree in
+      let b = Driver.run qs (ctx ()) tree in
+      if not (Fixtures.tables_equal a.Strategy.result b.Strategy.result) then
+        Alcotest.failf "mismatch on %s" (Logical.name tree))
+    trees
+
+let suite =
+  [
+    Alcotest.test_case "agg over spj" `Quick test_agg_over_spj;
+    Alcotest.test_case "count value" `Quick test_agg_sum_value_correct;
+    Alcotest.test_case "union of aggs" `Quick test_union_of_aggs;
+    Alcotest.test_case "semi tree" `Quick test_semi_tree;
+    Alcotest.test_case "let pseudo relation" `Quick test_let_binding_pseudo_relation;
+    Alcotest.test_case "iterations concatenated" `Quick test_iterations_concatenated;
+    Alcotest.test_case "starbench agreement" `Slow test_starbench_nonspj_agree;
+  ]

@@ -1,0 +1,170 @@
+(* Cardinality estimators: default formulas, oracle, noise, bounds,
+   learned-simulator fallback. *)
+
+module Value = Qs_storage.Value
+module Fragment = Qs_stats.Fragment
+module Estimator = Qs_stats.Estimator
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+module Strategy = Qs_core.Strategy
+module Naive = Qs_exec.Naive
+module Rng = Qs_util.Rng
+
+let ctx_and_frag () =
+  let _, ctx = Fixtures.shop_ctx ~n_orders:500 () in
+  (ctx, Strategy.fragment_of_query ctx (Fixtures.shop_query ()))
+
+let test_single_input_filtered_rows () =
+  let ctx, frag = ctx_and_frag () in
+  ignore ctx;
+  let c = Fragment.find_input frag "c" in
+  let est = Estimator.default.Estimator.card (Fragment.restrict frag [ c ]) in
+  (* 120 customers over 4 cities; city filter should land near 30 *)
+  Alcotest.(check bool) "around 30" true (est > 10.0 && est < 70.0)
+
+let test_unfiltered_input_exact () =
+  let _, frag = ctx_and_frag () in
+  let o = Fragment.find_input frag "o" in
+  let est = Estimator.default.Estimator.card (Fragment.restrict frag [ o ]) in
+  Alcotest.(check (float 1.0)) "exact row count" 500.0 est
+
+let test_pk_fk_join_card () =
+  let _, frag = ctx_and_frag () in
+  let o = Fragment.find_input frag "o" in
+  let p = Fragment.find_input frag "p" in
+  let est = Estimator.default.Estimator.card (Fragment.restrict frag [ o; p ]) in
+  (* PK–FK join keeps the FK side cardinality: ~500 *)
+  Alcotest.(check bool) "non-expanding" true (est > 250.0 && est < 800.0)
+
+let test_empty_input_zero () =
+  let _, ctx = Fixtures.shop_ctx () in
+  let q =
+    Query.make ~name:"none"
+      [ { Query.alias = "c"; table = "customers" } ]
+      [ Expr.Cmp (Expr.Eq, Expr.col "c" "city", Expr.vstr "atlantis") ]
+  in
+  let frag = Strategy.fragment_of_query ctx q in
+  let est = Estimator.default.Estimator.card frag in
+  (* unknown constant: tiny but positive estimate *)
+  Alcotest.(check bool) "small" true (est >= 0.0 && est < 10.0)
+
+let test_oracle_matches_naive () =
+  let _, frag = ctx_and_frag () in
+  let oracle = Estimator.oracle ~exec:(fun f -> Naive.count f) in
+  let est = oracle.Estimator.card frag in
+  let truth = Naive.count frag in
+  Alcotest.(check (float 0.0)) "oracle exact" (float_of_int truth) est
+
+let test_oracle_memoizes () =
+  let _, frag = ctx_and_frag () in
+  let calls = ref 0 in
+  let exec f =
+    incr calls;
+    Naive.count f
+  in
+  let oracle = Estimator.oracle ~exec in
+  ignore (oracle.Estimator.card frag);
+  ignore (oracle.Estimator.card frag);
+  Alcotest.(check int) "one exec" 1 !calls
+
+let test_noisy_deterministic_and_spread () =
+  let _, frag = ctx_and_frag () in
+  let exec f = Naive.count f in
+  let n1 = Estimator.noisy ~seed:5 ~mu:0.0 ~sigma:2.0 ~exec in
+  let n2 = Estimator.noisy ~seed:5 ~mu:0.0 ~sigma:2.0 ~exec in
+  Alcotest.(check (float 1e-9)) "deterministic per seed"
+    (n1.Estimator.card frag) (n2.Estimator.card frag);
+  let n3 = Estimator.noisy ~seed:6 ~mu:0.0 ~sigma:2.0 ~exec in
+  Alcotest.(check bool) "different seed differs" true
+    (n1.Estimator.card frag <> n3.Estimator.card frag)
+
+let test_noisy_mu_shifts () =
+  let _, frag = ctx_and_frag () in
+  let exec f = Naive.count f in
+  (* with sigma ~ 0 the estimate must be ~ 2^mu * true *)
+  let truth = float_of_int (Naive.count frag) in
+  let up = Estimator.noisy ~seed:5 ~mu:2.0 ~sigma:0.0001 ~exec in
+  let v = up.Estimator.card frag in
+  Alcotest.(check bool) "2^2x" true (v /. truth > 3.5 && v /. truth < 4.5)
+
+let test_pessimistic_upper_bound () =
+  (* the pessimistic estimate must upper-bound the true cardinality on a
+     batch of random queries *)
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  ignore cat;
+  let rng = Rng.create 123 in
+  for _ = 1 to 25 do
+    let q = Fixtures.random_shop_query rng in
+    let frag = Strategy.fragment_of_query ctx q in
+    let bound = Estimator.pessimistic.Estimator.card frag in
+    let truth = float_of_int (Naive.count frag) in
+    if bound < truth then
+      Alcotest.failf "pessimistic %.0f below truth %.0f for %s" bound truth
+        (Query.to_sql q)
+  done
+
+let test_learned_supports () =
+  let _, frag = ctx_and_frag () in
+  (* shop_query has a string filter (city = oslo) -> unsupported *)
+  Alcotest.(check bool) "string filter unsupported" false
+    (Estimator.supports_learned Estimator.Neurocard frag);
+  let no_string =
+    { frag with
+      Fragment.inputs =
+        List.map (fun i -> { i with Fragment.filters = [] }) frag.Fragment.inputs }
+  in
+  Alcotest.(check bool) "numeric-only supported" true
+    (Estimator.supports_learned Estimator.Neurocard no_string);
+  Alcotest.(check bool) "mscn join-width limit" true
+    (Estimator.supports_learned Estimator.Mscn no_string);
+  let widened =
+    { no_string with
+      Fragment.inputs = no_string.Fragment.inputs @ no_string.Fragment.inputs } in
+  Alcotest.(check bool) "mscn rejects 8 rels" false
+    (Estimator.supports_learned Estimator.Mscn widened)
+
+let test_learned_fallback_equals_default () =
+  let _, frag = ctx_and_frag () in
+  let learned = Estimator.learned Estimator.Deepdb ~seed:1 ~exec:(fun f -> Naive.count f) in
+  (* unsupported fragment (string filter) must fall back to the default *)
+  Alcotest.(check (float 1e-6)) "fallback"
+    (Estimator.default.Estimator.card frag)
+    (learned.Estimator.card frag)
+
+let test_learned_close_to_truth_when_supported () =
+  let _, frag = ctx_and_frag () in
+  let no_string =
+    { frag with
+      Fragment.inputs =
+        List.map (fun i -> { i with Fragment.filters = [] }) frag.Fragment.inputs }
+  in
+  let learned = Estimator.learned Estimator.Neurocard ~seed:1 ~exec:(fun f -> Naive.count f) in
+  let est = learned.Estimator.card no_string in
+  let truth = float_of_int (Naive.count no_string) in
+  let q_err = Float.max (est /. truth) (truth /. est) in
+  Alcotest.(check bool) "within 4x" true (q_err < 4.0)
+
+let test_join_pred_selectivity_range () =
+  let _, frag = ctx_and_frag () in
+  List.iter
+    (fun p ->
+      let s = Estimator.join_pred_selectivity frag p in
+      Alcotest.(check bool) "in (0,1]" true (s > 0.0 && s <= 1.0))
+    frag.Fragment.preds
+
+let suite =
+  [
+    Alcotest.test_case "filtered rows" `Quick test_single_input_filtered_rows;
+    Alcotest.test_case "unfiltered exact" `Quick test_unfiltered_input_exact;
+    Alcotest.test_case "pk-fk join card" `Quick test_pk_fk_join_card;
+    Alcotest.test_case "unknown constant" `Quick test_empty_input_zero;
+    Alcotest.test_case "oracle = naive" `Quick test_oracle_matches_naive;
+    Alcotest.test_case "oracle memoizes" `Quick test_oracle_memoizes;
+    Alcotest.test_case "noisy deterministic" `Quick test_noisy_deterministic_and_spread;
+    Alcotest.test_case "noisy mu shift" `Quick test_noisy_mu_shifts;
+    Alcotest.test_case "pessimistic upper bound" `Quick test_pessimistic_upper_bound;
+    Alcotest.test_case "learned support detection" `Quick test_learned_supports;
+    Alcotest.test_case "learned fallback" `Quick test_learned_fallback_equals_default;
+    Alcotest.test_case "learned near truth" `Quick test_learned_close_to_truth_when_supported;
+    Alcotest.test_case "join sel range" `Quick test_join_pred_selectivity_range;
+  ]

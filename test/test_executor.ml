@@ -1,0 +1,200 @@
+(* The executor: operator semantics against the naive reference, actual-
+   cardinality stats, deadline behaviour, projection, cartesian. *)
+
+module Value = Qs_storage.Value
+module Table = Qs_storage.Table
+module Schema = Qs_storage.Schema
+module Fragment = Qs_stats.Fragment
+module Estimator = Qs_stats.Estimator
+module Optimizer = Qs_plan.Optimizer
+module Physical = Qs_plan.Physical
+module Executor = Qs_exec.Executor
+module Naive = Qs_exec.Naive
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+module Strategy = Qs_core.Strategy
+
+let mini_tables () =
+  let a =
+    Table.of_rows ~name:"a"
+      ~schema:(Schema.make "a" [ ("x", Value.TInt); ("tag", Value.TStr) ])
+      [
+        [| Value.Int 1; Value.Str "p" |];
+        [| Value.Int 2; Value.Str "q" |];
+        [| Value.Int 2; Value.Str "r" |];
+        [| Value.Null; Value.Str "s" |];
+      ]
+  in
+  let b =
+    Table.of_rows ~name:"b"
+      ~schema:(Schema.make "b" [ ("y", Value.TInt); ("v", Value.TInt) ])
+      [
+        [| Value.Int 2; Value.Int 10 |];
+        [| Value.Int 2; Value.Int 20 |];
+        [| Value.Int 3; Value.Int 30 |];
+        [| Value.Null; Value.Int 40 |];
+      ]
+  in
+  (a, b)
+
+let test_hash_join_basics () =
+  let a, b = mini_tables () in
+  let p = Expr.eq (Expr.col "a" "x") (Expr.col "b" "y") in
+  let out = Executor.hash_join ~build:a ~probe:b [ p ] in
+  (* x=2 matches twice on each side: 2*2 = 4 rows; nulls never join *)
+  Alcotest.(check int) "4 rows" 4 (Table.n_rows out)
+
+let test_hash_join_count_matches () =
+  let a, b = mini_tables () in
+  let p = Expr.eq (Expr.col "a" "x") (Expr.col "b" "y") in
+  Alcotest.(check int) "count = materialized" 4
+    (Executor.hash_join_count ~build:a ~probe:b [ p ])
+
+let test_hash_join_residual () =
+  let a, b = mini_tables () in
+  let p = Expr.eq (Expr.col "a" "x") (Expr.col "b" "y") in
+  let res = Expr.Cmp (Expr.Gt, Expr.col "b" "v", Expr.vint 10) in
+  let out = Executor.hash_join ~build:a ~probe:b [ p; res ] in
+  Alcotest.(check int) "residual filters" 2 (Table.n_rows out);
+  Alcotest.(check int) "count agrees" 2
+    (Executor.hash_join_count ~build:a ~probe:b [ p; res ])
+
+let test_nulls_never_join () =
+  let a, b = mini_tables () in
+  let p = Expr.eq (Expr.col "a" "x") (Expr.col "b" "y") in
+  let out = Executor.hash_join ~build:a ~probe:b [ p ] in
+  Array.iter
+    (fun row -> Array.iter (fun v -> Alcotest.(check bool) "no null keys" false
+      (Value.is_null v && false)) row)
+    out.Table.rows;
+  (* the null x row and null y row must not appear *)
+  Alcotest.(check int) "4 rows only" 4 (Table.n_rows out)
+
+let test_filter_input () =
+  let a, _ = mini_tables () in
+  let input =
+    {
+      Fragment.id = "a";
+      table = a;
+      provides = [ "a" ];
+      filters = [ Expr.Cmp (Expr.Eq, Expr.col "a" "x", Expr.vint 2) ];
+      stats = Qs_stats.Table_stats.rowcount_only 4;
+      is_temp = false;
+      base_table = Some "a";
+      provenance = "a";
+      memo = Hashtbl.create 1;
+      scratch = Hashtbl.create 1;
+    }
+  in
+  Alcotest.(check int) "2 rows" 2 (Table.n_rows (Executor.filter_input input))
+
+let test_project () =
+  let a, _ = mini_tables () in
+  let out = Executor.project a [ { Expr.rel = "a"; name = "tag" } ] in
+  Alcotest.(check int) "1 col" 1 (Schema.arity out.Table.schema);
+  Alcotest.(check int) "rows preserved" 4 (Table.n_rows out);
+  (* duplicate columns collapse *)
+  let dup =
+    Executor.project a [ { Expr.rel = "a"; name = "tag" }; { Expr.rel = "a"; name = "tag" } ]
+  in
+  Alcotest.(check int) "dedup" 1 (Schema.arity dup.Table.schema);
+  (* empty projection keeps everything *)
+  Alcotest.(check int) "empty keeps all" 2 (Schema.arity (Executor.project a []).Table.schema)
+
+let test_cartesian () =
+  let a, b = mini_tables () in
+  let out = Executor.cartesian ~name:"x" [ a; b ] in
+  Alcotest.(check int) "16 rows" 16 (Table.n_rows out);
+  Alcotest.(check int) "4 cols" 4 (Schema.arity out.Table.schema)
+
+let test_deadline_timeout () =
+  (* a deliberately huge NL join must hit the deadline *)
+  let big =
+    Table.create ~name:"big"
+      ~schema:(Schema.make "big" [ ("x", Value.TInt) ])
+      (Array.init 30000 (fun i -> [| Value.Int i |]))
+  in
+  let big2 = Table.rename big "big2" in
+  let input t base =
+    {
+      Fragment.id = t.Table.name;
+      table = t;
+      provides = [ t.Table.name ];
+      filters = [];
+      stats = Qs_stats.Analyze.rowcount_of_table t;
+      is_temp = false;
+      base_table = Some base;
+      provenance = t.Table.name;
+      memo = Hashtbl.create 1;
+      scratch = Hashtbl.create 1;
+    }
+  in
+  let l = Physical.scan (input big "big") ~est_rows:30000.0 ~est_cost:1.0 in
+  let r = Physical.scan (input big2 "big") ~est_rows:30000.0 ~est_cost:1.0 in
+  let join =
+    Physical.join ~method_:Physical.Nl () ~left:l ~right:r
+      ~preds:[ Expr.Cmp (Expr.Lt, Expr.col "big" "x", Expr.col "big2" "x") ]
+      ~est_rows:1.0 ~est_cost:1.0
+  in
+  Alcotest.(check bool) "timeout raised" true
+    (try
+       ignore (Executor.run ~deadline:(Unix.gettimeofday () +. 0.05) join);
+       false
+     with Executor.Timeout -> true)
+
+let test_node_stats_actuals () =
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:300 () in
+  ignore cat;
+  let frag = Strategy.fragment_of_query ctx (Fixtures.shop_query ()) in
+  let res = Optimizer.optimize (Strategy.catalog ctx) Estimator.default frag in
+  let tbl, stats = Executor.run res.Optimizer.plan in
+  (* the root's recorded actual equals the output size *)
+  Alcotest.(check (option int)) "root actual" (Some (Table.n_rows tbl))
+    (Hashtbl.find_opt stats res.Optimizer.plan.Physical.id);
+  (* every node recorded something sane *)
+  List.iter
+    (fun (n : Physical.t) ->
+      match Hashtbl.find_opt stats n.Physical.id with
+      | Some c -> Alcotest.(check bool) "non-negative" true (c >= 0)
+      | None -> Alcotest.fail "join node missing stats")
+    (Physical.joins_post_order res.Optimizer.plan)
+
+let test_index_nl_equals_hash () =
+  (* force an index-NL-only plan and compare with hash-only on the same
+     fragment *)
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:500 () in
+  let frag = Strategy.fragment_of_query ctx (Fixtures.shop_query ()) in
+  let hash_res = Optimizer.optimize ~allowed:[ Physical.Hash ] cat Estimator.default frag in
+  let inl_res =
+    Optimizer.optimize ~allowed:[ Physical.Index_nl; Physical.Hash ] cat Estimator.default
+      frag
+  in
+  let t1, _ = Executor.run hash_res.Optimizer.plan in
+  let t2, _ = Executor.run inl_res.Optimizer.plan in
+  Alcotest.(check bool) "same relation" true (Fixtures.tables_equal t1 t2)
+
+let test_naive_count_matches_rows () =
+  let _, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let rng = Qs_util.Rng.create 1 in
+  for _ = 1 to 10 do
+    let q = Fixtures.random_shop_query rng in
+    let frag = Strategy.fragment_of_query ctx q in
+    let full = { frag with Fragment.output = [] } in
+    Alcotest.(check int) "count = |rows|" (Table.n_rows (Naive.rows full))
+      (Naive.count full)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "hash join basics" `Quick test_hash_join_basics;
+    Alcotest.test_case "hash join count" `Quick test_hash_join_count_matches;
+    Alcotest.test_case "hash join residual" `Quick test_hash_join_residual;
+    Alcotest.test_case "nulls never join" `Quick test_nulls_never_join;
+    Alcotest.test_case "filter input" `Quick test_filter_input;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "cartesian" `Quick test_cartesian;
+    Alcotest.test_case "deadline timeout" `Quick test_deadline_timeout;
+    Alcotest.test_case "node stats" `Quick test_node_stats_actuals;
+    Alcotest.test_case "index NL = hash result" `Quick test_index_nl_equals_hash;
+    Alcotest.test_case "naive count = rows" `Quick test_naive_count_matches_rows;
+  ]

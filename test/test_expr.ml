@@ -1,0 +1,181 @@
+(* Expression evaluation, LIKE matching, predicate utilities. *)
+
+module Value = Qs_storage.Value
+module Schema = Qs_storage.Schema
+module Expr = Qs_query.Expr
+
+let schema =
+  Schema.make "r" [ ("a", Value.TInt); ("b", Value.TStr); ("c", Value.TFloat) ]
+
+let row a b c = [| Value.Int a; Value.Str b; Value.Float c |]
+
+let ev p r = Expr.eval schema r p
+
+let test_cmp () =
+  let r = row 5 "x" 1.5 in
+  Alcotest.(check bool) "a = 5" true (ev (Expr.Cmp (Expr.Eq, Expr.col "r" "a", Expr.vint 5)) r);
+  Alcotest.(check bool) "a < 3 false" false (ev (Expr.Cmp (Expr.Lt, Expr.col "r" "a", Expr.vint 3)) r);
+  Alcotest.(check bool) "a >= 5" true (ev (Expr.Cmp (Expr.Ge, Expr.col "r" "a", Expr.vint 5)) r);
+  Alcotest.(check bool) "a <> 4" true (ev (Expr.Cmp (Expr.Ne, Expr.col "r" "a", Expr.vint 4)) r)
+
+let test_null_comparisons_false () =
+  let r = [| Value.Null; Value.Str "x"; Value.Float 1.0 |] in
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "null cmp never true" false
+        (ev (Expr.Cmp (op, Expr.col "r" "a", Expr.vint 0)) r))
+    [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ]
+
+let test_between_in () =
+  let r = row 5 "x" 1.5 in
+  Alcotest.(check bool) "between inclusive lo" true
+    (ev (Expr.Between (Expr.col "r" "a", Value.Int 5, Value.Int 9)) r);
+  Alcotest.(check bool) "between inclusive hi" true
+    (ev (Expr.Between (Expr.col "r" "a", Value.Int 1, Value.Int 5)) r);
+  Alcotest.(check bool) "not between" false
+    (ev (Expr.Between (Expr.col "r" "a", Value.Int 6, Value.Int 9)) r);
+  Alcotest.(check bool) "in list" true
+    (ev (Expr.In_list (Expr.col "r" "a", [ Value.Int 1; Value.Int 5 ])) r);
+  Alcotest.(check bool) "not in list" false
+    (ev (Expr.In_list (Expr.col "r" "a", [ Value.Int 1; Value.Int 2 ])) r)
+
+let test_null_handling () =
+  let r = [| Value.Null; Value.Str "x"; Value.Float 1.0 |] in
+  Alcotest.(check bool) "is null" true (ev (Expr.Is_null (Expr.col "r" "a")) r);
+  Alcotest.(check bool) "not null false" false (ev (Expr.Not_null (Expr.col "r" "a")) r);
+  Alcotest.(check bool) "in list with null lhs" false
+    (ev (Expr.In_list (Expr.col "r" "a", [ Value.Null; Value.Int 1 ])) r)
+
+let test_or () =
+  let r = row 5 "x" 1.5 in
+  Alcotest.(check bool) "or short true" true
+    (ev
+       (Expr.Or
+          [
+            Expr.Cmp (Expr.Eq, Expr.col "r" "a", Expr.vint 9);
+            Expr.Cmp (Expr.Eq, Expr.col "r" "b", Expr.vstr "x");
+          ])
+       r);
+  Alcotest.(check bool) "or all false" false
+    (ev (Expr.Or [ Expr.Cmp (Expr.Eq, Expr.col "r" "a", Expr.vint 9) ]) r)
+
+let test_arith () =
+  let r = row 6 "x" 1.5 in
+  let a_plus_1 = Expr.Arith (Expr.Add, Expr.col "r" "a", Expr.vint 1) in
+  Alcotest.(check bool) "a+1 = 7" true (ev (Expr.Cmp (Expr.Eq, a_plus_1, Expr.vint 7)) r);
+  let mixed = Expr.Arith (Expr.Mul, Expr.col "r" "c", Expr.vint 2) in
+  Alcotest.(check bool) "1.5*2 = 3.0" true
+    (ev (Expr.Cmp (Expr.Eq, mixed, Expr.vfloat 3.0)) r);
+  (* null propagation *)
+  let rnull = [| Value.Null; Value.Str "x"; Value.Float 1.0 |] in
+  Alcotest.(check bool) "null + 1 = null" true
+    (Value.is_null (Expr.eval_scalar schema rnull a_plus_1));
+  (* integer division by zero -> NULL *)
+  let div0 = Expr.Arith (Expr.Div, Expr.col "r" "a", Expr.vint 0) in
+  Alcotest.(check bool) "div by zero null" true
+    (Value.is_null (Expr.eval_scalar schema r div0))
+
+let test_like_cases () =
+  let cases =
+    [
+      ("abc", "abc", true);
+      ("a%", "abc", true);
+      ("%c", "abc", true);
+      ("%b%", "abc", true);
+      ("a_c", "abc", true);
+      ("a_c", "abbc", false);
+      ("%", "", true);
+      ("", "", true);
+      ("", "a", false);
+      ("a%", "b", false);
+      ("%%", "anything", true);
+      ("a%c%e", "abcde", true);
+      ("a%c%e", "ace", true);
+      ("a%c%e", "aec", false);
+      ("_", "", false);
+      ("_", "x", true);
+    ]
+  in
+  List.iter
+    (fun (pat, s, expect) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "'%s' LIKE '%s'" s pat)
+        expect
+        (Expr.like_match ~pattern:pat s))
+    cases
+
+(* reference LIKE matcher: brute force over possible %-expansions *)
+let rec ref_like pat s =
+  match pat with
+  | [] -> s = []
+  | '%' :: rest ->
+      let rec try_suffix t = ref_like rest t || match t with [] -> false | _ :: tl -> try_suffix tl in
+      try_suffix s
+  | '_' :: rest -> ( match s with [] -> false | _ :: tl -> ref_like rest tl)
+  | c :: rest -> ( match s with x :: tl when x = c -> ref_like rest tl | _ -> false)
+
+let explode str = List.init (String.length str) (String.get str)
+
+let qcheck_like_vs_reference =
+  let pat_gen =
+    QCheck.Gen.(
+      string_size ~gen:(oneofl [ 'a'; 'b'; '%'; '_' ]) (int_range 0 6))
+  in
+  let str_gen = QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 0 8)) in
+  QCheck.Test.make ~name:"LIKE matches reference" ~count:1000
+    QCheck.(pair (make pat_gen) (make str_gen))
+    (fun (pat, s) -> Expr.like_match ~pattern:pat s = ref_like (explode pat) (explode s))
+
+let test_join_sides () =
+  let p = Expr.eq (Expr.col "a" "x") (Expr.col "b" "y") in
+  Alcotest.(check bool) "join pred detected" true (Expr.join_sides p <> None);
+  let same_rel = Expr.eq (Expr.col "a" "x") (Expr.col "a" "y") in
+  Alcotest.(check bool) "same-rel not join" true (Expr.join_sides same_rel = None);
+  let filt = Expr.Cmp (Expr.Eq, Expr.col "a" "x", Expr.vint 1) in
+  Alcotest.(check bool) "filter not join" true (Expr.join_sides filt = None)
+
+let test_rels_and_cols () =
+  let p =
+    Expr.Cmp
+      ( Expr.Lt,
+        Expr.Arith (Expr.Add, Expr.col "a" "x", Expr.col "b" "y"),
+        Expr.col "a" "z" )
+  in
+  Alcotest.(check (list string)) "rels in order" [ "a"; "b" ] (Expr.rels_of_pred p);
+  Alcotest.(check int) "3 cols" 3 (List.length (Expr.cols_of_pred p));
+  Alcotest.(check bool) "not single rel" false (Expr.is_single_rel p)
+
+let test_rename_rels () =
+  let p = Expr.eq (Expr.col "a" "x") (Expr.col "b" "y") in
+  let p' = Expr.rename_rels (fun r -> if r = "a" then "T1" else r) p in
+  Alcotest.(check (list string)) "renamed" [ "T1"; "b" ] (Expr.rels_of_pred p')
+
+let test_symmetric_equality () =
+  let p1 = Expr.eq (Expr.col "a" "x") (Expr.col "b" "y") in
+  let p2 = Expr.eq (Expr.col "b" "y") (Expr.col "a" "x") in
+  Alcotest.(check bool) "symmetric equal" true (Expr.equal_pred p1 p2);
+  let p3 = Expr.Cmp (Expr.Lt, Expr.col "a" "x", Expr.col "b" "y") in
+  Alcotest.(check bool) "lt not symmetric-eq" false (Expr.equal_pred p1 p3)
+
+let test_to_string () =
+  Alcotest.(check string) "cmp" "a.x = 5"
+    (Expr.to_string (Expr.Cmp (Expr.Eq, Expr.col "a" "x", Expr.vint 5)));
+  Alcotest.(check string) "like" "a.x LIKE 'h%'"
+    (Expr.to_string (Expr.Like (Expr.col "a" "x", "h%")))
+
+let suite =
+  [
+    Alcotest.test_case "comparisons" `Quick test_cmp;
+    Alcotest.test_case "null comparisons" `Quick test_null_comparisons_false;
+    Alcotest.test_case "between/in" `Quick test_between_in;
+    Alcotest.test_case "null handling" `Quick test_null_handling;
+    Alcotest.test_case "or" `Quick test_or;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "like cases" `Quick test_like_cases;
+    Alcotest.test_case "join sides" `Quick test_join_sides;
+    Alcotest.test_case "rels/cols extraction" `Quick test_rels_and_cols;
+    Alcotest.test_case "rename rels" `Quick test_rename_rels;
+    Alcotest.test_case "symmetric equality" `Quick test_symmetric_equality;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    QCheck_alcotest.to_alcotest qcheck_like_vs_reference;
+  ]

@@ -1,0 +1,116 @@
+(* The directed join graph of §4.1, including the paper's Query 6d
+   example: the mk–ci bidirectional edge of the {t, mk, ci} cycle must be
+   the one removed. *)
+
+module Catalog = Qs_storage.Catalog
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+module Join_graph = Qs_query.Join_graph
+
+(* the JOB 6d shape over the Cinema schema *)
+let q6d () =
+  Query.make ~name:"q6d"
+    [
+      { Query.alias = "ci"; table = "cast_info" };
+      { Query.alias = "k"; table = "keyword" };
+      { Query.alias = "mk"; table = "movie_keyword" };
+      { Query.alias = "n"; table = "name" };
+      { Query.alias = "t"; table = "title" };
+    ]
+    [
+      Expr.eq (Expr.col "k" "id") (Expr.col "mk" "keyword_id");
+      Expr.eq (Expr.col "t" "id") (Expr.col "mk" "movie_id");
+      Expr.eq (Expr.col "t" "id") (Expr.col "ci" "movie_id");
+      Expr.eq (Expr.col "ci" "movie_id") (Expr.col "mk" "movie_id");
+      Expr.eq (Expr.col "n" "id") (Expr.col "ci" "person_id");
+    ]
+
+let graph () = Join_graph.build (Lazy.force Fixtures.cinema) (q6d ())
+
+let test_orientation () =
+  let g = graph () in
+  (* mk -> k, mk -> t, ci -> t, ci -> n must all be directed *)
+  let directed =
+    List.filter_map
+      (fun (e : Join_graph.edge) ->
+        if e.Join_graph.kind = Join_graph.Directed then
+          Some (e.Join_graph.src, e.Join_graph.dst)
+        else None)
+      g.Join_graph.edges
+  in
+  List.iter
+    (fun pair ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s->%s" (fst pair) (snd pair))
+        true (List.mem pair directed))
+    [ ("mk", "k"); ("mk", "t"); ("ci", "t"); ("ci", "n") ]
+
+let test_redundant_cycle_edge_dropped () =
+  let g = graph () in
+  (* exactly the mk-ci FK-FK predicate is dropped *)
+  Alcotest.(check int) "one dropped" 1 (List.length g.Join_graph.dropped);
+  let dropped_rels = Expr.rels_of_pred (List.hd g.Join_graph.dropped) in
+  Alcotest.(check (list string)) "mk-ci" [ "ci"; "mk" ] (List.sort compare dropped_rels);
+  Alcotest.(check int) "four retained" 4 (List.length g.Join_graph.edges)
+
+let test_out_neighbors () =
+  let g = graph () in
+  Alcotest.(check (list string)) "mk points to k,t" [ "k"; "t" ]
+    (List.sort compare (Join_graph.out_neighbors g "mk"));
+  Alcotest.(check (list string)) "ci points to n,t" [ "n"; "t" ]
+    (List.sort compare (Join_graph.out_neighbors g "ci"));
+  Alcotest.(check (list string)) "k is a sink" [] (Join_graph.out_neighbors g "k");
+  Alcotest.(check bool) "t has no outgoing" false (Join_graph.has_outgoing g "t")
+
+let test_reverse () =
+  let g = Join_graph.reverse (graph ()) in
+  Alcotest.(check bool) "t now points out" true (Join_graph.has_outgoing g "t");
+  Alcotest.(check (list string)) "t -> ci,mk" [ "ci"; "mk" ]
+    (List.sort compare (Join_graph.out_neighbors g "t"));
+  Alcotest.(check bool) "mk now a sink" false (Join_graph.has_outgoing g "mk")
+
+let test_connectivity () =
+  let g = graph () in
+  Alcotest.(check bool) "connected" true (Join_graph.is_connected g)
+
+let test_bidirectional_same_kind () =
+  (* an FK-FK equality between two relationship tables is bidirectional *)
+  let q =
+    Query.make ~name:"fkfk"
+      [
+        { Query.alias = "mk"; table = "movie_keyword" };
+        { Query.alias = "ci"; table = "cast_info" };
+      ]
+      [ Expr.eq (Expr.col "mk" "movie_id") (Expr.col "ci" "movie_id") ]
+  in
+  let g = Join_graph.build (Lazy.force Fixtures.cinema) q in
+  Alcotest.(check int) "one edge" 1 (List.length g.Join_graph.edges);
+  Alcotest.(check bool) "bidirectional" true
+    ((List.hd g.Join_graph.edges).Join_graph.kind = Join_graph.Bidirectional);
+  (* bidirectional edges are outgoing from both ends *)
+  Alcotest.(check bool) "mk sees ci" true (Join_graph.has_outgoing g "mk");
+  Alcotest.(check bool) "ci sees mk" true (Join_graph.has_outgoing g "ci")
+
+let test_isolated_vertex () =
+  let q =
+    Query.make ~name:"iso"
+      [
+        { Query.alias = "t"; table = "title" };
+        { Query.alias = "k"; table = "keyword" };
+      ]
+      [ Expr.Cmp (Expr.Ge, Expr.col "t" "production_year", Expr.vint 2000) ]
+  in
+  let g = Join_graph.build (Lazy.force Fixtures.cinema) q in
+  Alcotest.(check int) "no edges" 0 (List.length g.Join_graph.edges);
+  Alcotest.(check bool) "disconnected" false (Join_graph.is_connected g)
+
+let suite =
+  [
+    Alcotest.test_case "orientation" `Quick test_orientation;
+    Alcotest.test_case "redundant cycle edge" `Quick test_redundant_cycle_edge_dropped;
+    Alcotest.test_case "out neighbors" `Quick test_out_neighbors;
+    Alcotest.test_case "reverse" `Quick test_reverse;
+    Alcotest.test_case "connectivity" `Quick test_connectivity;
+    Alcotest.test_case "bidirectional fk-fk" `Quick test_bidirectional_same_kind;
+    Alcotest.test_case "isolated vertex" `Quick test_isolated_vertex;
+  ]

@@ -1,0 +1,69 @@
+(* Logical trees (§3.3 structure). *)
+
+module Logical = Qs_plan.Logical
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+
+let spj name = Logical.Spj (Query.make ~name [ { Query.alias = "a"; table = "t" } ] [])
+
+let agg name input =
+  Logical.Agg
+    {
+      name;
+      group_by = [];
+      aggs = [ { Logical.fn = Logical.Count_star; arg = None; label = "n" } ];
+      input;
+    }
+
+let test_names () =
+  Alcotest.(check string) "spj name" "q1" (Logical.name (spj "q1"));
+  Alcotest.(check string) "agg name" "a1" (Logical.name (agg "a1" (spj "q1")));
+  Alcotest.(check string) "let name = body name" "a1"
+    (Logical.name (Logical.Let { bindings = [ spj "b" ]; body = agg "a1" (spj "q1") }))
+
+let test_is_spj () =
+  Alcotest.(check bool) "spj" true (Logical.is_spj (spj "q"));
+  Alcotest.(check bool) "agg not" false (Logical.is_spj (agg "a" (spj "q")))
+
+let test_children () =
+  let u = Logical.Union_all { name = "u"; inputs = [ spj "x"; spj "y" ] } in
+  Alcotest.(check int) "union children" 2 (List.length (Logical.children u));
+  let l = Logical.Let { bindings = [ spj "b1"; spj "b2" ]; body = spj "body" } in
+  Alcotest.(check int) "let children incl body" 3 (List.length (Logical.children l));
+  let s =
+    Logical.Semi { name = "s"; left = spj "l"; right = spj "r"; on = [] }
+  in
+  Alcotest.(check int) "semi children" 2 (List.length (Logical.children s))
+
+let test_spj_count () =
+  let tree =
+    Logical.Let
+      {
+        bindings = [ agg "a" (spj "s1"); spj "s2" ];
+        body = Logical.Union_all { name = "u"; inputs = [ spj "s3"; agg "b" (spj "s4") ] };
+      }
+  in
+  Alcotest.(check int) "four segments" 4 (Logical.spj_count tree)
+
+let test_group_label () =
+  Alcotest.(check string) "rel_name" "t_year"
+    (Logical.group_label { Expr.rel = "t"; name = "year" })
+
+let test_pp_smoke () =
+  let tree =
+    Logical.Anti
+      { name = "aj"; left = agg "a" (spj "s1"); right = spj "s2"; on = [] }
+  in
+  let s = Format.asprintf "%a" Logical.pp tree in
+  Alcotest.(check bool) "mentions anti" true (Str_helpers.contains s "Anti");
+  Alcotest.(check bool) "mentions agg" true (Str_helpers.contains s "Agg")
+
+let suite =
+  [
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "is_spj" `Quick test_is_spj;
+    Alcotest.test_case "children" `Quick test_children;
+    Alcotest.test_case "spj_count" `Quick test_spj_count;
+    Alcotest.test_case "group label" `Quick test_group_label;
+    Alcotest.test_case "pp" `Quick test_pp_smoke;
+  ]

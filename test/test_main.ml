@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "querysplit"
+    [
+      ("util", Test_util.suite);
+      ("value", Test_value.suite);
+      ("btree", Test_btree.suite);
+      ("storage", Test_storage.suite);
+      ("expr", Test_expr.suite);
+      ("query", Test_query.suite);
+      ("join_graph", Test_join_graph.suite);
+      ("sql", Test_sql.suite);
+      ("stats", Test_stats.suite);
+      ("fragment", Test_fragment.suite);
+      ("estimator", Test_estimator.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("executor", Test_executor.suite);
+      ("naive", Test_naive.suite);
+      ("cost_model", Test_cost_model.suite);
+      ("relop", Test_relop.suite);
+      ("temp", Test_temp.suite);
+      ("logical", Test_logical.suite);
+      ("physical", Test_physical.suite);
+      ("ssa", Test_ssa.suite);
+      ("qsa", Test_qsa.suite);
+      ("querysplit", Test_querysplit.suite);
+      ("strategies", Test_strategies.suite);
+      ("driver", Test_driver.suite);
+      ("similarity", Test_similarity.suite);
+      ("workloads", Test_workloads.suite);
+      ("harness", Test_harness.suite);
+    ]

@@ -1,0 +1,187 @@
+(* The DP optimizer: plan well-formedness, method restrictions, index
+   usage, and agreement of the plan's actual execution with the naive
+   reference. *)
+
+module Value = Qs_storage.Value
+module Catalog = Qs_storage.Catalog
+module Fragment = Qs_stats.Fragment
+module Estimator = Qs_stats.Estimator
+module Optimizer = Qs_plan.Optimizer
+module Physical = Qs_plan.Physical
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+module Strategy = Qs_core.Strategy
+module Executor = Qs_exec.Executor
+module Naive = Qs_exec.Naive
+module Rng = Qs_util.Rng
+
+let setup () =
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:600 () in
+  (cat, ctx, Strategy.fragment_of_query ctx (Fixtures.shop_query ()))
+
+let test_plan_covers_inputs () =
+  let cat, _, frag = setup () in
+  let res = Optimizer.optimize cat Estimator.default frag in
+  let leaf_ids =
+    List.sort compare (List.map (fun i -> i.Fragment.id) (Physical.leaves res.Optimizer.plan))
+  in
+  Alcotest.(check (list string)) "all inputs" [ "c"; "o"; "p"; "r" ] leaf_ids;
+  Alcotest.(check int) "3 joins for 4 rels" 3 (Physical.n_joins res.Optimizer.plan)
+
+let test_single_input_is_scan () =
+  let cat, _, frag = setup () in
+  let sub = Fragment.restrict frag [ Fragment.find_input frag "c" ] in
+  let res = Optimizer.optimize cat Estimator.default sub in
+  match res.Optimizer.plan.Physical.node with
+  | Physical.Scan i -> Alcotest.(check string) "scan of c" "c" i.Fragment.id
+  | _ -> Alcotest.fail "expected scan"
+
+let test_empty_fragment_rejected () =
+  let cat, _, frag = setup () in
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Optimizer.optimize cat Estimator.default { frag with Fragment.inputs = [] });
+       false
+     with Invalid_argument _ -> true)
+
+let methods_used plan =
+  List.filter_map
+    (fun (n : Physical.t) ->
+      match n.Physical.node with
+      | Physical.Join j -> Some j.Physical.method_
+      | _ -> None)
+    (Physical.joins_post_order plan)
+
+let test_hash_only_restriction () =
+  let cat, _, frag = setup () in
+  let res = Optimizer.optimize ~allowed:[ Physical.Hash ] cat Estimator.default frag in
+  List.iter
+    (fun m -> Alcotest.(check bool) "hash only" true (m = Physical.Hash))
+    (methods_used res.Optimizer.plan)
+
+let test_index_nl_needs_index () =
+  let cat, _, frag = setup () in
+  (* with Pk+Fk indexes an index NL join is at least available; after
+     downgrading to Pk-only, FK-column index joins must disappear *)
+  Catalog.build_indexes cat Catalog.Pk_only;
+  let res = Optimizer.optimize cat Estimator.default frag in
+  List.iter
+    (fun (n : Physical.t) ->
+      match n.Physical.node with
+      | Physical.Join { method_ = Physical.Index_nl; index = Some (ix, _, _); right; _ } ->
+          (* the inner is a base scan and the index must exist in Pk_only *)
+          (match right.Physical.node with
+          | Physical.Scan i ->
+              Alcotest.(check bool) "inner is base" false i.Fragment.is_temp
+          | _ -> Alcotest.fail "index NL inner must be a scan");
+          Alcotest.(check bool) "pk index only" true
+            (Qs_storage.Index.name ix = "customers.id"
+            || Qs_storage.Index.name ix = "products.id"
+            || Qs_storage.Index.name ix = "orders.id"
+            || Qs_storage.Index.name ix = "reviews.id")
+      | _ -> ())
+    (Physical.joins_post_order res.Optimizer.plan);
+  Catalog.build_indexes cat Catalog.Pk_fk
+
+let test_no_index_nl_on_temp () =
+  let cat, _, frag = setup () in
+  (* replace products with a temp covering products: index joins into it
+     must not be generated *)
+  let p = Fragment.find_input frag "p" in
+  let tbl = Executor.filter_input p in
+  let temp =
+    Fragment.temp_input ~id:"T1" ~provenance:"t1" tbl ~provides:[ "p" ]
+      ~stats:(Qs_stats.Analyze.of_table tbl)
+  in
+  let frag' = Fragment.substitute frag ~temp in
+  let res = Optimizer.optimize cat Estimator.default frag' in
+  List.iter
+    (fun (n : Physical.t) ->
+      match n.Physical.node with
+      | Physical.Join { method_ = Physical.Index_nl; right; _ } -> (
+          match right.Physical.node with
+          | Physical.Scan i ->
+              Alcotest.(check bool) "never into a temp" false i.Fragment.is_temp
+          | _ -> ())
+      | _ -> ())
+    (Physical.joins_post_order res.Optimizer.plan)
+
+let test_disconnected_gets_cartesian () =
+  let cat, ctx = Fixtures.shop_ctx () in
+  ignore cat;
+  let q =
+    Query.make ~name:"cross"
+      [ { Query.alias = "c"; table = "customers" }; { Query.alias = "p"; table = "products" } ]
+      [
+        Expr.Cmp (Expr.Eq, Expr.col "c" "city", Expr.vstr "kiel");
+        Expr.Cmp (Expr.Eq, Expr.col "p" "kind", Expr.vstr "tool");
+      ]
+  in
+  let frag = Strategy.fragment_of_query ctx q in
+  let res = Optimizer.optimize (Strategy.catalog ctx) Estimator.default frag in
+  Alcotest.(check int) "one cartesian join" 1 (Physical.n_joins res.Optimizer.plan);
+  let tbl, _ = Executor.run res.Optimizer.plan in
+  Alcotest.(check bool) "result equals naive" true
+    (Fixtures.tables_equal tbl (Naive.rows { frag with Fragment.output = [] }))
+
+let test_optimal_cost_not_above_default_cost () =
+  (* under the SAME estimator the DP result is a min: re-costing the
+     returned plan must reproduce its own estimate *)
+  let cat, _, frag = setup () in
+  let res = Optimizer.optimize cat Estimator.default frag in
+  let recost = Optimizer.cost_plan cat Estimator.default frag res.Optimizer.plan in
+  Alcotest.(check bool) "recost close to est" true
+    (Float.abs (recost -. res.Optimizer.est_cost) /. Float.max 1.0 res.Optimizer.est_cost
+     < 0.05)
+
+let test_plan_execution_matches_naive () =
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  ignore cat;
+  let rng = Rng.create 99 in
+  for _ = 1 to 15 do
+    let q = Fixtures.random_shop_query rng in
+    let frag = Strategy.fragment_of_query ctx q in
+    let res = Optimizer.optimize (Strategy.catalog ctx) Estimator.default frag in
+    let tbl, _ = Executor.run res.Optimizer.plan in
+    let expected = Naive.rows { frag with Fragment.output = [] } in
+    if not (Fixtures.tables_equal tbl expected) then
+      Alcotest.failf "plan result diverges from naive on %s" (Query.to_sql q)
+  done
+
+let test_replace_node () =
+  let cat, _, frag = setup () in
+  let res = Optimizer.optimize cat Estimator.default frag in
+  match Physical.deepest_join res.Optimizer.plan with
+  | None -> Alcotest.fail "expected a join"
+  | Some node ->
+      let sub_tbl, _ = Executor.run node in
+      let temp =
+        Fragment.temp_input ~id:"TT" ~provenance:"tt" sub_tbl
+          ~provides:node.Physical.rels
+          ~stats:(Qs_stats.Analyze.of_table sub_tbl)
+      in
+      let scan =
+        Physical.scan temp ~est_rows:(float_of_int (Qs_storage.Table.n_rows sub_tbl))
+          ~est_cost:1.0
+      in
+      let replaced = Physical.replace res.Optimizer.plan ~id:node.Physical.id ~by:scan in
+      Alcotest.(check int) "one less join"
+        (Physical.n_joins res.Optimizer.plan - 1)
+        (Physical.n_joins replaced);
+      let tbl, _ = Executor.run replaced in
+      let expected, _ = Executor.run res.Optimizer.plan in
+      Alcotest.(check bool) "same result" true (Fixtures.tables_equal tbl expected)
+
+let suite =
+  [
+    Alcotest.test_case "plan covers inputs" `Quick test_plan_covers_inputs;
+    Alcotest.test_case "single input scan" `Quick test_single_input_is_scan;
+    Alcotest.test_case "empty fragment" `Quick test_empty_fragment_rejected;
+    Alcotest.test_case "hash-only restriction" `Quick test_hash_only_restriction;
+    Alcotest.test_case "index NL respects config" `Quick test_index_nl_needs_index;
+    Alcotest.test_case "no index NL on temps" `Quick test_no_index_nl_on_temp;
+    Alcotest.test_case "disconnected cartesian" `Quick test_disconnected_gets_cartesian;
+    Alcotest.test_case "recost consistency" `Quick test_optimal_cost_not_above_default_cost;
+    Alcotest.test_case "plan matches naive" `Quick test_plan_execution_matches_naive;
+    Alcotest.test_case "replace node" `Quick test_replace_node;
+  ]

@@ -1,0 +1,160 @@
+(* The Query Splitting Algorithm: the paper's 6d example, the cover
+   guarantee (Definition 1) as a property over generated queries, and the
+   degenerate star case. *)
+
+module Catalog = Qs_storage.Catalog
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+module Qsa = Qs_core.Qsa
+module Rng = Qs_util.Rng
+
+let q6d () =
+  Query.make ~name:"q6d"
+    [
+      { Query.alias = "ci"; table = "cast_info" };
+      { Query.alias = "k"; table = "keyword" };
+      { Query.alias = "mk"; table = "movie_keyword" };
+      { Query.alias = "n"; table = "name" };
+      { Query.alias = "t"; table = "title" };
+    ]
+    [
+      Expr.eq (Expr.col "k" "id") (Expr.col "mk" "keyword_id");
+      Expr.eq (Expr.col "t" "id") (Expr.col "mk" "movie_id");
+      Expr.eq (Expr.col "t" "id") (Expr.col "ci" "movie_id");
+      Expr.eq (Expr.col "ci" "movie_id") (Expr.col "mk" "movie_id");
+      Expr.eq (Expr.col "n" "id") (Expr.col "ci" "person_id");
+    ]
+
+let alias_sets subs =
+  List.map (fun s -> List.sort compare (Query.aliases s)) subs |> List.sort compare
+
+let test_rcenter_on_6d () =
+  (* the paper's Figure 8: S1 = k ⋈ mk ⋈ t around mk, S2 = t ⋈ ci ⋈ n
+     around ci *)
+  let subs = Qsa.split (Lazy.force Fixtures.cinema) (q6d ()) Qsa.RCenter in
+  Alcotest.(check (list (list string))) "two centered subqueries"
+    [ [ "ci"; "n"; "t" ]; [ "k"; "mk"; "t" ] ]
+    (alias_sets subs)
+
+let test_ecenter_on_6d () =
+  (* reversed edges: centers are the entities k (→mk), t (→mk,ci), n (→ci) *)
+  let subs = Qsa.split (Lazy.force Fixtures.cinema) (q6d ()) Qsa.ECenter in
+  let sets = alias_sets subs in
+  Alcotest.(check bool) "k center" true (List.mem [ "k"; "mk" ] sets);
+  Alcotest.(check bool) "n center" true (List.mem [ "ci"; "n" ] sets);
+  Alcotest.(check bool) "t center" true (List.mem [ "ci"; "mk"; "t" ] sets)
+
+let test_minsubquery_on_6d () =
+  let subs = Qsa.split (Lazy.force Fixtures.cinema) (q6d ()) Qsa.MinSubquery in
+  (* one two-relation subquery per join predicate (5 preds, one of them
+     duplicating an alias pair? — all distinct here) *)
+  Alcotest.(check int) "five subqueries" 5 (List.length subs);
+  List.iter
+    (fun s -> Alcotest.(check int) "two rels each" 2 (List.length s.Query.rels))
+    subs
+
+let test_all_policies_cover () =
+  let q = q6d () in
+  List.iter
+    (fun policy ->
+      let subs = Qsa.split (Lazy.force Fixtures.cinema) q policy in
+      Alcotest.(check bool) (Qsa.policy_name policy ^ " covers") true
+        (Query.covers subs q))
+    Qsa.all_policies
+
+let test_star_schema_degenerates () =
+  (* a strict star: one fact with FKs to two dims — RCenter must produce a
+     single subquery = the whole query (no re-optimization, §4.1) *)
+  let q =
+    Query.make ~name:"star"
+      [
+        { Query.alias = "o"; table = "orders" };
+        { Query.alias = "c"; table = "customers" };
+        { Query.alias = "p"; table = "products" };
+      ]
+      [
+        Expr.eq (Expr.col "o" "customer_id") (Expr.col "c" "id");
+        Expr.eq (Expr.col "o" "product_id") (Expr.col "p" "id");
+      ]
+  in
+  let cat = Fixtures.shop_catalog () in
+  let subs = Qsa.split cat q Qsa.RCenter in
+  Alcotest.(check int) "single subquery" 1 (List.length subs);
+  Alcotest.(check int) "whole query" 3 (List.length (List.hd subs).Query.rels)
+
+let test_single_relation_query () =
+  let q =
+    Query.make ~name:"single"
+      [ { Query.alias = "c"; table = "customers" } ]
+      [ Expr.Cmp (Expr.Eq, Expr.col "c" "city", Expr.vstr "oslo") ]
+  in
+  let cat = Fixtures.shop_catalog () in
+  List.iter
+    (fun policy ->
+      let subs = Qsa.split cat q policy in
+      Alcotest.(check int) "one singleton" 1 (List.length subs))
+    Qsa.all_policies
+
+let test_cartesian_query_isolated_singletons () =
+  let q =
+    Query.make ~name:"cart"
+      [
+        { Query.alias = "c"; table = "customers" };
+        { Query.alias = "p"; table = "products" };
+      ]
+      []
+  in
+  let cat = Fixtures.shop_catalog () in
+  let subs = Qsa.split cat q Qsa.RCenter in
+  Alcotest.(check int) "two singletons" 2 (List.length subs);
+  Alcotest.(check bool) "covers" true (Query.covers subs q)
+
+let test_filters_travel_with_subqueries () =
+  let cat = Fixtures.shop_catalog () in
+  let q = Fixtures.shop_query () in
+  List.iter
+    (fun policy ->
+      let subs = Qsa.split cat q policy in
+      (* every subquery containing c must carry the city filter *)
+      List.iter
+        (fun s ->
+          if List.mem "c" (Query.aliases s) then
+            Alcotest.(check int) "city filter present" 1
+              (List.length (Query.filters s "c")))
+        subs)
+    Qsa.all_policies
+
+let qcheck_cover_property =
+  QCheck.Test.make ~name:"QSA always covers (random queries)" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let cat = Fixtures.shop_catalog () in
+      let rng = Rng.create seed in
+      let q = Fixtures.random_shop_query rng in
+      List.for_all (fun policy -> Query.covers (Qsa.split cat q policy) q) Qsa.all_policies)
+
+let qcheck_cover_on_cinema =
+  QCheck.Test.make ~name:"QSA covers the generated JOB-like queries" ~count:1
+    QCheck.unit
+    (fun () ->
+      let cat = Lazy.force Fixtures.cinema in
+      List.for_all
+        (fun q ->
+          List.for_all
+            (fun policy -> Query.covers (Qsa.split cat q policy) q)
+            Qsa.all_policies)
+        (Lazy.force Fixtures.cinema_queries))
+
+let suite =
+  [
+    Alcotest.test_case "RCenter on 6d" `Quick test_rcenter_on_6d;
+    Alcotest.test_case "ECenter on 6d" `Quick test_ecenter_on_6d;
+    Alcotest.test_case "MinSubquery on 6d" `Quick test_minsubquery_on_6d;
+    Alcotest.test_case "policies cover 6d" `Quick test_all_policies_cover;
+    Alcotest.test_case "star degenerates" `Quick test_star_schema_degenerates;
+    Alcotest.test_case "single relation" `Quick test_single_relation_query;
+    Alcotest.test_case "cartesian singletons" `Quick test_cartesian_query_isolated_singletons;
+    Alcotest.test_case "filters travel" `Quick test_filters_travel_with_subqueries;
+    QCheck_alcotest.to_alcotest qcheck_cover_property;
+    QCheck_alcotest.to_alcotest qcheck_cover_on_cinema;
+  ]

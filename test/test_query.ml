@@ -1,0 +1,137 @@
+(* Query normal form, restriction, the cover relation of Definition 1. *)
+
+module Value = Qs_storage.Value
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+
+let rel alias table = { Query.alias; table }
+
+let three_way () =
+  (* R1 ⋈ R2 ⋈ R3 as in the paper's Figure 6 *)
+  Query.make ~name:"fig6"
+    [ rel "r1" "t1"; rel "r2" "t2"; rel "r3" "t3" ]
+    [
+      Expr.eq (Expr.col "r1" "a") (Expr.col "r2" "b");
+      Expr.eq (Expr.col "r2" "b") (Expr.col "r3" "c");
+      Expr.Cmp (Expr.Gt, Expr.col "r1" "a", Expr.vint 0);
+    ]
+
+let test_make_duplicate_alias () =
+  Alcotest.(check bool) "duplicate alias rejected" true
+    (try
+       ignore (Query.make [ rel "a" "t"; rel "a" "u" ] []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_make_unknown_alias_in_pred () =
+  Alcotest.(check bool) "unknown alias rejected" true
+    (try
+       ignore
+         (Query.make [ rel "a" "t" ] [ Expr.Cmp (Expr.Eq, Expr.col "zz" "x", Expr.vint 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_filters_vs_joins () =
+  let q = three_way () in
+  Alcotest.(check int) "one filter on r1" 1 (List.length (Query.filters q "r1"));
+  Alcotest.(check int) "no filter on r2" 0 (List.length (Query.filters q "r2"));
+  Alcotest.(check int) "two join preds" 2 (List.length (Query.join_preds q))
+
+let test_restrict () =
+  let q = three_way () in
+  let sub = Query.restrict ~name:"s1" q [ "r1"; "r2" ] in
+  Alcotest.(check int) "two rels" 2 (List.length sub.Query.rels);
+  (* keeps the r1-r2 join and the r1 filter, drops the r2-r3 join *)
+  Alcotest.(check int) "two preds" 2 (List.length sub.Query.preds);
+  Alcotest.(check bool) "is subquery" true (Query.is_subquery sub ~of_:q)
+
+let test_covers_positive () =
+  let q = three_way () in
+  let s1 = Query.restrict ~name:"s1" q [ "r1"; "r2" ] in
+  let s2 = Query.restrict ~name:"s2" q [ "r2"; "r3" ] in
+  Alcotest.(check bool) "S1,S2 cover q" true (Query.covers [ s1; s2 ] q)
+
+let test_covers_missing_relation () =
+  let q = three_way () in
+  let s1 = Query.restrict ~name:"s1" q [ "r1"; "r2" ] in
+  Alcotest.(check bool) "missing r3" false (Query.covers [ s1 ] q)
+
+let test_covers_missing_pred () =
+  let q = three_way () in
+  (* subqueries covering all relations but omitting the r2-r3 join *)
+  let s1 = Query.restrict ~name:"s1" q [ "r1"; "r2" ] in
+  let s3 = Query.restrict ~name:"s3" q [ "r3" ] in
+  Alcotest.(check bool) "r2-r3 pred uncovered" false (Query.covers [ s1; s3 ] q)
+
+let test_covers_via_transitivity () =
+  (* q has a.x=b.y and b.y=c.z and the *implied* a.x=c.z; a cover that
+     carries only the two base equalities must still imply the third. *)
+  let q =
+    Query.make ~name:"tri"
+      [ rel "a" "t"; rel "b" "u"; rel "c" "v" ]
+      [
+        Expr.eq (Expr.col "a" "x") (Expr.col "b" "y");
+        Expr.eq (Expr.col "b" "y") (Expr.col "c" "z");
+        Expr.eq (Expr.col "a" "x") (Expr.col "c" "z");
+      ]
+  in
+  let s1 = Query.restrict ~name:"s1" q [ "a"; "b" ] in
+  let s2 = Query.restrict ~name:"s2" q [ "b"; "c" ] in
+  Alcotest.(check bool) "transitive implication" true (Query.covers [ s1; s2 ] q)
+
+let test_implies () =
+  let base =
+    [
+      Expr.eq (Expr.col "a" "x") (Expr.col "b" "y");
+      Expr.eq (Expr.col "b" "y") (Expr.col "c" "z");
+    ]
+  in
+  Alcotest.(check bool) "direct member" true
+    (Query.implies base (Expr.eq (Expr.col "b" "y") (Expr.col "a" "x")));
+  Alcotest.(check bool) "transitive" true
+    (Query.implies base (Expr.eq (Expr.col "a" "x") (Expr.col "c" "z")));
+  Alcotest.(check bool) "unrelated" false
+    (Query.implies base (Expr.eq (Expr.col "a" "x") (Expr.col "d" "w")))
+
+let test_equiv_classes () =
+  let classes =
+    Query.equiv_classes
+      [
+        Expr.eq (Expr.col "a" "x") (Expr.col "b" "y");
+        Expr.eq (Expr.col "b" "y") (Expr.col "c" "z");
+        Expr.eq (Expr.col "d" "p") (Expr.col "e" "q");
+      ]
+  in
+  let sizes = List.sort compare (List.map List.length classes) in
+  Alcotest.(check (list int)) "classes {3} {2}" [ 2; 3 ] sizes
+
+let test_to_sql () =
+  let q = three_way () in
+  let sql = Query.to_sql q in
+  Alcotest.(check bool) "mentions FROM" true
+    (String.length sql > 0
+    && Str_helpers.contains sql "FROM t1 AS r1"
+    && Str_helpers.contains sql "WHERE")
+
+let test_table_of_alias () =
+  let q = three_way () in
+  Alcotest.(check string) "lookup" "t2" (Query.table_of_alias q "r2");
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Query.table_of_alias: unknown alias zz") (fun () ->
+      ignore (Query.table_of_alias q "zz"))
+
+let suite =
+  [
+    Alcotest.test_case "duplicate alias" `Quick test_make_duplicate_alias;
+    Alcotest.test_case "unknown alias in pred" `Quick test_make_unknown_alias_in_pred;
+    Alcotest.test_case "filters vs joins" `Quick test_filters_vs_joins;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "covers positive" `Quick test_covers_positive;
+    Alcotest.test_case "covers missing relation" `Quick test_covers_missing_relation;
+    Alcotest.test_case "covers missing pred" `Quick test_covers_missing_pred;
+    Alcotest.test_case "covers via transitivity" `Quick test_covers_via_transitivity;
+    Alcotest.test_case "implies" `Quick test_implies;
+    Alcotest.test_case "equiv classes" `Quick test_equiv_classes;
+    Alcotest.test_case "to_sql" `Quick test_to_sql;
+    Alcotest.test_case "table_of_alias" `Quick test_table_of_alias;
+  ]

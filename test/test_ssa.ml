@@ -1,0 +1,62 @@
+(* The Φ rankings (§4.2, Table 2). *)
+
+module Ssa = Qs_core.Ssa
+
+let test_phi1_ignores_size () =
+  Alcotest.(check (float 1e-9)) "phi1 = C" 7.0 (Ssa.phi Ssa.Phi1 ~cost:7.0 ~size:1e9)
+
+let test_phi5_ignores_cost () =
+  Alcotest.(check (float 1e-9)) "phi5 = S" 42.0 (Ssa.phi Ssa.Phi5 ~cost:1e9 ~size:42.0)
+
+let test_phi4_product () =
+  Alcotest.(check (float 1e-9)) "phi4 = C*S" 50.0 (Ssa.phi Ssa.Phi4 ~cost:5.0 ~size:10.0)
+
+let test_ascending_size_weight () =
+  (* Table 2: Φ1..Φ4 weight S increasingly heavily. Doubling S must
+     increase Φk strictly more (relatively) for larger k (Φ1 not at all). *)
+  let cost = 10.0 in
+  let ratio p = Ssa.phi p ~cost ~size:1000.0 /. Ssa.phi p ~cost ~size:10.0 in
+  Alcotest.(check (float 1e-9)) "phi1 flat" 1.0 (ratio Ssa.Phi1);
+  Alcotest.(check bool) "phi2 grows" true (ratio Ssa.Phi2 > 1.0);
+  Alcotest.(check bool) "phi3 > phi2" true (ratio Ssa.Phi3 > ratio Ssa.Phi2);
+  Alcotest.(check bool) "phi4 > phi3" true (ratio Ssa.Phi4 > ratio Ssa.Phi3)
+
+let test_monotone_in_cost () =
+  List.iter
+    (fun p ->
+      if p <> Ssa.Phi5 then
+        Alcotest.(check bool)
+          (Ssa.policy_name p ^ " monotone in cost")
+          true
+          (Ssa.phi p ~cost:20.0 ~size:100.0 > Ssa.phi p ~cost:10.0 ~size:100.0))
+    Ssa.all_phi
+
+let test_log_clamp () =
+  (* size < 2 is clamped so log never turns the ranking negative *)
+  Alcotest.(check bool) "positive at size 0" true
+    (Ssa.phi Ssa.Phi2 ~cost:5.0 ~size:0.0 > 0.0);
+  Alcotest.(check bool) "positive at size 1" true
+    (Ssa.phi Ssa.Phi2 ~cost:5.0 ~size:1.0 > 0.0)
+
+let test_global_deep_rejected () =
+  Alcotest.(check bool) "not pointwise" true
+    (try
+       ignore (Ssa.phi Ssa.Global_deep ~cost:1.0 ~size:1.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_names_unique () =
+  let names = List.map Ssa.policy_name (Ssa.all_phi @ [ Ssa.Global_deep ]) in
+  Alcotest.(check int) "6 distinct names" 6 (List.length (List.sort_uniq compare names))
+
+let suite =
+  [
+    Alcotest.test_case "phi1 ignores size" `Quick test_phi1_ignores_size;
+    Alcotest.test_case "phi5 ignores cost" `Quick test_phi5_ignores_cost;
+    Alcotest.test_case "phi4 product" `Quick test_phi4_product;
+    Alcotest.test_case "ascending size weight" `Quick test_ascending_size_weight;
+    Alcotest.test_case "monotone in cost" `Quick test_monotone_in_cost;
+    Alcotest.test_case "log clamp" `Quick test_log_clamp;
+    Alcotest.test_case "global_deep rejected" `Quick test_global_deep_rejected;
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+  ]

@@ -1,0 +1,179 @@
+(* Histograms, column statistics, ANALYZE, restriction selectivity. *)
+
+module Value = Qs_storage.Value
+module Schema = Qs_storage.Schema
+module Table = Qs_storage.Table
+module Histogram = Qs_stats.Histogram
+module Column_stats = Qs_stats.Column_stats
+module Table_stats = Qs_stats.Table_stats
+module Analyze = Qs_stats.Analyze
+module Selectivity = Qs_stats.Selectivity
+module Expr = Qs_query.Expr
+
+let ints xs = Array.of_list (List.map (fun i -> Value.Int i) xs)
+
+let test_histogram_empty () =
+  Alcotest.(check bool) "no values -> None" true
+    (Histogram.build [| Value.Null; Value.Null |] ~n_buckets:4 = None)
+
+let test_histogram_fraction_bounds () =
+  let h = Option.get (Histogram.build (ints (List.init 100 (fun i -> i))) ~n_buckets:10) in
+  Alcotest.(check (float 1e-9)) "below min" 0.0 (Histogram.fraction_le h (Value.Int (-1)));
+  Alcotest.(check (float 1e-9)) "above max" 1.0 (Histogram.fraction_le h (Value.Int 200));
+  let mid = Histogram.fraction_le h (Value.Int 49) in
+  Alcotest.(check bool) "median around 0.5" true (mid > 0.4 && mid < 0.6)
+
+let test_histogram_monotone () =
+  let h = Option.get (Histogram.build (ints (List.init 50 (fun i -> i * 3))) ~n_buckets:8) in
+  let prev = ref 0.0 in
+  for x = -5 to 160 do
+    let f = Histogram.fraction_le h (Value.Int x) in
+    Alcotest.(check bool) "monotone" true (f >= !prev -. 1e-12);
+    prev := f
+  done
+
+let test_histogram_between () =
+  let h = Option.get (Histogram.build (ints (List.init 100 (fun i -> i))) ~n_buckets:10) in
+  Alcotest.(check (float 1e-9)) "empty range" 0.0
+    (Histogram.fraction_between h ~lo:(Value.Int 50) ~hi:(Value.Int 40));
+  let f = Histogram.fraction_between h ~lo:(Value.Int 20) ~hi:(Value.Int 39) in
+  Alcotest.(check bool) "about 20%" true (f > 0.12 && f < 0.28)
+
+let test_column_stats_basics () =
+  let cs = Column_stats.of_values (ints [ 1; 1; 1; 2; 3; 4; 5 ]) in
+  Alcotest.(check int) "5 distinct" 5 cs.Column_stats.n_distinct;
+  Alcotest.(check (float 1e-9)) "no nulls" 0.0 cs.Column_stats.null_frac;
+  Alcotest.(check bool) "min" true (cs.Column_stats.min_v = Some (Value.Int 1));
+  Alcotest.(check bool) "max" true (cs.Column_stats.max_v = Some (Value.Int 5));
+  Alcotest.(check bool) "1 is an MCV" true
+    (Column_stats.mcv_freq cs (Value.Int 1) <> None)
+
+let test_column_stats_nulls () =
+  let cs = Column_stats.of_values [| Value.Null; Value.Int 1; Value.Null; Value.Int 2 |] in
+  Alcotest.(check (float 1e-9)) "half null" 0.5 cs.Column_stats.null_frac;
+  Alcotest.(check int) "2 distinct" 2 cs.Column_stats.n_distinct
+
+let test_column_stats_all_null () =
+  let cs = Column_stats.of_values [| Value.Null; Value.Null |] in
+  Alcotest.(check int) "0 distinct" 0 cs.Column_stats.n_distinct;
+  Alcotest.(check bool) "no hist" true (cs.Column_stats.hist = None);
+  Alcotest.(check (float 1e-9)) "max_freq fallback" 1.0 (Column_stats.max_freq cs)
+
+let test_uniform_column_no_mcvs () =
+  let cs = Column_stats.of_values (ints (List.init 1000 (fun i -> i))) in
+  Alcotest.(check (list (pair (of_pp Value.pp) (float 0.0)))) "no MCVs on unique column"
+    [] cs.Column_stats.mcvs
+
+let sample_table () =
+  let rows =
+    Array.init 1000 (fun i ->
+        [| Value.Int i; Value.Str (if i mod 10 = 0 then "hot" else "cold" ^ string_of_int i) |])
+  in
+  Table.create ~name:"t"
+    ~schema:(Schema.make "t" [ ("id", Value.TInt); ("tag", Value.TStr) ])
+    rows
+
+let test_analyze () =
+  let stats = Analyze.of_table (sample_table ()) in
+  Alcotest.(check int) "row count" 1000 (Table_stats.n_rows stats);
+  Alcotest.(check bool) "has col stats" true (Table_stats.has_column_stats stats);
+  let id = Option.get (Table_stats.find stats ~rel:"t" ~name:"id") in
+  Alcotest.(check int) "id distinct = 1000" 1000 id.Column_stats.n_distinct
+
+let test_analyze_sampling_extrapolates () =
+  let rows = Array.init 60_000 (fun i -> [| Value.Int i |]) in
+  let t = Table.create ~name:"big" ~schema:(Schema.make "big" [ ("id", Value.TInt) ]) rows in
+  let stats = Analyze.of_table ~sample:4000 t in
+  let id = Option.get (Table_stats.find stats ~rel:"big" ~name:"id") in
+  (* the sample saturates (all distinct), so ndv must extrapolate to ~60k *)
+  Alcotest.(check bool) "extrapolated" true (id.Column_stats.n_distinct > 50_000)
+
+let test_rowcount_only () =
+  let stats = Analyze.rowcount_of_table (sample_table ()) in
+  Alcotest.(check int) "rows" 1000 (Table_stats.n_rows stats);
+  Alcotest.(check bool) "no col stats" false (Table_stats.has_column_stats stats);
+  Alcotest.(check bool) "find none" true (Table_stats.find stats ~rel:"t" ~name:"id" = None)
+
+(* selectivity over a concrete, known distribution *)
+let stats_of_sample () =
+  let stats = Analyze.of_table (sample_table ()) in
+  fun (c : Expr.colref) -> Table_stats.find stats ~rel:c.Expr.rel ~name:c.Expr.name
+
+let test_eq_selectivity_mcv () =
+  let stats_of = stats_of_sample () in
+  let sel = Selectivity.pred ~stats_of (Expr.Cmp (Expr.Eq, Expr.col "t" "tag", Expr.vstr "hot")) in
+  Alcotest.(check bool) "hot ~ 10%" true (sel > 0.05 && sel < 0.2)
+
+let test_range_selectivity () =
+  let stats_of = stats_of_sample () in
+  let sel = Selectivity.pred ~stats_of (Expr.Cmp (Expr.Lt, Expr.col "t" "id", Expr.vint 250)) in
+  Alcotest.(check bool) "quarter" true (sel > 0.15 && sel < 0.35)
+
+let test_between_selectivity () =
+  let stats_of = stats_of_sample () in
+  let sel =
+    Selectivity.pred ~stats_of (Expr.Between (Expr.col "t" "id", Value.Int 100, Value.Int 299))
+  in
+  Alcotest.(check bool) "about 20%" true (sel > 0.1 && sel < 0.3)
+
+let test_like_selectivity_prefix () =
+  let stats_of = stats_of_sample () in
+  let sel = Selectivity.pred ~stats_of (Expr.Like (Expr.col "t" "tag", "hot%")) in
+  Alcotest.(check bool) "prefix like small" true (sel > 0.0 && sel < 0.3)
+
+let test_conj_independence () =
+  let stats_of = stats_of_sample () in
+  let p1 = Expr.Cmp (Expr.Lt, Expr.col "t" "id", Expr.vint 500) in
+  let p2 = Expr.Cmp (Expr.Eq, Expr.col "t" "tag", Expr.vstr "hot") in
+  let s1 = Selectivity.pred ~stats_of p1 in
+  let s2 = Selectivity.pred ~stats_of p2 in
+  let both = Selectivity.conj ~stats_of [ p1; p2 ] in
+  Alcotest.(check (float 1e-9)) "product rule" (s1 *. s2) both
+
+let test_no_stats_defaults () =
+  let stats_of _ = None in
+  Alcotest.(check (float 1e-9)) "default eq" Selectivity.default_eq_sel
+    (Selectivity.pred ~stats_of (Expr.Cmp (Expr.Eq, Expr.col "x" "c", Expr.vint 1)));
+  Alcotest.(check (float 1e-9)) "default range" Selectivity.default_range_sel
+    (Selectivity.pred ~stats_of (Expr.Cmp (Expr.Lt, Expr.col "x" "c", Expr.vint 1)))
+
+let arbitrary_pred_sel =
+  (* all selectivities must live in (0, 1] *)
+  QCheck.Test.make ~name:"selectivity in (0,1]" ~count:300
+    QCheck.(pair (int_range (-2000) 2000) (int_range 0 5))
+    (fun (v, kind) ->
+      let stats_of = stats_of_sample () in
+      let c = Expr.col "t" "id" in
+      let p =
+        match kind with
+        | 0 -> Expr.Cmp (Expr.Eq, c, Expr.vint v)
+        | 1 -> Expr.Cmp (Expr.Lt, c, Expr.vint v)
+        | 2 -> Expr.Cmp (Expr.Ge, c, Expr.vint v)
+        | 3 -> Expr.Between (c, Value.Int v, Value.Int (v + 100))
+        | 4 -> Expr.In_list (c, [ Value.Int v; Value.Int (v + 1) ])
+        | _ -> Expr.Or [ Expr.Cmp (Expr.Eq, c, Expr.vint v) ]
+      in
+      let s = Selectivity.pred ~stats_of p in
+      s > 0.0 && s <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram bounds" `Quick test_histogram_fraction_bounds;
+    Alcotest.test_case "histogram monotone" `Quick test_histogram_monotone;
+    Alcotest.test_case "histogram between" `Quick test_histogram_between;
+    Alcotest.test_case "column stats basics" `Quick test_column_stats_basics;
+    Alcotest.test_case "column stats nulls" `Quick test_column_stats_nulls;
+    Alcotest.test_case "column stats all null" `Quick test_column_stats_all_null;
+    Alcotest.test_case "uniform no mcvs" `Quick test_uniform_column_no_mcvs;
+    Alcotest.test_case "analyze" `Quick test_analyze;
+    Alcotest.test_case "analyze sampling" `Quick test_analyze_sampling_extrapolates;
+    Alcotest.test_case "rowcount only" `Quick test_rowcount_only;
+    Alcotest.test_case "eq sel via mcv" `Quick test_eq_selectivity_mcv;
+    Alcotest.test_case "range sel" `Quick test_range_selectivity;
+    Alcotest.test_case "between sel" `Quick test_between_selectivity;
+    Alcotest.test_case "like prefix sel" `Quick test_like_selectivity_prefix;
+    Alcotest.test_case "conjunction independence" `Quick test_conj_independence;
+    Alcotest.test_case "no-stats defaults" `Quick test_no_stats_defaults;
+    QCheck_alcotest.to_alcotest arbitrary_pred_sel;
+  ]

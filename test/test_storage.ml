@@ -1,0 +1,139 @@
+(* Schema / Table / Index / Catalog. *)
+
+module Value = Qs_storage.Value
+module Schema = Qs_storage.Schema
+module Table = Qs_storage.Table
+module Index = Qs_storage.Index
+module Catalog = Qs_storage.Catalog
+
+let sample_table () =
+  Table.of_rows ~name:"emp"
+    ~schema:(Schema.make "emp" [ ("id", Value.TInt); ("dept", Value.TStr) ])
+    [
+      [| Value.Int 1; Value.Str "eng" |];
+      [| Value.Int 2; Value.Str "ops" |];
+      [| Value.Int 3; Value.Str "eng" |];
+    ]
+
+let test_schema_find () =
+  let s = Schema.make "emp" [ ("id", Value.TInt); ("dept", Value.TStr) ] in
+  Alcotest.(check (option int)) "id at 0" (Some 0) (Schema.find s ~rel:"emp" ~name:"id");
+  Alcotest.(check (option int)) "missing rel" None (Schema.find s ~rel:"x" ~name:"id");
+  Alcotest.(check (option int)) "by name" (Some 1) (Schema.find_by_name s "dept")
+
+let test_schema_find_by_name_ambiguous () =
+  let s =
+    Schema.concat
+      (Schema.make "a" [ ("id", Value.TInt) ])
+      (Schema.make "b" [ ("id", Value.TInt) ])
+  in
+  Alcotest.(check (option int)) "ambiguous -> None" None (Schema.find_by_name s "id");
+  Alcotest.(check (option int)) "qualified works" (Some 1) (Schema.find s ~rel:"b" ~name:"id")
+
+let test_schema_requalify () =
+  let s = Schema.make "emp" [ ("id", Value.TInt) ] in
+  let s2 = Schema.requalify "e" s in
+  Alcotest.(check bool) "requalified" true (Schema.mem s2 ~rel:"e" ~name:"id");
+  Alcotest.(check bool) "old gone" false (Schema.mem s2 ~rel:"emp" ~name:"id")
+
+let test_table_arity_check () =
+  let schema = Schema.make "t" [ ("a", Value.TInt); ("b", Value.TInt) ] in
+  Alcotest.(check bool) "bad arity rejected" true
+    (try
+       ignore (Table.of_rows ~name:"t" ~schema [ [| Value.Int 1 |] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_rename_shares_rows () =
+  let t = sample_table () in
+  let r = Table.rename t "e" in
+  Alcotest.(check bool) "rows shared" true (r.Table.rows == t.Table.rows);
+  Alcotest.(check string) "renamed" "e" r.Table.name;
+  Alcotest.(check bool) "schema requalified" true (Schema.mem r.Table.schema ~rel:"e" ~name:"id")
+
+let test_table_column_values () =
+  let t = sample_table () in
+  Alcotest.(check int) "3 values" 3 (Array.length (Table.column_values t 0));
+  Alcotest.(check bool) "first id" true (Table.get t ~row:0 ~col:0 = Value.Int 1)
+
+let test_table_byte_size () =
+  let t = sample_table () in
+  (* 3 ints (8 each) + "eng","ops","eng" (24+3 each) *)
+  Alcotest.(check int) "byte size" ((3 * 8) + (3 * 27)) (Table.byte_size t)
+
+let test_index_lookup () =
+  let t = sample_table () in
+  let ix = Index.build t ~column:"dept" ~unique:false in
+  Alcotest.(check (list int)) "eng rows" [ 0; 2 ]
+    (List.sort compare (Index.lookup ix (Value.Str "eng")));
+  Alcotest.(check string) "name" "emp.dept" (Index.name ix)
+
+let test_index_missing_column () =
+  Alcotest.(check bool) "missing col rejected" true
+    (try
+       ignore (Index.build (sample_table ()) ~column:"nope" ~unique:false);
+       false
+     with Invalid_argument _ -> true)
+
+let catalog_with_fk () =
+  let cat = Catalog.create () in
+  let dept =
+    Table.of_rows ~name:"dept"
+      ~schema:(Schema.make "dept" [ ("id", Value.TInt); ("name", Value.TStr) ])
+      [ [| Value.Int 1; Value.Str "eng" |]; [| Value.Int 2; Value.Str "ops" |] ]
+  in
+  let emp =
+    Table.of_rows ~name:"emp"
+      ~schema:(Schema.make "emp" [ ("id", Value.TInt); ("dept_id", Value.TInt) ])
+      [ [| Value.Int 1; Value.Int 1 |]; [| Value.Int 2; Value.Int 1 |] ]
+  in
+  Catalog.add_table cat ~pk:"id" dept;
+  Catalog.add_table cat ~pk:"id" emp;
+  Catalog.add_fk cat ~from_table:"emp" ~from_column:"dept_id" ~to_table:"dept" ~to_column:"id";
+  cat
+
+let test_catalog_basics () =
+  let cat = catalog_with_fk () in
+  Alcotest.(check bool) "emp exists" true (Catalog.mem_table cat "emp");
+  Alcotest.(check (option string)) "pk" (Some "id") (Catalog.pk cat "emp");
+  Alcotest.(check int) "one fk" 1 (List.length (Catalog.fks cat));
+  Alcotest.(check int) "references" 1 (List.length (Catalog.references cat "emp"));
+  Alcotest.(check int) "referenced_by" 1 (List.length (Catalog.referenced_by cat "dept"));
+  Alcotest.(check bool) "fk_between" true
+    (Catalog.fk_between cat ~from_table:"emp" ~to_table:"dept" <> None)
+
+let test_catalog_duplicate_table () =
+  let cat = catalog_with_fk () in
+  Alcotest.(check bool) "dup rejected" true
+    (try
+       Catalog.add_table cat (sample_table ());
+       Catalog.add_table cat (sample_table ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_index_configs () =
+  let cat = catalog_with_fk () in
+  Catalog.build_indexes cat Catalog.Pk_only;
+  Alcotest.(check bool) "pk index" true (Catalog.find_index cat ~table:"emp" ~column:"id" <> None);
+  Alcotest.(check bool) "no fk index" true
+    (Catalog.find_index cat ~table:"emp" ~column:"dept_id" = None);
+  Catalog.build_indexes cat Catalog.Pk_fk;
+  Alcotest.(check bool) "fk index now" true
+    (Catalog.find_index cat ~table:"emp" ~column:"dept_id" <> None);
+  Alcotest.(check bool) "config recorded" true (Catalog.index_config cat = Some Catalog.Pk_fk)
+
+let suite =
+  [
+    Alcotest.test_case "schema find" `Quick test_schema_find;
+    Alcotest.test_case "ambiguous name" `Quick test_schema_find_by_name_ambiguous;
+    Alcotest.test_case "requalify" `Quick test_schema_requalify;
+    Alcotest.test_case "table arity check" `Quick test_table_arity_check;
+    Alcotest.test_case "rename shares rows" `Quick test_table_rename_shares_rows;
+    Alcotest.test_case "column values" `Quick test_table_column_values;
+    Alcotest.test_case "byte size" `Quick test_table_byte_size;
+    Alcotest.test_case "index lookup" `Quick test_index_lookup;
+    Alcotest.test_case "index missing column" `Quick test_index_missing_column;
+    Alcotest.test_case "catalog basics" `Quick test_catalog_basics;
+    Alcotest.test_case "duplicate table" `Quick test_catalog_duplicate_table;
+    Alcotest.test_case "index configurations" `Quick test_index_configs;
+  ]

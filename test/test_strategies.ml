@@ -1,0 +1,154 @@
+(* Baseline strategies: every algorithm must compute the same relation;
+   their traces must reflect their documented materialization and
+   re-planning behaviour. *)
+
+module Catalog = Qs_storage.Catalog
+module Table = Qs_storage.Table
+module Query = Qs_query.Query
+module Estimator = Qs_stats.Estimator
+module Strategy = Qs_core.Strategy
+module Static = Qs_core.Static
+module Plan_driven = Qs_core.Plan_driven
+module Fs = Qs_core.Fs
+module Querysplit = Qs_core.Querysplit
+module Naive = Qs_exec.Naive
+module Rng = Qs_util.Rng
+
+let all_strategies =
+  [
+    Static.default;
+    Static.use_robust;
+    Fs.strategy;
+    Plan_driven.strategy Plan_driven.reopt;
+    Plan_driven.strategy Plan_driven.pop;
+    Plan_driven.strategy Plan_driven.ief;
+    Plan_driven.strategy Plan_driven.perron;
+    Plan_driven.strategy Plan_driven.optrange;
+    Querysplit.strategy Querysplit.default_config;
+  ]
+
+let test_all_agree_on_shop () =
+  let _, ctx = Fixtures.shop_ctx ~n_orders:600 () in
+  let q = Fixtures.shop_query () in
+  let expected = Naive.rows (Strategy.fragment_of_query ctx q) in
+  List.iter
+    (fun (s : Strategy.t) ->
+      let got = (s.Strategy.run ctx q).Strategy.result in
+      if not (Fixtures.tables_equal expected got) then
+        Alcotest.failf "strategy %s diverges" s.Strategy.name)
+    all_strategies
+
+let test_all_agree_with_oracle_estimator () =
+  let _, ctx0 = Fixtures.shop_ctx ~n_orders:400 () in
+  let ctx =
+    { ctx0 with Strategy.estimator = Estimator.oracle ~exec:(fun f -> Naive.count f) }
+  in
+  let q = Fixtures.shop_query () in
+  let expected = Naive.rows (Strategy.fragment_of_query ctx q) in
+  List.iter
+    (fun (s : Strategy.t) ->
+      let got = (s.Strategy.run ctx q).Strategy.result in
+      if not (Fixtures.tables_equal expected got) then
+        Alcotest.failf "strategy %s diverges under oracle" s.Strategy.name)
+    all_strategies
+
+let qcheck_strategies_agree =
+  QCheck.Test.make ~name:"all strategies compute the same relation" ~count:15
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let _, ctx = Fixtures.shop_ctx ~n_orders:300 () in
+      let rng = Rng.create seed in
+      let q = Fixtures.random_shop_query rng in
+      let expected = Naive.rows (Strategy.fragment_of_query ctx q) in
+      List.for_all
+        (fun (s : Strategy.t) ->
+          Fixtures.tables_equal expected ((s.Strategy.run ctx q).Strategy.result))
+        all_strategies)
+
+let run_pd policy q =
+  let _, ctx = Fixtures.shop_ctx ~n_orders:600 () in
+  (Plan_driven.strategy policy).Strategy.run ctx q
+
+let test_perron_materializes_every_join () =
+  let q = Fixtures.shop_query () in
+  let o = run_pd Plan_driven.perron q in
+  (* 4 relations -> 3 joins -> 3 checkpoint iterations + possibly a final *)
+  let mats = List.filter (fun i -> i.Strategy.materialized) o.Strategy.iterations in
+  Alcotest.(check int) "3 materializations" 3 (List.length mats)
+
+let test_reopt_counts_only_triggered () =
+  let q = Fixtures.shop_query () in
+  let o = run_pd Plan_driven.reopt q in
+  let mats = List.filter (fun i -> i.Strategy.materialized) o.Strategy.iterations in
+  let pop_mats =
+    List.filter
+      (fun i -> i.Strategy.materialized)
+      (run_pd Plan_driven.pop q).Strategy.iterations
+  in
+  Alcotest.(check bool) "reopt materializes at most as often as pop" true
+    (List.length mats <= List.length pop_mats)
+
+let test_ief_always_replans () =
+  let q = Fixtures.shop_query () in
+  let o = run_pd Plan_driven.ief q in
+  List.iter
+    (fun (it : Strategy.iteration) ->
+      if it.Strategy.materialized then
+        Alcotest.(check bool) "replanned" true it.Strategy.replanned)
+    o.Strategy.iterations
+
+let test_optrange_replans_at_most_pop () =
+  let q = Fixtures.shop_query () in
+  let count_replans o =
+    List.length (List.filter (fun i -> i.Strategy.replanned) o.Strategy.iterations)
+  in
+  Alcotest.(check bool) "wider band, fewer replans" true
+    (count_replans (run_pd Plan_driven.optrange q)
+    <= count_replans (run_pd Plan_driven.pop q))
+
+let test_phi_selector_override () =
+  let q = Fixtures.shop_query () in
+  let _, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let s =
+    Plan_driven.strategy ~selector:(Plan_driven.Phi Qs_core.Ssa.Phi4) Plan_driven.pop
+  in
+  Alcotest.(check bool) "name notes selector" true
+    (Str_helpers.contains s.Strategy.name "phi4");
+  let expected = Naive.rows (Strategy.fragment_of_query ctx q) in
+  Alcotest.(check bool) "still correct" true
+    (Fixtures.tables_equal expected ((s.Strategy.run ctx q).Strategy.result))
+
+let test_use_is_index_insensitive () =
+  (* USE's plan must not change between index configurations (footnote 3) *)
+  let cat = Fixtures.shop_catalog () in
+  let registry = Qs_stats.Stats_registry.create cat in
+  let q = Fixtures.shop_query () in
+  Catalog.build_indexes cat Catalog.Pk_only;
+  let a =
+    (Static.use_robust.Strategy.run (Strategy.make_ctx registry Estimator.default) q)
+      .Strategy.result
+  in
+  Catalog.build_indexes cat Catalog.Pk_fk;
+  let b =
+    (Static.use_robust.Strategy.run (Strategy.make_ctx registry Estimator.default) q)
+      .Strategy.result
+  in
+  Alcotest.(check bool) "same answer regardless" true (Fixtures.tables_equal a b)
+
+let test_fs_scale_factors () =
+  Alcotest.(check int) "three scenarios" 3 (List.length Fs.scale_factors);
+  Alcotest.(check bool) "includes neutral" true (List.mem 1.0 Fs.scale_factors)
+
+let suite =
+  [
+    Alcotest.test_case "all strategies agree" `Quick test_all_agree_on_shop;
+    Alcotest.test_case "agree under oracle" `Quick test_all_agree_with_oracle_estimator;
+    Alcotest.test_case "perron materializes all" `Quick test_perron_materializes_every_join;
+    Alcotest.test_case "reopt conservative" `Quick test_reopt_counts_only_triggered;
+    Alcotest.test_case "ief always replans" `Quick test_ief_always_replans;
+    Alcotest.test_case "optrange wide band" `Quick test_optrange_replans_at_most_pop;
+    Alcotest.test_case "phi selector override" `Quick test_phi_selector_override;
+    Alcotest.test_case "use index-insensitive" `Quick test_use_is_index_insensitive;
+    Alcotest.test_case "fs scenarios" `Quick test_fs_scale_factors;
+    QCheck_alcotest.to_alcotest qcheck_strategies_agree;
+  ]

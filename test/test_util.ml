@@ -1,0 +1,140 @@
+(* Rng / Zipf / Timer. *)
+
+module Rng = Qs_util.Rng
+module Zipf = Qs_util.Zipf
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_in_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.in_range rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_float_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.0 in
+    Alcotest.(check bool) "in [0,3)" true (v >= 0.0 && v < 3.0)
+  done
+
+let test_bernoulli_frequency () =
+  let rng = Rng.create 13 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. 10_000.0 in
+  Alcotest.(check bool) "p close to 0.3" true (p > 0.27 && p < 0.33)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng ~mu:2.0 ~sigma:1.5) in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs /. float_of_int n
+  in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (mean -. 2.0) < 0.1);
+  Alcotest.(check bool) "var near 2.25" true (Float.abs (var -. 2.25) < 0.25)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 19 in
+  let arr = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 23 in
+  let s = Rng.sample_without_replacement rng 10 50 in
+  Alcotest.(check int) "10 samples" 10 (List.length s);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 50)) s
+
+let test_split_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.split a in
+  (* the split stream should not just replay the parent *)
+  let pa = Rng.int64 a and pb = Rng.int64 b in
+  Alcotest.(check bool) "independent" true (pa <> pb)
+
+let test_zipf_frequencies_sum () =
+  let z = Zipf.create ~n:50 ~theta:1.0 in
+  let total = ref 0.0 in
+  for i = 0 to 49 do
+    total := !total +. Zipf.frequency z i
+  done;
+  Alcotest.(check bool) "sums to 1" true (Float.abs (!total -. 1.0) < 1e-9)
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  Alcotest.(check bool) "rank 0 most frequent" true
+    (Zipf.frequency z 0 > Zipf.frequency z 1);
+  Alcotest.(check bool) "rank 1 > rank 50" true (Zipf.frequency z 1 > Zipf.frequency z 50)
+
+let test_zipf_uniform_when_theta_zero () =
+  let z = Zipf.create ~n:10 ~theta:0.0 in
+  Alcotest.(check bool) "uniform" true
+    (Float.abs (Zipf.frequency z 0 -. Zipf.frequency z 9) < 1e-9)
+
+let test_zipf_sample_matches_frequency () =
+  let z = Zipf.create ~n:20 ~theta:0.9 in
+  let rng = Rng.create 31 in
+  let counts = Array.make 20 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let emp0 = float_of_int counts.(0) /. float_of_int n in
+  Alcotest.(check bool) "rank-0 empirical close" true
+    (Float.abs (emp0 -. Zipf.frequency z 0) < 0.02)
+
+let qcheck_int_never_out_of_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "in_range" `Quick test_in_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "bernoulli frequency" `Quick test_bernoulli_frequency;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "split independent" `Quick test_split_independent;
+    Alcotest.test_case "zipf sums to 1" `Quick test_zipf_frequencies_sum;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf uniform theta=0" `Quick test_zipf_uniform_when_theta_zero;
+    Alcotest.test_case "zipf empirical" `Slow test_zipf_sample_matches_frequency;
+    QCheck_alcotest.to_alcotest qcheck_int_never_out_of_bounds;
+  ]

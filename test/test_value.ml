@@ -1,0 +1,104 @@
+(* Value semantics: ordering, equality/hash coherence, sizes. *)
+
+module Value = Qs_storage.Value
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let test_null_sorts_first () =
+  List.iter
+    (fun x -> Alcotest.(check bool) "null < x" true (Value.compare Value.Null x < 0))
+    [ Value.Bool false; Value.Int (-100); Value.Float (-1e30); Value.Str "" ]
+
+let test_numeric_cross_type () =
+  Alcotest.(check int) "3 = 3.0" 0 (Value.compare (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check bool) "2 < 2.5" true (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+  Alcotest.(check bool) "2.5 < 3" true (Value.compare (Value.Float 2.5) (Value.Int 3) < 0)
+
+let test_string_order () =
+  Alcotest.(check bool) "abc < abd" true
+    (Value.compare (Value.Str "abc") (Value.Str "abd") < 0)
+
+let test_hash_consistent_with_equal () =
+  let pairs =
+    [
+      (Value.Int 42, Value.Int 42);
+      (Value.Int 5, Value.Float 5.0);
+      (Value.Str "x", Value.Str "x");
+      (Value.Bool true, Value.Bool true);
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      if Value.equal a b then
+        Alcotest.(check int) "equal values hash equal" (Value.hash a) (Value.hash b))
+    pairs
+
+let test_byte_size () =
+  Alcotest.(check int) "int" 8 (Value.byte_size (Value.Int 1));
+  Alcotest.(check int) "null" 8 (Value.byte_size Value.Null);
+  Alcotest.(check int) "str" (24 + 5) (Value.byte_size (Value.Str "hello"))
+
+let test_accessors () =
+  Alcotest.(check int) "as_int" 7 (Value.as_int (Value.Int 7));
+  Alcotest.(check (float 1e-9)) "as_float widens" 7.0 (Value.as_float (Value.Int 7));
+  Alcotest.(check string) "as_string" "s" (Value.as_string (Value.Str "s"));
+  Alcotest.check_raises "as_int on str" (Invalid_argument "Value.as_int: x") (fun () ->
+      ignore (Value.as_int (Value.Str "x")))
+
+let test_type_of () =
+  Alcotest.(check bool) "null has no type" true (Value.type_of Value.Null = None);
+  Alcotest.(check bool) "int type" true (Value.type_of (Value.Int 1) = Some Value.TInt)
+
+let test_to_string () =
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "float" "2.5" (Value.to_string (Value.Float 2.5))
+
+let arbitrary_value =
+  QCheck.(
+    oneof
+      [
+        always Qs_storage.Value.Null;
+        map (fun b -> Qs_storage.Value.Bool b) bool;
+        map (fun i -> Qs_storage.Value.Int i) small_signed_int;
+        map (fun f -> Qs_storage.Value.Float f) (float_bound_inclusive 1000.0);
+        map (fun s -> Qs_storage.Value.Str s) (string_of_size (Gen.int_range 0 8));
+      ])
+
+let qcheck_compare_reflexive =
+  QCheck.Test.make ~name:"compare reflexive" ~count:300 arbitrary_value (fun x ->
+      Value.compare x x = 0)
+
+let qcheck_compare_antisymmetric =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:300
+    QCheck.(pair arbitrary_value arbitrary_value)
+    (fun (a, b) -> Value.compare a b = -Value.compare b a)
+
+let qcheck_compare_transitive =
+  QCheck.Test.make ~name:"compare transitive" ~count:300
+    QCheck.(triple arbitrary_value arbitrary_value arbitrary_value)
+    (fun (a, b, c) ->
+      let ab = Value.compare a b and bc = Value.compare b c in
+      if ab <= 0 && bc <= 0 then Value.compare a c <= 0 else true)
+
+let qcheck_hash_equal =
+  QCheck.Test.make ~name:"equal implies equal hash" ~count:300
+    QCheck.(pair arbitrary_value arbitrary_value)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "null sorts first" `Quick test_null_sorts_first;
+    Alcotest.test_case "numeric cross-type" `Quick test_numeric_cross_type;
+    Alcotest.test_case "string order" `Quick test_string_order;
+    Alcotest.test_case "hash/equal coherence" `Quick test_hash_consistent_with_equal;
+    Alcotest.test_case "byte sizes" `Quick test_byte_size;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "type_of" `Quick test_type_of;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    QCheck_alcotest.to_alcotest qcheck_compare_reflexive;
+    QCheck_alcotest.to_alcotest qcheck_compare_antisymmetric;
+    QCheck_alcotest.to_alcotest qcheck_compare_transitive;
+    QCheck_alcotest.to_alcotest qcheck_hash_equal;
+  ]
+
+let _ = v

@@ -1,0 +1,141 @@
+(* The workload generators: schema shapes, query counts, validity,
+   non-emptiness of the witness-based Cinema queries. *)
+
+module Catalog = Qs_storage.Catalog
+module Table = Qs_storage.Table
+module Query = Qs_query.Query
+module Logical = Qs_plan.Logical
+module Strategy = Qs_core.Strategy
+module Estimator = Qs_stats.Estimator
+module Naive = Qs_exec.Naive
+
+let test_cinema_schema () =
+  let cat = Lazy.force Fixtures.cinema in
+  Alcotest.(check int) "13 tables" 13 (List.length (Catalog.tables cat));
+  Alcotest.(check int) "12 fks" 12 (List.length (Catalog.fks cat));
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " exists") true (Catalog.mem_table cat name))
+    [
+      "title"; "movie_keyword"; "cast_info"; "movie_companies"; "movie_info";
+      "keyword"; "name"; "company_name"; "char_name"; "kind_type"; "info_type";
+      "role_type"; "company_type";
+    ]
+
+let test_cinema_determinism () =
+  let a = Qs_workload.Cinema.build ~scale:0.05 ~seed:42 () in
+  let b = Qs_workload.Cinema.build ~scale:0.05 ~seed:42 () in
+  List.iter
+    (fun (t : Table.t) ->
+      let t' = Catalog.table b t.Table.name in
+      Alcotest.(check bool) (t.Table.name ^ " identical") true
+        (Fixtures.tables_equal t t'))
+    (Catalog.tables a)
+
+let test_cinema_queries_validate () =
+  let cat = Lazy.force Fixtures.cinema in
+  List.iter
+    (fun q ->
+      match Query.validate cat q with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" q.Query.name e)
+    (Lazy.force Fixtures.cinema_queries)
+
+let test_cinema_queries_nonempty () =
+  let cat = Lazy.force Fixtures.cinema in
+  let registry = Qs_stats.Stats_registry.create cat in
+  let ctx = Strategy.make_ctx registry Estimator.default in
+  List.iter
+    (fun q ->
+      let n = Naive.count (Strategy.fragment_of_query ctx q) in
+      if n = 0 then Alcotest.failf "%s is empty" q.Query.name)
+    (Lazy.force Fixtures.cinema_queries)
+
+let test_cinema_query_shapes () =
+  let qs = Lazy.force Fixtures.cinema_queries in
+  Alcotest.(check int) "requested count" 12 (List.length qs);
+  List.iter
+    (fun q ->
+      let n = List.length q.Query.rels in
+      Alcotest.(check bool) "2..11 relations" true (n >= 2 && n <= 11);
+      Alcotest.(check bool) "has title" true
+        (List.exists (fun (r : Query.rel) -> r.Query.alias = "t") q.Query.rels);
+      Alcotest.(check bool) "has projection" true (q.Query.output <> []))
+    qs
+
+let test_cinema_91 () =
+  let cat = Lazy.force Fixtures.cinema in
+  let qs = Qs_workload.Cinema.queries cat ~seed:5 ~n:Qs_workload.Cinema.default_query_count in
+  Alcotest.(check int) "91 queries" 91 (List.length qs);
+  (* names unique *)
+  let names = List.map (fun q -> q.Query.name) qs in
+  Alcotest.(check int) "unique names" 91 (List.length (List.sort_uniq compare names))
+
+let test_starbench_counts () =
+  let cat = Qs_workload.Starbench.build ~scale:0.05 ~seed:1 () in
+  Alcotest.(check int) "8 tables" 8 (List.length (Catalog.tables cat));
+  let qs = Qs_workload.Starbench.queries cat ~seed:2 in
+  Alcotest.(check int) "22 queries" 22 (List.length qs);
+  (* all are non-SPJ trees *)
+  List.iter
+    (fun t -> Alcotest.(check bool) "non-SPJ" false (Logical.is_spj t))
+    qs
+
+let test_dsb_counts () =
+  let cat = Qs_workload.Dsb.build ~scale:0.05 ~seed:1 () in
+  Alcotest.(check int) "8 tables" 8 (List.length (Catalog.tables cat));
+  Alcotest.(check int) "15 spj" 15 (List.length (Qs_workload.Dsb.spj_queries cat ~seed:2));
+  Alcotest.(check int) "37 nonspj" 37
+    (List.length (Qs_workload.Dsb.nonspj_queries cat ~seed:2))
+
+let test_dsb_spj_validate () =
+  let cat = Qs_workload.Dsb.build ~scale:0.05 ~seed:1 () in
+  List.iter
+    (fun q ->
+      match Query.validate cat q with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" q.Query.name e)
+    (Qs_workload.Dsb.spj_queries cat ~seed:2)
+
+let test_dsb_has_fact_fact_joins () =
+  let cat = Qs_workload.Dsb.build ~scale:0.05 ~seed:1 () in
+  let qs = Qs_workload.Dsb.spj_queries cat ~seed:2 in
+  let cross_channel =
+    List.filter
+      (fun q ->
+        let aliases = Query.aliases q in
+        List.mem "ss" aliases && List.mem "ws" aliases)
+      qs
+  in
+  Alcotest.(check bool) "some inverse-star queries" true (List.length cross_channel >= 1)
+
+let test_skew_present () =
+  (* the hottest movie must have far more cast rows than the median *)
+  let cat = Lazy.force Fixtures.cinema in
+  let ci = Catalog.table cat "cast_info" in
+  let counts = Hashtbl.create 1024 in
+  Array.iter
+    (fun row ->
+      let m = row.(1) in
+      Hashtbl.replace counts m (1 + Option.value (Hashtbl.find_opt counts m) ~default:0))
+    ci.Table.rows;
+  let all = Hashtbl.fold (fun _ c acc -> c :: acc) counts [] in
+  let sorted = List.sort (fun a b -> compare b a) all in
+  let top = List.hd sorted in
+  let median = List.nth sorted (List.length sorted / 2) in
+  Alcotest.(check bool) "zipf head heavy" true (top > 10 * median)
+
+let suite =
+  [
+    Alcotest.test_case "cinema schema" `Quick test_cinema_schema;
+    Alcotest.test_case "cinema determinism" `Quick test_cinema_determinism;
+    Alcotest.test_case "cinema queries validate" `Quick test_cinema_queries_validate;
+    Alcotest.test_case "cinema queries non-empty" `Quick test_cinema_queries_nonempty;
+    Alcotest.test_case "cinema query shapes" `Quick test_cinema_query_shapes;
+    Alcotest.test_case "cinema 91" `Slow test_cinema_91;
+    Alcotest.test_case "starbench counts" `Quick test_starbench_counts;
+    Alcotest.test_case "dsb counts" `Quick test_dsb_counts;
+    Alcotest.test_case "dsb spj validate" `Quick test_dsb_spj_validate;
+    Alcotest.test_case "dsb fact-fact" `Quick test_dsb_has_fact_fact_joins;
+    Alcotest.test_case "skew present" `Quick test_skew_present;
+  ]
