@@ -25,6 +25,7 @@ let experiments : (string * (Experiments.setup -> unit)) list =
     ("table6", Experiments.table6);
     ("fig16_19", Experiments.fig16_19);
     ("ablation", Experiments.ablation);
+    ("metrics", Experiments.metrics);
   ]
 
 (* ---------------------------------------------------------------------- *)

@@ -3,6 +3,7 @@
 
      dune exec bin/qsdemo.exe -- run --workload cinema --algo querysplit
      dune exec bin/qsdemo.exe -- run --workload dsb --algo pop --index pk
+     dune exec bin/qsdemo.exe -- run --explain -n 3        # EXPLAIN ANALYZE
      dune exec bin/qsdemo.exe -- plan --workload cinema --query 3 *)
 
 module Catalog = Qs_storage.Catalog
@@ -16,6 +17,9 @@ module Strategy = Qs_core.Strategy
 module Querysplit = Qs_core.Querysplit
 module Runner = Qs_harness.Runner
 module Algos = Qs_harness.Algos
+module Executor = Qs_exec.Executor
+module Trace = Qs_obs.Trace
+module Explain = Qs_obs.Explain
 
 open Cmdliner
 
@@ -58,13 +62,43 @@ let stats_arg =
   Arg.(value & opt bool true
        & info [ "collect-stats" ] ~doc:"ANALYZE materialized temps (the §6.4 switch).")
 
+let explain_arg =
+  Arg.(value & flag
+       & info [ "explain" ]
+           ~doc:
+             "EXPLAIN ANALYZE: execute the optimizer's plan with tracing and \
+              print the tree annotated with per-node estimated vs. actual \
+              cardinality, Q-error, time and volume.")
+
+(* EXPLAIN ANALYZE one SPJ query: optimize it whole (the strategies execute
+   many plans; the annotated tree belongs to a single one), run with a
+   trace, render. *)
+let explain_query cat registry (q : Query.t) =
+  let ctx = Strategy.make_ctx registry Estimator.default in
+  let frag = Strategy.fragment_of_query ctx q in
+  let plan = (Optimizer.optimize cat Estimator.default frag).Optimizer.plan in
+  let trace = Trace.create () in
+  let table, _ = Executor.run ~trace plan in
+  Printf.printf "%s\n%s-- %s; %d result rows\n" (Query.to_sql q)
+    (Explain.render ~trace plan)
+    (Explain.summary ~trace plan) (Table.n_rows table)
+
 let build_cinema ~scale ~seed ~index =
   let cat = Qs_workload.Cinema.build ~scale ~seed () in
   Catalog.build_indexes cat index;
   cat
 
-let run_cmd workload scale seed n timeout index algo collect_stats =
+let run_cmd workload scale seed n timeout index algo collect_stats explain =
   match workload with
+  | `Cinema when explain ->
+      let cat = build_cinema ~scale ~seed ~index in
+      let env = Runner.make_env ~seed cat in
+      let queries = Qs_workload.Cinema.queries cat ~seed:(seed + 1) ~n in
+      List.iteri
+        (fun i q ->
+          if i > 0 then print_newline ();
+          explain_query cat env.Runner.registry q)
+        queries
   | `Cinema ->
       let cat = build_cinema ~scale ~seed ~index in
       let env = Runner.make_env ~seed cat in
@@ -80,6 +114,9 @@ let run_cmd workload scale seed n timeout index algo collect_stats =
             (Qs_harness.Report.bytes_mb r.Runner.mat_bytes))
         rs;
       Printf.printf "total: %s\n" (Qs_harness.Report.seconds (Runner.total_time rs))
+  | (`Star | `Dsb) when explain ->
+      prerr_endline "--explain is only supported for the cinema (SPJ) workload";
+      exit 1
   | `Star | `Dsb ->
       let cat, trees =
         match workload with
@@ -122,7 +159,7 @@ let plan_cmd scale seed qidx =
         (Query.to_sql sq))
     (Querysplit.subquery_plans ctx q Querysplit.default_config)
 
-let sql_cmd workload scale seed index sql_text =
+let sql_cmd workload scale seed index explain sql_text =
   let cat =
     match workload with
     | `Cinema -> build_cinema ~scale ~seed ~index
@@ -144,6 +181,9 @@ let sql_cmd workload scale seed index sql_text =
       | Error msg ->
           Printf.eprintf "invalid query: %s\n" msg;
           exit 1
+      | Ok () when explain ->
+          let env = Runner.make_env ~seed cat in
+          explain_query cat env.Runner.registry q
       | Ok () ->
           let env = Runner.make_env ~seed cat in
           let ctx = Strategy.make_ctx env.Runner.registry Estimator.default in
@@ -164,7 +204,7 @@ let sql_cmd workload scale seed index sql_text =
 let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ seed_arg $ queries_arg $ timeout_arg
-    $ index_arg $ algo_arg $ stats_arg)
+    $ index_arg $ algo_arg $ stats_arg $ explain_arg)
 
 let query_arg =
   Arg.(value & opt int 0 & info [ "query"; "q" ] ~doc:"Query index to inspect.")
@@ -175,7 +215,9 @@ let sql_text_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The SQL text.")
 
 let sql_term =
-  Term.(const sql_cmd $ workload_arg $ scale_arg $ seed_arg $ index_arg $ sql_text_arg)
+  Term.(
+    const sql_cmd $ workload_arg $ scale_arg $ seed_arg $ index_arg $ explain_arg
+    $ sql_text_arg)
 
 let () =
   let run =

@@ -39,7 +39,9 @@ let run ctx (q : Query.t) =
       (fun best cand -> if worst_case cand < worst_case best then cand else best)
       (List.hd candidates) (List.tl candidates)
   in
-  let table, _ = Executor.run ?deadline:!(ctx.Strategy.deadline) plan in
+  let table, _ =
+    Executor.run ?deadline:!(ctx.Strategy.deadline) ?trace:ctx.Strategy.trace plan
+  in
   let result = Executor.project ~name:q.Query.name table q.Query.output in
   Strategy.finished ~start ~result
     ~iterations:

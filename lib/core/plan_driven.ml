@@ -160,9 +160,7 @@ let select_node selector candidates =
                  if score n < score best then n else best)
                first candidates))
 
-let qerror ~est ~actual =
-  let e = Float.max 1.0 est and a = Float.max 1.0 (float_of_int actual) in
-  Float.max (e /. a) (a /. e)
+let qerror = Qs_obs.Qerror.value
 
 let needed_columns (q : Query.t) (frag : Fragment.t) ~provides =
   if q.Query.output = [] then [] (* SELECT *: every column may be needed *)
@@ -194,7 +192,10 @@ let run policy ?selector ctx (q : Query.t) =
     match select_node selector (executable_joins !plan) with
     | None ->
         (* no executable join left: run the remaining plan to completion *)
-        let table, _ = Executor.run ?deadline:!(ctx.Strategy.deadline) !plan in
+        let table, _ =
+          Executor.run ?deadline:!(ctx.Strategy.deadline) ?trace:ctx.Strategy.trace
+            !plan
+        in
         finished_table := Some table;
         iterations :=
           {
@@ -209,7 +210,10 @@ let run policy ?selector ctx (q : Query.t) =
           }
           :: !iterations
     | Some node ->
-        let table, _ = Executor.run ?deadline:!(ctx.Strategy.deadline) node in
+        let table, _ =
+          Executor.run ?deadline:!(ctx.Strategy.deadline) ?trace:ctx.Strategy.trace
+            node
+        in
         let actual = Table.n_rows table in
         let observed =
           (not policy.observe_breakers_only) || feeds_build !plan node

@@ -133,7 +133,10 @@ let run config ctx (q : Query.t) =
           if s < best then cand else acc)
         (List.hd ranked) (List.tl ranked)
     in
-    let table, _ = Executor.run ?deadline:!(ctx.Strategy.deadline) plan_res.Optimizer.plan in
+    let table, _ =
+      Executor.run ?deadline:!(ctx.Strategy.deadline) ?trace:ctx.Strategy.trace
+        plan_res.Optimizer.plan
+    in
     let others = List.filter (fun e -> e != chosen) !remaining in
     remaining := others;
     let actual = Table.n_rows table in

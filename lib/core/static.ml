@@ -12,7 +12,10 @@ let run_with ~name ?allowed ~estimator_of ctx (q : Query.t) =
   let frag = Strategy.fragment_of_query ctx q in
   let est = estimator_of ctx in
   let res = Optimizer.optimize ?allowed (Strategy.catalog ctx) est frag in
-  let table, _ = Executor.run ?deadline:!(ctx.Strategy.deadline) res.Optimizer.plan in
+  let table, _ =
+    Executor.run ?deadline:!(ctx.Strategy.deadline) ?trace:ctx.Strategy.trace
+      res.Optimizer.plan
+  in
   let result = Executor.project ~name:q.Query.name table q.Query.output in
   Strategy.finished ~start ~result
     ~iterations:

@@ -36,6 +36,7 @@ type ctx = {
   deadline : float option ref;
   seed : int;
   pseudo : (string, Table.t * Table_stats.t) Hashtbl.t;
+  trace : Qs_obs.Trace.t option;
 }
 
 type t = {
@@ -43,10 +44,11 @@ type t = {
   run : ctx -> Query.t -> outcome;
 }
 
-let make_ctx ?(collect_stats = true) ?(deadline = None) ?(seed = 42) registry estimator =
+let make_ctx ?(collect_stats = true) ?(deadline = None) ?(seed = 42) ?trace registry
+    estimator =
   {
     registry; estimator; collect_stats; deadline = ref deadline; seed;
-    pseudo = Hashtbl.create 8;
+    pseudo = Hashtbl.create 8; trace;
   }
 
 let catalog ctx = Stats_registry.catalog ctx.registry

@@ -46,6 +46,10 @@ type ctx = {
   pseudo : (string, Table.t * Qs_stats.Table_stats.t) Hashtbl.t;
       (** outputs of already-executed non-SPJ operators, visible to SPJ
           segments as base relations (§3.3) *)
+  trace : Qs_obs.Trace.t option;
+      (** when set, every executor invocation records per-node execution
+          figures here (EXPLAIN ANALYZE); strategies that execute several
+          plans accumulate into the same trace *)
 }
 
 type t = {
@@ -54,7 +58,7 @@ type t = {
 }
 
 val make_ctx : ?collect_stats:bool -> ?deadline:float option -> ?seed:int ->
-  Stats_registry.t -> Estimator.t -> ctx
+  ?trace:Qs_obs.Trace.t -> Stats_registry.t -> Estimator.t -> ctx
 
 val catalog : ctx -> Catalog.t
 

@@ -5,6 +5,7 @@ module Value = Qs_storage.Value
 module Index = Qs_storage.Index
 module Fragment = Qs_stats.Fragment
 module Expr = Qs_query.Expr
+module Trace = Qs_obs.Trace
 
 exception Timeout
 
@@ -142,7 +143,7 @@ let hash_join_count ?deadline ~(build : Table.t) ~(probe : Table.t) preds =
     probe.Table.rows;
   !total
 
-let index_nl_join ?deadline ?(limit = max_int) ~(outer : Table.t)
+let index_nl_join ?deadline ?(limit = max_int) ?matched_rows ~(outer : Table.t)
     ~(inner_input : Fragment.input) ~(index : Index.t) ~(outer_key : Expr.colref) preds =
   let inner_tbl = inner_input.Fragment.table in
   let out_schema = Schema.concat outer.Table.schema inner_tbl.Table.schema in
@@ -175,6 +176,7 @@ let index_nl_join ?deadline ?(limit = max_int) ~(outer : Table.t)
             end)
           (Index.lookup index key))
     outer.Table.rows;
+  Option.iter (fun r -> r := !matched) matched_rows;
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
 let nl_join ?deadline ?(limit = max_int) ~(outer : Table.t) ~(inner : Table.t) preds =
@@ -198,45 +200,94 @@ let nl_join ?deadline ?(limit = max_int) ~(outer : Table.t) ~(inner : Table.t) p
     outer.Table.rows;
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
-let run ?deadline ?(row_limit = default_row_limit) plan =
+let run ?deadline ?(row_limit = default_row_limit) ?trace plan =
   let stats : stats = Hashtbl.create 16 in
+  (* Tracing is the only consumer of wall-clock / byte figures; keep the
+     untraced path free of gettimeofday and byte-size walks. *)
+  let now () = match trace with Some _ -> Unix.gettimeofday () | None -> 0.0 in
+  let record ?(scanned = 0) ?(built = 0) ?(probed = 0) (p : Physical.t) ~t0 result =
+    let rows = Table.n_rows result in
+    Hashtbl.replace stats p.Physical.id rows;
+    match trace with
+    | None -> ()
+    | Some tr ->
+        let n = Trace.node tr p.Physical.id in
+        n.Trace.est_rows <- p.Physical.est_rows;
+        n.Trace.actual_rows <- rows;
+        n.Trace.elapsed <- Unix.gettimeofday () -. t0;
+        n.Trace.output_bytes <- Table.byte_size result;
+        n.Trace.rows_scanned <- scanned;
+        n.Trace.rows_built <- built;
+        n.Trace.rows_probed <- probed
+  in
   let rec go (p : Physical.t) =
-    let result =
-      match p.Physical.node with
-      | Physical.Scan input -> filter_input ?deadline input
-      | Physical.Join j -> (
-          match j.Physical.method_ with
-          | Physical.Hash ->
-              let build = go j.Physical.left in
-              let probe = go j.Physical.right in
+    let t0 = now () in
+    match p.Physical.node with
+    | Physical.Scan input ->
+        let result = filter_input ?deadline input in
+        record p ~t0 ~scanned:(Table.n_rows input.Fragment.table) result;
+        result
+    | Physical.Join j -> (
+        match j.Physical.method_ with
+        | Physical.Hash ->
+            let build = go j.Physical.left in
+            let probe = go j.Physical.right in
+            let t0 = now () in
+            let result =
               hash_join ?deadline ~limit:row_limit ~build ~probe j.Physical.preds
-          | Physical.Index_nl ->
-              let outer = go j.Physical.left in
-              let inner_input =
-                match j.Physical.right.Physical.node with
-                | Physical.Scan i -> i
-                | _ -> invalid_arg "Executor.run: index NL inner must be a scan"
-              in
-              let index, outer_key, inner_key =
-                match j.Physical.index with
-                | Some x -> x
-                | None -> invalid_arg "Executor.run: index NL without index"
-              in
-              (* The indexed equality is enforced by the lookup itself;
-                 everything else is checked per matched row. *)
-              let indexed = Expr.eq (Expr.Col outer_key) (Expr.Col inner_key) in
-              let residual =
-                List.filter (fun pr -> not (Expr.equal_pred pr indexed)) j.Physical.preds
-              in
-              index_nl_join ?deadline ~limit:row_limit ~outer ~inner_input ~index
-                ~outer_key residual
-          | Physical.Nl ->
-              let outer = go j.Physical.left in
-              let inner = go j.Physical.right in
-              nl_join ?deadline ~limit:row_limit ~outer ~inner j.Physical.preds)
-    in
-    Hashtbl.replace stats p.Physical.id (Table.n_rows result);
-    result
+            in
+            record p ~t0 ~built:(Table.n_rows build) ~probed:(Table.n_rows probe)
+              result;
+            result
+        | Physical.Index_nl ->
+            let outer = go j.Physical.left in
+            let inner_input =
+              match j.Physical.right.Physical.node with
+              | Physical.Scan i -> i
+              | _ -> invalid_arg "Executor.run: index NL inner must be a scan"
+            in
+            let index, outer_key, inner_key =
+              match j.Physical.index with
+              | Some x -> x
+              | None -> invalid_arg "Executor.run: index NL without index"
+            in
+            (* The indexed equality is enforced by the lookup itself;
+               everything else is checked per matched row. *)
+            let indexed = Expr.eq (Expr.Col outer_key) (Expr.Col inner_key) in
+            let residual =
+              List.filter (fun pr -> not (Expr.equal_pred pr indexed)) j.Physical.preds
+            in
+            let t0 = now () in
+            let matched = ref 0 in
+            let result =
+              index_nl_join ?deadline ~limit:row_limit ~matched_rows:matched ~outer
+                ~inner_input ~index ~outer_key residual
+            in
+            (* The inner scan is consumed through the index, never via [go];
+               record it explicitly so every node id of the plan is present
+               in the stats — its "output" is the rows surviving the index
+               lookups plus the input's own filters. *)
+            let inner = j.Physical.right in
+            Hashtbl.replace stats inner.Physical.id !matched;
+            (match trace with
+            | None -> ()
+            | Some tr ->
+                let n = Trace.node tr inner.Physical.id in
+                n.Trace.est_rows <- inner.Physical.est_rows;
+                n.Trace.actual_rows <- !matched;
+                n.Trace.rows_scanned <-
+                  Table.n_rows inner_input.Fragment.table);
+            record p ~t0 ~probed:(Table.n_rows outer) result;
+            result
+        | Physical.Nl ->
+            let outer = go j.Physical.left in
+            let inner = go j.Physical.right in
+            let t0 = now () in
+            let result =
+              nl_join ?deadline ~limit:row_limit ~outer ~inner j.Physical.preds
+            in
+            record p ~t0 ~probed:(Table.n_rows outer) result;
+            result)
   in
   let out = go plan in
   (out, stats)

@@ -26,10 +26,18 @@ val default_row_limit : int
 type stats = (int, int) Hashtbl.t
 (** Physical node id → actual output rows. *)
 
-val run : ?deadline:float -> ?row_limit:int -> Physical.t -> Table.t * stats
+val run : ?deadline:float -> ?row_limit:int -> ?trace:Qs_obs.Trace.t ->
+  Physical.t -> Table.t * stats
 (** Evaluate the plan bottom-up. The output schema is the concatenation of
     the leaf schemas (alias-qualified); apply {!project} for the query's
-    final projection. *)
+    final projection.
+
+    Every node id of the plan — including the inner scan of an index
+    nested-loop join, which is consumed through the index rather than
+    scanned — is present in the returned stats. With [trace], each node
+    additionally records estimates, wall-clock, output bytes and operator
+    volume counters; without it the timing/byte probes are skipped
+    entirely. *)
 
 val project : ?name:string -> Table.t -> Expr.colref list -> Table.t
 (** Keep only the named columns (in the given order, duplicates removed);

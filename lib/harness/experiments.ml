@@ -486,6 +486,48 @@ let ablation s =
     ~headers:[ "variant"; "total time"; "materialized MB (all queries)" ]
     rows
 
+(* ---------------------------------------------------------------------- *)
+(* Observability: per-strategy metrics report                              *)
+(* ---------------------------------------------------------------------- *)
+
+let metrics s =
+  Report.section "Metrics: per-strategy execution metrics over the JOB-like workload";
+  let env, queries = cinema_env s in
+  let labelled =
+    List.map
+      (fun algo ->
+        (algo.Runner.label, Runner.run_spj ~timeout:s.timeout env algo queries))
+      Algos.fig11_roster
+  in
+  (* the JSON blob is the machine-readable artifact; the table is the
+     human summary of the same registries *)
+  let rows =
+    List.map
+      (fun (label, rs) ->
+        let m = Runner.metrics_of_results rs in
+        let q p =
+          match Qs_obs.Metrics.histogram m "qerror" with
+          | Some h -> Printf.sprintf "%.2f" (Qs_obs.Histogram.percentile h p)
+          | None -> "-"
+        in
+        [
+          label;
+          string_of_int (Qs_obs.Metrics.counter m "queries");
+          string_of_int (Qs_obs.Metrics.counter m "timeouts");
+          string_of_int (Qs_obs.Metrics.counter m "replans");
+          string_of_int (Qs_obs.Metrics.counter m "materializations");
+          q 0.5;
+          q 0.95;
+        ])
+      labelled
+  in
+  Report.table ~title:"execution metrics"
+    ~headers:
+      [ "algorithm"; "queries"; "TO"; "replans"; "mats"; "qerror p50"; "qerror p95" ]
+    rows;
+  print_endline "metrics report (JSON):";
+  print_endline (Runner.metrics_report labelled)
+
 let all s =
   table1 s;
   table3 s;
@@ -499,4 +541,5 @@ let all s =
   table5 s;
   table6 s;
   fig16_19 s;
-  ablation s
+  ablation s;
+  metrics s

@@ -58,4 +58,11 @@ val ablation : setup -> unit
 (** Beyond the paper: ablates QuerySplit's implementation choices —
     subquery plan caching and column pruning at materialization. *)
 
+val metrics : setup -> unit
+(** Beyond the paper: the observability layer's per-strategy metrics
+    report over the JOB-like workload — Q-error percentiles,
+    re-optimization counts, materialization volume, timeout hits — as a
+    human-readable table plus the machine-readable JSON blob (see
+    EXPERIMENTS.md for the schema). *)
+
 val all : setup -> unit

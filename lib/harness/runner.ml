@@ -7,6 +7,8 @@ module Strategy = Qs_core.Strategy
 module Driver = Qs_core.Driver
 module Naive = Qs_exec.Naive
 module Timer = Qs_util.Timer
+module Metrics = Qs_obs.Metrics
+module Qerror = Qs_obs.Qerror
 
 type env = {
   catalog : Catalog.t;
@@ -122,6 +124,32 @@ let run_logical ?(collect_stats = true) ?(timeout = 30.0) env algo trees =
     trees
 
 let total_time results = List.fold_left (fun a r -> a +. r.time) 0.0 results
+
+let metrics_of_results results =
+  let m = Metrics.create () in
+  List.iter
+    (fun r ->
+      Metrics.incr m "queries";
+      Metrics.incr m ~by:(if r.timed_out then 1 else 0) "timeouts";
+      Metrics.incr m ~by:r.mats "materializations";
+      Metrics.incr m ~by:(List.length r.iterations) "iterations";
+      Metrics.incr m
+        ~by:(List.length (List.filter (fun i -> i.Strategy.replanned) r.iterations))
+        "replans";
+      Metrics.observe m "query_time_s" r.time;
+      if r.mat_bytes > 0 then
+        Metrics.observe m "mat_bytes" (float_of_int r.mat_bytes);
+      List.iter
+        (fun (i : Strategy.iteration) ->
+          Metrics.observe m "qerror"
+            (Qerror.value ~est:i.Strategy.est_rows ~actual:i.Strategy.actual_rows))
+        r.iterations)
+    results;
+  m
+
+let metrics_report labelled =
+  Metrics.json_of_many
+    (List.map (fun (label, rs) -> (label, metrics_of_results rs)) labelled)
 
 let qresult_row r =
   [

@@ -57,3 +57,13 @@ val run_logical : ?collect_stats:bool -> ?timeout:float -> env -> algo ->
 val total_time : qresult list -> float
 
 val qresult_row : qresult -> string list
+
+val metrics_of_results : qresult list -> Qs_obs.Metrics.t
+(** Aggregate one strategy's results into a metrics registry: counters
+    [queries], [timeouts], [iterations], [replans], [materializations];
+    histograms [qerror] (per-iteration, est vs. actual), [query_time_s]
+    and [mat_bytes] (only queries that materialized contribute). *)
+
+val metrics_report : (string * qresult list) list -> string
+(** Machine-readable per-strategy report:
+    [{"<label>": {"counters": ..., "histograms": ...}, ...}]. *)

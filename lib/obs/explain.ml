@@ -1,0 +1,104 @@
+module Physical = Qs_plan.Physical
+module Fragment = Qs_stats.Fragment
+module Expr = Qs_query.Expr
+module Index = Qs_storage.Index
+
+let ms t = Printf.sprintf "%.2fms" (t *. 1000.0)
+
+let bytes b =
+  if b < 1024 then Printf.sprintf "%dB" b
+  else if b < 1024 * 1024 then Printf.sprintf "%.1fKB" (float_of_int b /. 1024.0)
+  else Printf.sprintf "%.2fMB" (float_of_int b /. 1024.0 /. 1024.0)
+
+let children (p : Physical.t) =
+  match p.Physical.node with
+  | Physical.Scan _ -> []
+  | Physical.Join j -> [ j.Physical.left; j.Physical.right ]
+
+let annotation ?trace ?(timings = true) (p : Physical.t) =
+  match trace with
+  | None -> Printf.sprintf "(est=%.0f)" p.Physical.est_rows
+  | Some tr -> (
+      match Trace.find tr p.Physical.id with
+      | None -> Printf.sprintf "(est=%.0f never executed)" p.Physical.est_rows
+      | Some n ->
+          let base =
+            Printf.sprintf "(est=%.0f actual=%d q=%.2f)" p.Physical.est_rows
+              n.Trace.actual_rows (Trace.qerror n)
+          in
+          if not timings then base
+          else
+            let self =
+              List.fold_left
+                (fun acc (c : Physical.t) ->
+                  match Trace.find tr c.Physical.id with
+                  | Some cn -> acc -. cn.Trace.elapsed
+                  | None -> acc)
+                n.Trace.elapsed (children p)
+            in
+            Printf.sprintf "%s time=%s self=%s bytes=%s" base (ms n.Trace.elapsed)
+              (ms (Float.max 0.0 self))
+              (bytes n.Trace.output_bytes))
+
+let volumes ?trace (p : Physical.t) =
+  match trace with
+  | None -> ""
+  | Some tr -> (
+      match (Trace.find tr p.Physical.id, p.Physical.node) with
+      | Some n, Physical.Scan _ ->
+          Printf.sprintf " scanned=%d" n.Trace.rows_scanned
+      | Some n, Physical.Join { method_ = Physical.Hash; _ } ->
+          Printf.sprintf " built=%d probed=%d" n.Trace.rows_built n.Trace.rows_probed
+      | Some n, Physical.Join _ -> Printf.sprintf " outer=%d" n.Trace.rows_probed
+      | None, _ -> "")
+
+let render ?trace ?(timings = true) plan =
+  let buf = Buffer.create 512 in
+  let rec go (p : Physical.t) indent =
+    let pad = String.make (indent * 2) ' ' in
+    (match p.Physical.node with
+    | Physical.Scan i ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sScan %s%s%s  %s%s\n" pad i.Fragment.id
+             (if i.Fragment.is_temp then " [temp]" else "")
+             (match List.length i.Fragment.filters with
+             | 0 -> ""
+             | k -> Printf.sprintf " [%d filters]" k)
+             (annotation ?trace ~timings p)
+             (if timings then volumes ?trace p else ""))
+    | Physical.Join j ->
+        let idx =
+          match j.Physical.index with
+          | Some (ix, _, _) -> " index=" ^ Index.name ix
+          | None -> ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s on %s%s  %s%s\n" pad
+             (Physical.method_name j.Physical.method_)
+             (String.concat " AND " (List.map Expr.to_string j.Physical.preds))
+             idx
+             (annotation ?trace ~timings p)
+             (if timings then volumes ?trace p else ""));
+        go j.Physical.left (indent + 1);
+        go j.Physical.right (indent + 1))
+  in
+  go plan 0;
+  Buffer.contents buf
+
+let summary ~trace plan =
+  let nodes = ref 0 and max_q = ref 1.0 and sum_q = ref 0.0 in
+  let rec go (p : Physical.t) =
+    (match Trace.find trace p.Physical.id with
+    | Some n ->
+        incr nodes;
+        let q = Trace.qerror n in
+        if q > !max_q then max_q := q;
+        sum_q := !sum_q +. q
+    | None -> ());
+    List.iter go (children p)
+  in
+  go plan;
+  if !nodes = 0 then "0 nodes traced"
+  else
+    Printf.sprintf "%d nodes, q-error max=%.2f mean=%.2f" !nodes !max_q
+      (!sum_q /. float_of_int !nodes)

@@ -1,0 +1,15 @@
+(** EXPLAIN ANALYZE-style rendering: a physical plan tree annotated per
+    node with the optimizer's estimate, the executed actual cardinality
+    and the resulting Q-error, plus (optionally) wall-clock and volume
+    figures from the trace.
+
+    Without a trace this degrades to plain EXPLAIN (estimates only).
+    [timings:false] suppresses the non-deterministic columns (time,
+    bytes) so output can be compared verbatim in golden tests. *)
+
+val render : ?trace:Trace.t -> ?timings:bool -> Qs_plan.Physical.t -> string
+(** [timings] defaults to [true]. *)
+
+val summary : trace:Trace.t -> Qs_plan.Physical.t -> string
+(** One line: node count, max and mean Q-error over the plan's nodes —
+    the headline a workload report aggregates. *)

@@ -1,0 +1,87 @@
+(* Geometric buckets: bucket [i] covers [lo_bound * gamma^i,
+   lo_bound * gamma^(i+1)). Everything below lo_bound (including 0) lands
+   in bucket 0; everything at or above the top bound saturates into the
+   last bucket. The reconstruction below clamps into the exact [min, max]
+   envelope, so the saturation only matters past 10^15. *)
+
+let gamma = 1.0905077326652577 (* 2^(1/8): 8 buckets per doubling *)
+
+let lo_bound = 1e-9
+
+let log_gamma = log gamma
+
+let n_buckets =
+  (* covers [1e-9, 1e15): log_gamma (1e24) buckets, rounded up *)
+  2 + int_of_float (ceil (log (1e15 /. lo_bound) /. log_gamma))
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+  buckets : int array;
+}
+
+let create () =
+  { count = 0; sum = 0.0; min = infinity; max = neg_infinity;
+    buckets = Array.make n_buckets 0 }
+
+let bucket_of v =
+  if v < lo_bound then 0
+  else
+    let i = 1 + int_of_float (floor (log (v /. lo_bound) /. log_gamma)) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+let observe t v =
+  let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v;
+  let b = bucket_of v in
+  t.buckets.(b) <- t.buckets.(b) + 1
+
+let count t = t.count
+
+let sum t = t.sum
+
+let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
+
+let min_value t = if t.count = 0 then Float.nan else t.min
+
+let max_value t = if t.count = 0 then Float.nan else t.max
+
+(* Geometric midpoint of bucket [i]'s bounds. Bucket 0 has no lower
+   bound; its representative is the bottom of the envelope. *)
+let representative i =
+  if i = 0 then 0.0
+  else lo_bound *. (gamma ** (float_of_int (i - 1) +. 0.5))
+
+let percentile t p =
+  if t.count = 0 then Float.nan
+  else begin
+    let rank = int_of_float (Float.round (p *. float_of_int (t.count - 1))) in
+    let rank = if rank < 0 then 0 else if rank >= t.count then t.count - 1 else rank in
+    let acc = ref 0 in
+    let found = ref (n_buckets - 1) in
+    (try
+       for i = 0 to n_buckets - 1 do
+         acc := !acc + t.buckets.(i);
+         if !acc > rank then begin
+           found := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let r = representative !found in
+    Float.min t.max (Float.max t.min r)
+  end
+
+let merge ~into src =
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.min < into.min then into.min <- src.min;
+  if src.max > into.max then into.max <- src.max;
+  Array.iteri (fun i c -> into.buckets.(i) <- into.buckets.(i) + c) src.buckets
+
+let max_relative_error = sqrt gamma -. 1.0

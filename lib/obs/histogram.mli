@@ -1,0 +1,38 @@
+(** Streaming histogram over non-negative measurements (Q-errors, seconds,
+    bytes, row counts) with bounded relative error on quantiles.
+
+    Values are counted into geometric buckets (ratio [gamma] between
+    consecutive bucket bounds), so a histogram is a fixed few-KB array no
+    matter how many observations it absorbs, and any quantile is answered
+    from cumulative counts with relative error at most [sqrt gamma - 1]
+    (under 5%). Min, max, count and sum are tracked exactly. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Record one measurement. Negative or NaN values are clamped to 0. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** NaN on an empty histogram, like {!min_value} and {!max_value}. *)
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for p ∈ \[0,1\]: the nearest-rank quantile,
+    reconstructed as the geometric midpoint of the bucket holding that
+    rank and clamped into \[min, max\], so p = 0 and p = 1 are exact.
+    NaN on an empty histogram. *)
+
+val merge : into:t -> t -> unit
+(** Accumulate a second histogram's observations. *)
+
+val max_relative_error : float
+(** The quantile accuracy guarantee: [sqrt gamma - 1]. *)

@@ -1,0 +1,34 @@
+(** A named registry of counters and streaming histograms — the aggregate
+    side of the observability layer. The harness keeps one registry per
+    strategy and renders them as one machine-readable report that future
+    performance work can diff against. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter, creating it at zero on first use. *)
+
+val counter : t -> string -> int
+(** Current counter value; 0 if never bumped. *)
+
+val observe : t -> string -> float -> unit
+(** Record a measurement into a histogram, creating it on first use. *)
+
+val histogram : t -> string -> Histogram.t option
+
+val counter_names : t -> string list
+(** Sorted. *)
+
+val histogram_names : t -> string list
+(** Sorted. *)
+
+val to_json : t -> string
+(** One JSON object: [{"counters": {...}, "histograms": {...}}] with keys
+    sorted, each histogram summarised as count / sum / mean / min / max /
+    p50 / p90 / p95 / p99. Deterministic for a deterministic run. *)
+
+val json_of_many : (string * t) list -> string
+(** [{"<label>": <to_json>, ...}] — the per-strategy report emitted by
+    the harness and consumed by [bench/main.exe]. *)

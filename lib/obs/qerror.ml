@@ -1,0 +1,9 @@
+let of_floats ~est ~actual =
+  let e = Float.max 1.0 est in
+  let a = Float.max 1.0 actual in
+  Float.max (e /. a) (a /. e)
+
+let value ~est ~actual = of_floats ~est ~actual:(float_of_int actual)
+
+let underestimated ~est ~actual =
+  Float.max 1.0 est < Float.max 1.0 (float_of_int actual)

@@ -1,0 +1,20 @@
+(** Q-error: the symmetric ratio between an estimated and an actual
+    cardinality, the robustness metric the re-optimization literature
+    standardises on (Perron et al., Datta et al.). A perfect estimate has
+    Q-error 1; over- and under-estimation by the same factor score the
+    same. *)
+
+val value : est:float -> actual:int -> float
+(** [max (est/actual, actual/est)] with both sides clamped to at least
+    one row. The clamp encodes the zero conventions: an estimate of 0.3
+    rows against an empty actual result is a perfect prediction (1.0),
+    not an infinite error, and an estimate of 0 against [n] actual rows
+    scores [n] — exactly as if the optimizer had said "one row". *)
+
+val underestimated : est:float -> actual:int -> bool
+(** Direction of the error after the same clamping; ties (q = 1) are not
+    underestimates. Underestimates are the dangerous direction — they are
+    what makes the optimizer pick explosive join orders (§2.2). *)
+
+val of_floats : est:float -> actual:float -> float
+(** [value] for an already-float actual (aggregated observations). *)

@@ -1,0 +1,38 @@
+type node = {
+  id : int;
+  mutable est_rows : float;
+  mutable actual_rows : int;
+  mutable elapsed : float;
+  mutable output_bytes : int;
+  mutable rows_scanned : int;
+  mutable rows_built : int;
+  mutable rows_probed : int;
+}
+
+type t = { nodes : (int, node) Hashtbl.t }
+
+let create () = { nodes = Hashtbl.create 32 }
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None ->
+      let n =
+        {
+          id; est_rows = 0.0; actual_rows = 0; elapsed = 0.0; output_bytes = 0;
+          rows_scanned = 0; rows_built = 0; rows_probed = 0;
+        }
+      in
+      Hashtbl.replace t.nodes id n;
+      n
+
+let find t id = Hashtbl.find_opt t.nodes id
+
+let size t = Hashtbl.length t.nodes
+
+let qerror n = Qerror.value ~est:n.est_rows ~actual:n.actual_rows
+
+let iter t f = Hashtbl.iter (fun _ n -> f n) t.nodes
+
+let total_output_bytes t =
+  Hashtbl.fold (fun _ n acc -> acc + n.output_bytes) t.nodes 0

@@ -98,6 +98,11 @@ let n_joins t = List.length (joins_post_order t)
 let join_leaf_sets t =
   List.map (fun n -> List.sort compare n.rels) (joins_post_order t)
 
+let rec nodes t =
+  match t.node with
+  | Scan _ -> [ t ]
+  | Join j -> (t :: nodes j.left) @ nodes j.right
+
 let method_name = function Hash -> "HashJoin" | Index_nl -> "IndexNLJoin" | Nl -> "NLJoin"
 
 let to_string t =

@@ -61,6 +61,12 @@ val join_leaf_sets : t -> string list list
 (** For every join node: the sorted alias set it covers — the canonical
     form used for the plan-similarity score of Table 1. *)
 
+val nodes : t -> t list
+(** Every node of the tree (pre-order), scans included — the id universe
+    an execution trace must cover. *)
+
+val method_name : join_method -> string
+
 val to_string : t -> string
 (** Multi-line tree rendering. *)
 

@@ -1,0 +1,107 @@
+module Catalog = Qs_storage.Catalog
+module Table = Qs_storage.Table
+module Schema = Qs_storage.Schema
+module Value = Qs_storage.Value
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+module Rng = Qs_util.Rng
+
+(* Grow a connected relation set by walking the FK graph: start from a
+   random table, repeatedly follow an FK (either direction) to a table not
+   yet chosen. Every edge used contributes its equi-join predicate, so the
+   query is connected by construction. *)
+let pick_relations cat rng ~max_rels =
+  let fks = Catalog.fks cat in
+  let tables = List.map (fun (t : Table.t) -> t.Table.name) (Catalog.tables cat) in
+  let start = List.nth tables (Rng.int rng (List.length tables)) in
+  let chosen = ref [ start ] in
+  let edges = ref [] in
+  let target = 2 + Rng.int rng (max 1 (max_rels - 1)) in
+  let continue = ref true in
+  while List.length !chosen < target && !continue do
+    let frontier =
+      List.filter
+        (fun (fk : Catalog.fk) ->
+          (List.mem fk.Catalog.from_table !chosen
+           && not (List.mem fk.Catalog.to_table !chosen))
+          || (List.mem fk.Catalog.to_table !chosen
+              && not (List.mem fk.Catalog.from_table !chosen)))
+        fks
+    in
+    match frontier with
+    | [] -> continue := false
+    | _ ->
+        let fk = List.nth frontier (Rng.int rng (List.length frontier)) in
+        let fresh =
+          if List.mem fk.Catalog.from_table !chosen then fk.Catalog.to_table
+          else fk.Catalog.from_table
+        in
+        chosen := fresh :: !chosen;
+        edges := fk :: !edges
+  done;
+  (List.rev !chosen, List.rev !edges)
+
+(* Filter constants come from real rows, so predicates are selective but
+   rarely empty-by-construction. *)
+let random_filter rng (tbl : Table.t) alias =
+  let n = Table.n_rows tbl in
+  if n = 0 then None
+  else
+    let ci = Rng.int rng (Array.length tbl.Table.schema) in
+    let col = tbl.Table.schema.(ci) in
+    let v = tbl.Table.rows.(Rng.int rng n).(ci) in
+    let cref = Expr.col alias col.Schema.name in
+    match v with
+    | Value.Int x ->
+        let op = Rng.choice rng [| Expr.Eq; Expr.Le; Expr.Ge |] in
+        Some (Expr.Cmp (op, cref, Expr.vint x))
+    | Value.Str s when String.length s > 0 ->
+        if Rng.bool rng then Some (Expr.Cmp (Expr.Eq, cref, Expr.vstr s))
+        else
+          let k = 1 + Rng.int rng (min 3 (String.length s)) in
+          Some (Expr.Like (cref, String.sub s 0 k ^ "%"))
+    | _ -> None
+
+let query cat ~rng ?(max_rels = 5) ~name () =
+  let rel_names, edges = pick_relations cat rng ~max_rels in
+  let alias_of =
+    List.mapi (fun i t -> (t, Printf.sprintf "t%d" i)) rel_names
+  in
+  let rels =
+    List.map (fun (t, a) -> { Query.alias = a; table = t }) alias_of
+  in
+  let joins =
+    List.map
+      (fun (fk : Catalog.fk) ->
+        Expr.eq
+          (Expr.col (List.assoc fk.Catalog.from_table alias_of) fk.Catalog.from_column)
+          (Expr.col (List.assoc fk.Catalog.to_table alias_of) fk.Catalog.to_column))
+      edges
+  in
+  let filters =
+    List.concat_map
+      (fun (t, a) ->
+        if Rng.bool rng then
+          match random_filter rng (Catalog.table cat t) a with
+          | Some f -> [ f ]
+          | None -> []
+        else [])
+      alias_of
+  in
+  let output =
+    if Rng.bool rng then [] (* SELECT * *)
+    else
+      List.concat_map
+        (fun (t, a) ->
+          if Rng.int rng 3 = 0 then []
+          else
+            let schema = (Catalog.table cat t).Table.schema in
+            let c = schema.(Rng.int rng (Array.length schema)) in
+            [ { Expr.rel = a; name = c.Schema.name } ])
+        alias_of
+  in
+  Query.make ~name ~output rels (joins @ filters)
+
+let queries cat ~seed ?max_rels ~n () =
+  let rng = Rng.create seed in
+  List.init n (fun i -> query cat ~rng ?max_rels ~name:(Printf.sprintf "fuzz_%d" i) ())

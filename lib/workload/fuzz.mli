@@ -1,0 +1,17 @@
+(** Seeded random SPJ query generation over any catalog's FK graph, for
+    the differential executor tests: relation sets are grown by walking
+    foreign keys (so every query is connected), and filter constants are
+    sampled from real rows (so predicates are selective without being
+    empty by construction). Queries may still legitimately return zero
+    rows — the differential suite compares result multisets, not
+    emptiness. *)
+
+module Catalog = Qs_storage.Catalog
+module Query = Qs_query.Query
+module Rng = Qs_util.Rng
+
+val query : Catalog.t -> rng:Rng.t -> ?max_rels:int -> name:string -> unit -> Query.t
+(** One random query of 2 to [max_rels] (default 5) relations. *)
+
+val queries : Catalog.t -> seed:int -> ?max_rels:int -> n:int -> unit -> Query.t list
+(** [n] queries named [fuzz_0 .. fuzz_{n-1}], deterministic in [seed]. *)

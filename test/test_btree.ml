@@ -236,6 +236,126 @@ let qcheck_insert_delete_model =
         model true
       && Btree.n_keys t = Hashtbl.length model)
 
+(* --- sorted-assoc-list model ------------------------------------------ *)
+(* A second, order-aware reference: the tree's full traversal (keys and
+   per-key posting lists) must equal a sorted association list. Unlike the
+   hashtable model this also checks *iteration order*. *)
+
+let assoc_model_of ops =
+  let add model (k, row) =
+    match List.assoc_opt k model with
+    | Some rows -> (k, row :: rows) :: List.remove_assoc k model
+    | None -> (k, [ row ]) :: model
+  in
+  List.fold_left add [] ops |> List.sort compare
+  |> List.map (fun (k, rows) -> (k, List.sort compare rows))
+
+let full_scan t =
+  range_to_list t ~lo:None ~hi:None
+  |> List.map (fun (k, rows) -> ((match k with Value.Int i -> i | _ -> -1), rows))
+
+let test_reverse_bulk_vs_assoc_model () =
+  (* reverse-order bulk insert with duplicate keys: every key appears
+     three times, inserted from high to low *)
+  let ops = ref [] in
+  for i = 999 downto 0 do
+    for r = 0 to 2 do
+      ops := (i mod 250, (i * 3) + r) :: !ops
+    done
+  done;
+  let ops = List.rev !ops in
+  let t = Btree.create () in
+  List.iter (fun (k, row) -> Btree.insert t (Value.Int k) row) ops;
+  check_ok t;
+  Alcotest.(check int) "250 distinct keys" 250 (Btree.n_keys t);
+  Alcotest.(check int) "3000 entries" 3000 (Btree.n_entries t);
+  Alcotest.(check bool) "traversal = sorted assoc model" true
+    (full_scan t = assoc_model_of ops)
+
+let test_range_straddling_splits () =
+  (* enough keys for several levels of splits; windows are chosen to cross
+     leaf boundaries wherever they landed *)
+  let t = Btree.create () in
+  let ops = ref [] in
+  for i = 0 to 2999 do
+    Btree.insert t (Value.Int i) i;
+    ops := (i, i) :: !ops;
+    (* every fifth key gets a duplicate entry *)
+    if i mod 5 = 0 then begin
+      Btree.insert t (Value.Int i) (i + 100_000);
+      ops := (i, i + 100_000) :: !ops
+    end
+  done;
+  check_ok t;
+  let model = assoc_model_of !ops in
+  List.iter
+    (fun (lo, hi) ->
+      let got =
+        range_to_list t
+          ~lo:(Some (Value.Int lo, true))
+          ~hi:(Some (Value.Int hi, true))
+        |> List.map (fun (k, rows) ->
+               ((match k with Value.Int i -> i | _ -> -1), rows))
+      in
+      let expected = List.filter (fun (k, _) -> k >= lo && k <= hi) model in
+      if got <> expected then
+        Alcotest.failf "range [%d,%d] diverges from model (%d vs %d keys)" lo hi
+          (List.length got) (List.length expected))
+    [ (0, 2999); (1, 2998); (747, 1253); (2500, 2600); (2999, 2999); (3000, 4000) ]
+
+let full_scan_window t lo hi =
+  range_to_list t ~lo:(Some (Value.Int lo, true)) ~hi:(Some (Value.Int hi, true))
+  |> List.map (fun (k, rows) -> ((match k with Value.Int i -> i | _ -> -1), rows))
+
+let test_range_straddling_merges () =
+  (* delete two of every three keys so leaves underflow and merge, then
+     re-check window scans against the surviving model *)
+  let t = Btree.create () in
+  for i = 0 to 2999 do
+    Btree.insert t (Value.Int i) i
+  done;
+  for i = 0 to 2999 do
+    if i mod 3 <> 0 then
+      Alcotest.(check bool) "deleted" true (Btree.delete t (Value.Int i) i)
+  done;
+  check_ok t;
+  let model = List.init 1000 (fun i -> (i * 3, [ i * 3 ])) in
+  List.iter
+    (fun (lo, hi) ->
+      let got = full_scan_window t lo hi in
+      let expected = List.filter (fun (k, _) -> k >= lo && k <= hi) model in
+      if got <> expected then
+        Alcotest.failf "post-merge range [%d,%d] diverges" lo hi)
+    [ (0, 2999); (100, 200); (1499, 1501); (2997, 2999) ]
+
+let test_delete_to_empty_then_reuse () =
+  (* drain to empty, then reuse the same tree: merges must leave a
+     perfectly usable root behind *)
+  let t = Btree.create () in
+  for round = 1 to 3 do
+    for i = 0 to 499 do
+      Btree.insert t (Value.Int i) (i * round)
+    done;
+    check_ok t;
+    for i = 499 downto 0 do
+      Alcotest.(check bool) "drained" true (Btree.delete t (Value.Int i) (i * round))
+    done;
+    Alcotest.(check int) "empty again" 0 (Btree.n_keys t);
+    Alcotest.(check int) "no entries" 0 (Btree.n_entries t);
+    check_ok t
+  done
+
+let qcheck_traversal_matches_assoc_model =
+  QCheck.Test.make ~name:"btree traversal = sorted assoc-list model" ~count:60
+    QCheck.(list (pair (int_range 0 80) (int_range 0 1000)))
+    (fun ops ->
+      let t = Btree.create () in
+      List.iter (fun (k, row) -> Btree.insert t (Value.Int k) row) ops;
+      (match Btree.check_invariants t with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report m);
+      full_scan t = assoc_model_of ops)
+
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;
@@ -253,7 +373,14 @@ let suite =
     Alcotest.test_case "delete null" `Quick test_delete_null;
     Alcotest.test_case "delete everything" `Quick test_delete_everything_big;
     Alcotest.test_case "delete partial invariants" `Quick test_delete_partial_keeps_invariants;
+    Alcotest.test_case "reverse bulk vs assoc model" `Quick
+      test_reverse_bulk_vs_assoc_model;
+    Alcotest.test_case "range straddling splits" `Quick test_range_straddling_splits;
+    Alcotest.test_case "range straddling merges" `Quick test_range_straddling_merges;
+    Alcotest.test_case "delete to empty and reuse" `Quick
+      test_delete_to_empty_then_reuse;
     QCheck_alcotest.to_alcotest qcheck_model;
+    QCheck_alcotest.to_alcotest qcheck_traversal_matches_assoc_model;
     QCheck_alcotest.to_alcotest qcheck_range_matches_filter;
     QCheck_alcotest.to_alcotest qcheck_insert_delete_model;
   ]

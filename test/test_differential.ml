@@ -1,0 +1,97 @@
+(* Differential executor testing: seeded random SPJ queries (Fuzz) run
+   through the naive reference executor, the optimized executor and every
+   re-optimization strategy must produce identical result multisets.
+
+   The query corpus is deterministic (fixed seeds), so a failure here is
+   reproducible by name (fuzz_<i>). *)
+
+module Catalog = Qs_storage.Catalog
+module Table = Qs_storage.Table
+module Query = Qs_query.Query
+module Estimator = Qs_stats.Estimator
+module Optimizer = Qs_plan.Optimizer
+module Executor = Qs_exec.Executor
+module Naive = Qs_exec.Naive
+module Strategy = Qs_core.Strategy
+module Fuzz = Qs_workload.Fuzz
+
+(* result sets above this are skipped: an explosive cross-FK join tells us
+   nothing new about plan equivalence and only burns test time *)
+let max_result_rows = 60_000
+
+let check_query ctx (q : Query.t) =
+  let frag = Strategy.fragment_of_query ctx q in
+  (* the weighted count is cheap: skip explosive queries before anything
+     materializes their result *)
+  if Naive.count frag <= max_result_rows then begin
+    let expected = Naive.rows frag in
+    (* the optimized executor on the DP plan... *)
+    let cat = Strategy.catalog ctx in
+    let plan = (Optimizer.optimize cat Estimator.default frag).Optimizer.plan in
+    let table, stats = Executor.run plan in
+    let got = Executor.project ~name:q.Query.name table q.Query.output in
+    if not (Fixtures.tables_equal expected got) then
+      Alcotest.failf "%s: optimized executor diverges from naive (%d vs %d rows)"
+        q.Query.name (Table.n_rows expected) (Table.n_rows got);
+    (* ... with complete per-node stats ... *)
+    List.iter
+      (fun (n : Qs_plan.Physical.t) ->
+        if not (Hashtbl.mem stats n.Qs_plan.Physical.id) then
+          Alcotest.failf "%s: node %d missing from executor stats" q.Query.name
+            n.Qs_plan.Physical.id)
+      (Qs_plan.Physical.nodes plan);
+    (* ... and every strategy agrees *)
+    List.iter
+      (fun (s : Strategy.t) ->
+        let r = (s.Strategy.run ctx q).Strategy.result in
+        if not (Fixtures.tables_equal expected r) then
+          Alcotest.failf "%s: strategy %s diverges from naive" q.Query.name
+            s.Strategy.name)
+      Test_strategies.all_strategies
+  end
+
+let test_shop_corpus () =
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let queries = Fuzz.queries cat ~seed:20230617 ~n:180 () in
+  List.iter (check_query ctx) queries
+
+let test_cinema_corpus () =
+  let cat = Lazy.force Fixtures.cinema in
+  let registry = Qs_stats.Stats_registry.create cat in
+  let ctx = Strategy.make_ctx registry Estimator.default in
+  let queries = Fuzz.queries cat ~seed:42 ~max_rels:3 ~n:20 () in
+  List.iter (check_query ctx) queries
+
+(* generator sanity: the corpus is deterministic and structurally valid *)
+let test_fuzz_deterministic () =
+  let cat = Fixtures.shop_catalog ~n_orders:100 () in
+  let a = Fuzz.queries cat ~seed:9 ~n:25 () in
+  let b = Fuzz.queries cat ~seed:9 ~n:25 () in
+  List.iter2
+    (fun qa qb ->
+      Alcotest.(check string) "same SQL" (Query.to_sql qa) (Query.to_sql qb))
+    a b;
+  List.iter
+    (fun q ->
+      match Query.validate cat q with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s invalid: %s" q.Query.name m)
+    a
+
+let test_fuzz_varies () =
+  let cat = Fixtures.shop_catalog ~n_orders:100 () in
+  let qs = Fuzz.queries cat ~seed:5 ~n:40 () in
+  let distinct =
+    List.sort_uniq compare (List.map Query.to_sql qs) |> List.length
+  in
+  Alcotest.(check bool) "corpus is not degenerate" true (distinct > 20)
+
+let suite =
+  [
+    Alcotest.test_case "fuzz corpus deterministic" `Quick test_fuzz_deterministic;
+    Alcotest.test_case "fuzz corpus varies" `Quick test_fuzz_varies;
+    Alcotest.test_case "shop corpus: naive = executor = strategies" `Slow
+      test_shop_corpus;
+    Alcotest.test_case "cinema corpus: naive = executor = strategies" `Slow
+      test_cinema_corpus;
+  ]

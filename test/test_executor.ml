@@ -173,6 +173,103 @@ let test_index_nl_equals_hash () =
   let t2, _ = Executor.run inl_res.Optimizer.plan in
   Alcotest.(check bool) "same relation" true (Fixtures.tables_equal t1 t2)
 
+(* --- stats completeness ------------------------------------------------ *)
+(* Regression: the index-NL inner scan is consumed through the index, not
+   executed as an operator, and its node id used to be silently absent
+   from the stats table. Every node id of the plan must always be present,
+   zero-row producers included. *)
+
+let fragment_input ?(filters = []) (t : Table.t) =
+  {
+    Fragment.id = t.Table.name;
+    table = t;
+    provides = [ t.Table.name ];
+    filters;
+    stats = Qs_stats.Analyze.rowcount_of_table t;
+    is_temp = false;
+    base_table = Some t.Table.name;
+    provenance = t.Table.name;
+    memo = Hashtbl.create 1;
+    scratch = Hashtbl.create 1;
+  }
+
+let index_nl_plan ?outer_filters ?inner_filters () =
+  let a, b = mini_tables () in
+  let ix = Qs_storage.Index.build b ~column:"y" ~unique:false in
+  let outer = Physical.scan (fragment_input ?filters:outer_filters a) ~est_rows:4.0 ~est_cost:4.0 in
+  let inner = Physical.scan (fragment_input ?filters:inner_filters b) ~est_rows:4.0 ~est_cost:4.0 in
+  let okey = { Expr.rel = "a"; name = "x" } in
+  let ikey = { Expr.rel = "b"; name = "y" } in
+  Physical.join ~method_:Physical.Index_nl ~index:(ix, okey, ikey) () ~left:outer
+    ~right:inner
+    ~preds:[ Expr.eq (Expr.Col okey) (Expr.Col ikey) ]
+    ~est_rows:4.0 ~est_cost:20.0
+
+let check_stats_complete plan stats =
+  List.iter
+    (fun (n : Physical.t) ->
+      if not (Hashtbl.mem stats n.Physical.id) then
+        Alcotest.failf "node %d missing from stats" n.Physical.id)
+    (Physical.nodes plan)
+
+let test_stats_complete_index_nl () =
+  let plan = index_nl_plan () in
+  let out, stats = Executor.run plan in
+  check_stats_complete plan stats;
+  (* x=2 rows (2) each match the two y=2 inner rows *)
+  Alcotest.(check int) "join output" 4 (Table.n_rows out);
+  let inner =
+    match plan.Physical.node with
+    | Physical.Join j -> j.Physical.right
+    | _ -> assert false
+  in
+  Alcotest.(check (option int)) "inner scan records matched rows" (Some 4)
+    (Hashtbl.find_opt stats inner.Physical.id)
+
+let test_stats_complete_zero_rows () =
+  (* inner filter matches nothing: the inner scan must still be recorded,
+     at zero *)
+  let plan =
+    index_nl_plan
+      ~inner_filters:[ Expr.Cmp (Expr.Gt, Expr.col "b" "v", Expr.vint 1000) ] ()
+  in
+  let out, stats = Executor.run plan in
+  Alcotest.(check int) "empty join" 0 (Table.n_rows out);
+  check_stats_complete plan stats;
+  (* and with an outer filter that kills everything before the lookups *)
+  let plan2 =
+    index_nl_plan
+      ~outer_filters:[ Expr.Cmp (Expr.Eq, Expr.col "a" "x", Expr.vint 999) ] ()
+  in
+  let out2, stats2 = Executor.run plan2 in
+  Alcotest.(check int) "empty join 2" 0 (Table.n_rows out2);
+  check_stats_complete plan2 stats2;
+  List.iter
+    (fun (n : Physical.t) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "node %d at zero" n.Physical.id)
+        (Some 0)
+        (Hashtbl.find_opt stats2 n.Physical.id))
+    (match plan2.Physical.node with
+    | Physical.Join j -> [ plan2; j.Physical.left; j.Physical.right ]
+    | _ -> assert false)
+
+let test_stats_complete_optimized_plans () =
+  (* whatever join methods the optimizer picks, the stats id set must
+     cover the whole plan *)
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let frag = Strategy.fragment_of_query ctx (Fixtures.shop_query ()) in
+  List.iter
+    (fun allowed ->
+      let res = Optimizer.optimize ~allowed cat Estimator.default frag in
+      let _, stats = Executor.run res.Optimizer.plan in
+      check_stats_complete res.Optimizer.plan stats)
+    [
+      [ Physical.Hash ];
+      [ Physical.Index_nl; Physical.Hash ];
+      [ Physical.Index_nl; Physical.Hash; Physical.Nl ];
+    ]
+
 let test_naive_count_matches_rows () =
   let _, ctx = Fixtures.shop_ctx ~n_orders:400 () in
   let rng = Qs_util.Rng.create 1 in
@@ -196,5 +293,11 @@ let suite =
     Alcotest.test_case "deadline timeout" `Quick test_deadline_timeout;
     Alcotest.test_case "node stats" `Quick test_node_stats_actuals;
     Alcotest.test_case "index NL = hash result" `Quick test_index_nl_equals_hash;
+    Alcotest.test_case "stats cover all nodes (index NL)" `Quick
+      test_stats_complete_index_nl;
+    Alcotest.test_case "stats cover all nodes (zero rows)" `Quick
+      test_stats_complete_zero_rows;
+    Alcotest.test_case "stats cover all nodes (optimized plans)" `Quick
+      test_stats_complete_optimized_plans;
     Alcotest.test_case "naive count = rows" `Quick test_naive_count_matches_rows;
   ]

@@ -24,6 +24,8 @@ let () =
       ("qsa", Test_qsa.suite);
       ("querysplit", Test_querysplit.suite);
       ("strategies", Test_strategies.suite);
+      ("obs", Test_obs.suite);
+      ("differential", Test_differential.suite);
       ("driver", Test_driver.suite);
       ("similarity", Test_similarity.suite);
       ("workloads", Test_workloads.suite);
