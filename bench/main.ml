@@ -6,7 +6,8 @@
      dune exec bench/main.exe                 # every experiment
      dune exec bench/main.exe -- table3 fig11 # selected experiments
      dune exec bench/main.exe -- micro        # substrate micro-benchmarks
-     dune exec bench/main.exe -- --scale 0.2 --queries 40 --timeout 5 all *)
+     dune exec bench/main.exe -- --scale 0.2 --queries 40 --timeout 5 all
+     dune exec bench/main.exe -- --domains 4 par_sweep   # parallel harness *)
 
 module Experiments = Qs_harness.Experiments
 
@@ -26,6 +27,7 @@ let experiments : (string * (Experiments.setup -> unit)) list =
     ("fig16_19", Experiments.fig16_19);
     ("ablation", Experiments.ablation);
     ("metrics", Experiments.metrics);
+    ("par_sweep", Experiments.par_sweep);
   ]
 
 (* ---------------------------------------------------------------------- *)
@@ -118,6 +120,9 @@ let () =
     | "--seed" :: v :: rest ->
         setup := { !setup with Experiments.seed = int_of_string v };
         parse rest
+    | "--domains" :: v :: rest ->
+        setup := { !setup with Experiments.domains = int_of_string v };
+        parse rest
     | "micro" :: rest ->
         want_micro := true;
         parse rest
@@ -139,13 +144,16 @@ let () =
   let names = if default_run then List.map fst experiments else !chosen in
   let s = !setup in
   Printf.printf
-    "QuerySplit benchmark harness — scale=%.2f, %d JOB-like queries, timeout=%.1fs, seed=%d\n"
-    s.Experiments.scale s.Experiments.n_queries s.Experiments.timeout s.Experiments.seed;
+    "QuerySplit benchmark harness — scale=%.2f, %d JOB-like queries, timeout=%.1fs, \
+     seed=%d, domains=%d\n"
+    s.Experiments.scale s.Experiments.n_queries s.Experiments.timeout
+    s.Experiments.seed s.Experiments.domains;
   List.iter
     (fun name ->
       let f = List.assoc name experiments in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Qs_util.Timer.now () in
       f s;
-      Printf.printf "\n[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0))
+      Printf.printf "\n[%s finished in %.1fs]\n%!" name
+        (Qs_util.Timer.elapsed ~since:t0))
     names;
   if !want_micro then micro ()

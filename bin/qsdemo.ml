@@ -58,6 +58,18 @@ let algo_arg =
   let doc = "Algorithm: " ^ String.concat ", " (List.map fst algos) ^ "." in
   Arg.(value & opt (enum algos) Algos.querysplit & info [ "algo"; "a" ] ~doc)
 
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ]
+           ~doc:"Fan queries across this many domains (1 = sequential).")
+
+let join_par_arg =
+  Arg.(value & opt int 1
+       & info [ "parallel-join" ]
+           ~doc:
+             "Partition executor hash joins across this many domains \
+              (1 = off; results are identical either way).")
+
 let stats_arg =
   Arg.(value & opt bool true
        & info [ "collect-stats" ] ~doc:"ANALYZE materialized temps (the §6.4 switch).")
@@ -88,7 +100,8 @@ let build_cinema ~scale ~seed ~index =
   Catalog.build_indexes cat index;
   cat
 
-let run_cmd workload scale seed n timeout index algo collect_stats explain =
+let run_cmd workload scale seed n timeout index algo collect_stats domains
+    join_parallelism explain =
   match workload with
   | `Cinema when explain ->
       let cat = build_cinema ~scale ~seed ~index in
@@ -105,7 +118,10 @@ let run_cmd workload scale seed n timeout index algo collect_stats explain =
       let queries = Qs_workload.Cinema.queries cat ~seed:(seed + 1) ~n in
       Printf.printf "%s on %d cinema queries (scale %.2f)\n" algo.Runner.label
         (List.length queries) scale;
-      let rs = Runner.run_spj ~collect_stats ~timeout env algo queries in
+      let rs =
+        Runner.run_spj ~collect_stats ~timeout ~domains ~join_parallelism env algo
+          queries
+      in
       List.iter
         (fun (r : Runner.qresult) ->
           Printf.printf "  %-14s %8.4fs%s  mats=%d (%s)\n" r.Runner.query r.Runner.time
@@ -130,7 +146,10 @@ let run_cmd workload scale seed n timeout index algo collect_stats explain =
       Catalog.build_indexes cat index;
       let env = Runner.make_env ~seed cat in
       Printf.printf "%s on %d non-SPJ queries\n" algo.Runner.label (List.length trees);
-      let rs = Runner.run_logical ~collect_stats ~timeout env algo trees in
+      let rs =
+        Runner.run_logical ~collect_stats ~timeout ~domains ~join_parallelism env
+          algo trees
+      in
       List.iter
         (fun (r : Runner.qresult) ->
           Printf.printf "  %-14s %8.4fs%s\n" r.Runner.query r.Runner.time
@@ -204,7 +223,7 @@ let sql_cmd workload scale seed index explain sql_text =
 let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ seed_arg $ queries_arg $ timeout_arg
-    $ index_arg $ algo_arg $ stats_arg $ explain_arg)
+    $ index_arg $ algo_arg $ stats_arg $ domains_arg $ join_par_arg $ explain_arg)
 
 let query_arg =
   Arg.(value & opt int 0 & info [ "query"; "q" ] ~doc:"Query index to inspect.")

@@ -40,7 +40,7 @@ let run ctx (q : Query.t) =
       (List.hd candidates) (List.tl candidates)
   in
   let table, _ =
-    Executor.run ?deadline:!(ctx.Strategy.deadline) ?trace:ctx.Strategy.trace plan
+    Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace plan
   in
   let result = Executor.project ~name:q.Query.name table q.Query.output in
   Strategy.finished ~start ~result

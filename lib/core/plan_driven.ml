@@ -193,7 +193,7 @@ let run policy ?selector ctx (q : Query.t) =
     | None ->
         (* no executable join left: run the remaining plan to completion *)
         let table, _ =
-          Executor.run ?deadline:!(ctx.Strategy.deadline) ?trace:ctx.Strategy.trace
+          Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
             !plan
         in
         finished_table := Some table;
@@ -211,7 +211,7 @@ let run policy ?selector ctx (q : Query.t) =
           :: !iterations
     | Some node ->
         let table, _ =
-          Executor.run ?deadline:!(ctx.Strategy.deadline) ?trace:ctx.Strategy.trace
+          Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
             node
         in
         let actual = Table.n_rows table in

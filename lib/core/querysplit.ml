@@ -134,7 +134,7 @@ let run config ctx (q : Query.t) =
         (List.hd ranked) (List.tl ranked)
     in
     let table, _ =
-      Executor.run ?deadline:!(ctx.Strategy.deadline) ?trace:ctx.Strategy.trace
+      Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
         plan_res.Optimizer.plan
     in
     let others = List.filter (fun e -> e != chosen) !remaining in

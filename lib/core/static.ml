@@ -13,7 +13,7 @@ let run_with ~name ?allowed ~estimator_of ctx (q : Query.t) =
   let est = estimator_of ctx in
   let res = Optimizer.optimize ?allowed (Strategy.catalog ctx) est frag in
   let table, _ =
-    Executor.run ?deadline:!(ctx.Strategy.deadline) ?trace:ctx.Strategy.trace
+    Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
       res.Optimizer.plan
   in
   let result = Executor.project ~name:q.Query.name table q.Query.output in

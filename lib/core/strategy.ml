@@ -10,6 +10,7 @@ module Analyze = Qs_stats.Analyze
 module Table_stats = Qs_stats.Table_stats
 module Executor = Qs_exec.Executor
 module Timer = Qs_util.Timer
+module Pool = Qs_util.Pool
 
 type iteration = {
   index : int;
@@ -37,6 +38,7 @@ type ctx = {
   seed : int;
   pseudo : (string, Table.t * Table_stats.t) Hashtbl.t;
   trace : Qs_obs.Trace.t option;
+  pool : Pool.t option;
 }
 
 type t = {
@@ -44,11 +46,11 @@ type t = {
   run : ctx -> Query.t -> outcome;
 }
 
-let make_ctx ?(collect_stats = true) ?(deadline = None) ?(seed = 42) ?trace registry
-    estimator =
+let make_ctx ?(collect_stats = true) ?(deadline = None) ?(seed = 42) ?trace ?pool
+    registry estimator =
   {
     registry; estimator; collect_stats; deadline = ref deadline; seed;
-    pseudo = Hashtbl.create 8; trace;
+    pseudo = Hashtbl.create 8; trace; pool;
   }
 
 let catalog ctx = Stats_registry.catalog ctx.registry
@@ -70,7 +72,7 @@ let pseudo_input ctx ~alias ~table filters =
       Printf.sprintf "pseudo:%s=%s[%s]" alias table
         (String.concat " & " (List.sort compare (List.map Expr.to_string filters)));
     memo = Hashtbl.create 4;
-    scratch = Hashtbl.create 4;
+    scratch = Qs_util.Scratch.create ();
   }
 
 let fragment_of_query ctx (q : Query.t) =

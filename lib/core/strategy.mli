@@ -50,6 +50,9 @@ type ctx = {
       (** when set, every executor invocation records per-node execution
           figures here (EXPLAIN ANALYZE); strategies that execute several
           plans accumulate into the same trace *)
+  pool : Qs_util.Pool.t option;
+      (** when set (size > 1), executor hash joins run partitioned across
+          the pool's domains; plans and results are unchanged *)
 }
 
 type t = {
@@ -58,7 +61,8 @@ type t = {
 }
 
 val make_ctx : ?collect_stats:bool -> ?deadline:float option -> ?seed:int ->
-  ?trace:Qs_obs.Trace.t -> Stats_registry.t -> Estimator.t -> ctx
+  ?trace:Qs_obs.Trace.t -> ?pool:Qs_util.Pool.t -> Stats_registry.t ->
+  Estimator.t -> ctx
 
 val catalog : ctx -> Catalog.t
 

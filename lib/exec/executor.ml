@@ -6,6 +6,9 @@ module Index = Qs_storage.Index
 module Fragment = Qs_stats.Fragment
 module Expr = Qs_query.Expr
 module Trace = Qs_obs.Trace
+module Scratch = Qs_util.Scratch
+module Timer = Qs_util.Timer
+module Pool = Qs_util.Pool
 
 exception Timeout
 
@@ -14,23 +17,30 @@ let default_row_limit = 2_000_000
 type stats = (int, int) Hashtbl.t
 
 let check_deadline = function
-  | Some d when Unix.gettimeofday () > d -> raise Timeout
+  | Some d when Timer.now () > d -> raise Timeout
   | _ -> ()
 
 (* Deadline checks are amortized over batches of rows. *)
 let batch = 16384
 
+let table_slot : Table.t Scratch.slot = Scratch.slot ()
+
+let filters_key filters =
+  String.concat " & " (List.sort compare (List.map Expr.to_string filters))
+
 let filter_input ?deadline (input : Fragment.input) =
   let tbl = input.Fragment.table in
   match input.Fragment.filters with
   | [] -> tbl
-  | filters -> (
+  | filters ->
       (* tables are immutable, so the filtered result is cached on the
          input record — re-optimization re-scans the same inputs many
-         times *)
-      match Hashtbl.find_opt input.Fragment.scratch "filtered" with
-      | Some cached -> (Obj.obj cached : Table.t)
-      | None ->
+         times. The cache key carries the predicate list: an input
+         re-planned with different pushed-down filters must not reuse
+         rows filtered under the old ones. *)
+      Scratch.find_or_add input.Fragment.scratch table_slot
+        ("filtered:" ^ filters_key filters)
+        (fun () ->
           let schema = tbl.Table.schema in
           let out = ref [] in
           Array.iteri
@@ -38,11 +48,7 @@ let filter_input ?deadline (input : Fragment.input) =
               if i mod batch = 0 then check_deadline deadline;
               if List.for_all (Expr.eval schema row) filters then out := row :: !out)
             tbl.Table.rows;
-          let result =
-            Table.create ~name:tbl.Table.name ~schema (Array.of_list (List.rev !out))
-          in
-          Hashtbl.replace input.Fragment.scratch "filtered" (Obj.repr result);
-          result)
+          Table.create ~name:tbl.Table.name ~schema (Array.of_list (List.rev !out)))
 
 (* Join-key extraction: positions of the equi-join columns on each side,
    plus the residual predicates evaluated on the concatenated row. *)
@@ -63,7 +69,79 @@ let key_of_row row positions = List.map (fun p -> row.(p)) positions
 
 let has_null = List.exists Value.is_null
 
-let hash_join ?deadline ?(limit = max_int) ~(build : Table.t) ~(probe : Table.t) preds =
+(* Partitioned parallel hash join: both sides are split by key hash into
+   one bucket per pool slot; every bucket is then an independent
+   build+probe pair. Rows of one key land in one partition, so the union
+   of the partition outputs is exactly the sequential join's multiset
+   (null keys never join and are dropped during partitioning, as in the
+   sequential path). Table order is restored within each partition so
+   per-key match order — and thus the output multiset — is deterministic
+   regardless of which domain runs which bucket. *)
+let partitioned_hash_join ?deadline ~limit ~pool ~(build : Table.t)
+    ~(probe : Table.t) preds =
+  let out_schema = Schema.concat probe.Table.schema build.Table.schema in
+  let build_cols, residual = split_join_preds build.Table.schema preds in
+  let bpos = key_positions build.Table.schema (List.map fst build_cols) in
+  let ppos = key_positions probe.Table.schema (List.map snd build_cols) in
+  let k = Pool.size pool in
+  let partition rows pos =
+    let parts = Array.make k [] in
+    Array.iteri
+      (fun i row ->
+        if i mod batch = 0 then check_deadline deadline;
+        let key = key_of_row row pos in
+        if not (has_null key) then begin
+          let p = Hashtbl.hash key mod k in
+          parts.(p) <- row :: parts.(p)
+        end)
+      rows;
+    Array.map List.rev parts
+  in
+  let bparts = partition build.Table.rows bpos in
+  let pparts = partition probe.Table.rows ppos in
+  let emitted = Atomic.make 0 in
+  let run_part pi =
+    let index : (Value.t list, Value.t array list) Hashtbl.t =
+      Hashtbl.create (max 16 (List.length bparts.(pi)))
+    in
+    List.iteri
+      (fun i row ->
+        if i mod batch = 0 then check_deadline deadline;
+        let key = key_of_row row bpos in
+        Hashtbl.replace index key
+          (row :: Option.value (Hashtbl.find_opt index key) ~default:[]))
+      bparts.(pi);
+    let out = ref [] in
+    List.iteri
+      (fun i prow ->
+        if i mod batch = 0 then check_deadline deadline;
+        let key = key_of_row prow ppos in
+        match Hashtbl.find_opt index key with
+        | None -> ()
+        | Some matches ->
+            List.iter
+              (fun brow ->
+                let n = 1 + Atomic.fetch_and_add emitted 1 in
+                if n mod batch = 0 then check_deadline deadline;
+                let row = Array.append prow brow in
+                if List.for_all (Expr.eval out_schema row) residual then begin
+                  out := row :: !out;
+                  if n > limit then raise Timeout
+                end)
+              matches)
+      pparts.(pi);
+    List.rev !out
+  in
+  let parts = Pool.map pool run_part (List.init k Fun.id) in
+  Table.create ~name:"join" ~schema:out_schema
+    (Array.concat (List.map Array.of_list parts))
+
+let hash_join ?deadline ?(limit = max_int) ?pool ~(build : Table.t)
+    ~(probe : Table.t) preds =
+  match pool with
+  | Some pool when Pool.size pool > 1 ->
+      partitioned_hash_join ?deadline ~limit ~pool ~build ~probe preds
+  | _ ->
   let out_schema = Schema.concat probe.Table.schema build.Table.schema in
   (* orient keys wrt the build side *)
   let build_cols, residual = split_join_preds build.Table.schema preds in
@@ -200,11 +278,11 @@ let nl_join ?deadline ?(limit = max_int) ~(outer : Table.t) ~(inner : Table.t) p
     outer.Table.rows;
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
-let run ?deadline ?(row_limit = default_row_limit) ?trace plan =
+let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace plan =
   let stats : stats = Hashtbl.create 16 in
   (* Tracing is the only consumer of wall-clock / byte figures; keep the
-     untraced path free of gettimeofday and byte-size walks. *)
-  let now () = match trace with Some _ -> Unix.gettimeofday () | None -> 0.0 in
+     untraced path free of clock reads and byte-size walks. *)
+  let now () = match trace with Some _ -> Timer.now () | None -> 0.0 in
   let record ?(scanned = 0) ?(built = 0) ?(probed = 0) (p : Physical.t) ~t0 result =
     let rows = Table.n_rows result in
     Hashtbl.replace stats p.Physical.id rows;
@@ -214,7 +292,7 @@ let run ?deadline ?(row_limit = default_row_limit) ?trace plan =
         let n = Trace.node tr p.Physical.id in
         n.Trace.est_rows <- p.Physical.est_rows;
         n.Trace.actual_rows <- rows;
-        n.Trace.elapsed <- Unix.gettimeofday () -. t0;
+        n.Trace.elapsed <- Timer.elapsed ~since:t0;
         n.Trace.output_bytes <- Table.byte_size result;
         n.Trace.rows_scanned <- scanned;
         n.Trace.rows_built <- built;
@@ -234,7 +312,8 @@ let run ?deadline ?(row_limit = default_row_limit) ?trace plan =
             let probe = go j.Physical.right in
             let t0 = now () in
             let result =
-              hash_join ?deadline ~limit:row_limit ~build ~probe j.Physical.preds
+              hash_join ?deadline ~limit:row_limit ?pool ~build ~probe
+                j.Physical.preds
             in
             record p ~t0 ~built:(Table.n_rows build) ~probed:(Table.n_rows probe)
               result;

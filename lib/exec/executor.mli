@@ -26,8 +26,8 @@ val default_row_limit : int
 type stats = (int, int) Hashtbl.t
 (** Physical node id → actual output rows. *)
 
-val run : ?deadline:float -> ?row_limit:int -> ?trace:Qs_obs.Trace.t ->
-  Physical.t -> Table.t * stats
+val run : ?deadline:float -> ?row_limit:int -> ?pool:Qs_util.Pool.t ->
+  ?trace:Qs_obs.Trace.t -> Physical.t -> Table.t * stats
 (** Evaluate the plan bottom-up. The output schema is the concatenation of
     the leaf schemas (alias-qualified); apply {!project} for the query's
     final projection.
@@ -37,7 +37,11 @@ val run : ?deadline:float -> ?row_limit:int -> ?trace:Qs_obs.Trace.t ->
     scanned — is present in the returned stats. With [trace], each node
     additionally records estimates, wall-clock, output bytes and operator
     volume counters; without it the timing/byte probes are skipped
-    entirely. *)
+    entirely.
+
+    With [pool] (of size > 1), hash joins run partitioned across the
+    pool's domains; plans, costs and the result multiset are unchanged —
+    only wall-clock is affected. Off by default. *)
 
 val project : ?name:string -> Table.t -> Expr.colref list -> Table.t
 (** Keep only the named columns (in the given order, duplicates removed);
@@ -45,13 +49,16 @@ val project : ?name:string -> Table.t -> Expr.colref list -> Table.t
 
 val filter_input : ?deadline:float -> Fragment.input -> Table.t
 (** Scan one input applying its filters (the executor's leaf operator,
-    exposed for the naive counter and tests). *)
+    exposed for the naive counter and tests). The result is cached on the
+    input's scratch, keyed by the filter predicates. *)
 
-val hash_join : ?deadline:float -> ?limit:int -> build:Table.t -> probe:Table.t ->
-  Expr.pred list -> Table.t
+val hash_join : ?deadline:float -> ?limit:int -> ?pool:Qs_util.Pool.t ->
+  build:Table.t -> probe:Table.t -> Expr.pred list -> Table.t
 (** One hash join over materialized inputs: equality conjuncts become the
     hash key, the rest are residual filters (exposed for the naive
-    counter and tests). *)
+    counter and tests). With [pool], build and probe are hash-partitioned
+    into one bucket per pool slot and the buckets join in parallel; the
+    output multiset is identical to the sequential join. *)
 
 val hash_join_count : ?deadline:float -> build:Table.t -> probe:Table.t ->
   Expr.pred list -> int

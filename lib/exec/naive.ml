@@ -3,6 +3,7 @@ module Schema = Qs_storage.Schema
 module Value = Qs_storage.Value
 module Expr = Qs_query.Expr
 module Fragment = Qs_stats.Fragment
+module Scratch = Qs_util.Scratch
 
 (* Columns of [tbl] still needed: those referenced by predicates not yet
    applied, plus the requested output columns. *)
@@ -143,6 +144,8 @@ type weighted = {
   wrows : (Value.t array * int) array;
 }
 
+let weighted_slot : weighted Scratch.slot = Scratch.slot ()
+
 let cols_needed preds (schema : Schema.t) =
   Array.to_list schema
   |> List.filter (fun (c : Schema.column) ->
@@ -183,17 +186,13 @@ let weighted_of_input ?deadline preds (i : Fragment.input) =
     cols_needed preds filtered.Table.schema
     |> List.map Schema.column_id |> String.concat ","
   in
-  let key = "w:" ^ kept_sig in
-  match Hashtbl.find_opt i.Fragment.scratch key with
-  | Some cached -> (Obj.obj cached : weighted)
-  | None ->
+  Scratch.find_or_add i.Fragment.scratch weighted_slot ("w:" ^ kept_sig)
+    (fun () ->
       let wschema, wrows =
         group_by_needed preds filtered.Table.schema
           (Seq.map (fun r -> (r, 1)) (Array.to_seq filtered.Table.rows))
       in
-      let w = { aliases = i.Fragment.provides; wschema; wrows } in
-      Hashtbl.replace i.Fragment.scratch key (Obj.repr w);
-      w
+      { aliases = i.Fragment.provides; wschema; wrows })
 
 let weighted_join preds_here preds_later (a : weighted) (b : weighted) =
   let out_schema_full = Schema.concat a.wschema b.wschema in
@@ -275,7 +274,7 @@ let count_component ?deadline ?cache (frag : Fragment.t) (inputs : Fragment.inpu
   in
   while List.length !tabs > 1 do
     (match deadline with
-    | Some d when Unix.gettimeofday () > d -> raise Executor.Timeout
+    | Some d when Qs_util.Timer.now () > d -> raise Executor.Timeout
     | _ -> ());
     let best = ref None in
     List.iteri

@@ -17,9 +17,11 @@ type setup = {
   seed : int;
   n_queries : int;
   timeout : float;
+  domains : int;
 }
 
-let default_setup = { scale = 0.5; seed = 2023; n_queries = 91; timeout = 5.0 }
+let default_setup =
+  { scale = 0.5; seed = 2023; n_queries = 91; timeout = 5.0; domains = 1 }
 
 (* --- workload environments -------------------------------------------- *)
 
@@ -87,7 +89,7 @@ let table3 s =
         :: List.map
              (fun qsa ->
                let algo = Algos.querysplit_with { Querysplit.default_config with Querysplit.qsa; ssa } in
-               let rs = Runner.run_spj ~timeout:s.timeout env algo queries in
+               let rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries in
                Report.seconds (Runner.total_time rs))
              Qsa.all_policies)
       ssa_grid
@@ -121,7 +123,7 @@ let fig10 s =
   Printf.printf "(noise sweep over %d of the queries)\n" (List.length queries);
   let run config ~mu ~sigma =
     Runner.total_time
-      (Runner.run_spj ~timeout:s.timeout env (noisy_algo s config ~mu ~sigma) queries)
+      (Runner.run_spj ~domains:s.domains ~timeout:s.timeout env (noisy_algo s config ~mu ~sigma) queries)
   in
   let sigmas = [ 0.0; 0.5; 1.0; 2.0; 4.0 ] in
   let qsa_series =
@@ -173,7 +175,7 @@ let fig11 s =
       let rows =
         List.map
           (fun algo ->
-            let rs = Runner.run_spj ~timeout:s.timeout env algo queries in
+            let rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries in
             let tos = List.length (List.filter (fun r -> r.Runner.timed_out) rs) in
             [
               algo.Runner.label;
@@ -194,7 +196,7 @@ let table4 s =
   let rows =
     List.map
       (fun algo ->
-        let rs = Runner.run_spj ~timeout:s.timeout env algo queries in
+        let rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries in
         let n_q = List.length rs in
         let total_mats = List.fold_left (fun a r -> a + r.Runner.mats) 0 rs in
         let total_bytes = List.fold_left (fun a r -> a + r.Runner.mat_bytes) 0 rs in
@@ -219,11 +221,11 @@ let table4 s =
 (* Figures 12-14: Starbench (TPC-H-like) and DSB                           *)
 (* ---------------------------------------------------------------------- *)
 
-let logical_comparison ~title ~timeout env trees roster =
+let logical_comparison ~title ~timeout ~domains env trees roster =
   let rows =
     List.map
       (fun algo ->
-        let rs = Runner.run_logical ~timeout env algo trees in
+        let rs = Runner.run_logical ~domains ~timeout env algo trees in
         let tos = List.length (List.filter (fun r -> r.Runner.timed_out) rs) in
         [
           algo.Runner.label;
@@ -244,7 +246,7 @@ let fig12 s =
       let trees = Starbench.queries cat ~seed:(s.seed + 1) in
       logical_comparison
         ~title:(Printf.sprintf "Starbench, %s indexes" cfg_name)
-        ~timeout:s.timeout env trees Algos.nonspj_roster)
+        ~timeout:s.timeout ~domains:s.domains env trees Algos.nonspj_roster)
     [ (Catalog.Pk_only, "Pk-only"); (Catalog.Pk_fk, "Pk+Fk") ]
 
 let fig13 s =
@@ -258,7 +260,7 @@ let fig13 s =
       let rows =
         List.map
           (fun algo ->
-            let rs = Runner.run_spj ~timeout:s.timeout env algo queries in
+            let rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries in
             [ algo.Runner.label; Report.seconds (Runner.total_time rs) ])
           Algos.fig11_roster
       in
@@ -273,8 +275,8 @@ let fig14 s =
   Catalog.build_indexes cat Catalog.Pk_fk;
   let env = Runner.make_env ~seed:s.seed cat in
   let trees = Dsb.nonspj_queries cat ~seed:(s.seed + 1) in
-  logical_comparison ~title:"DSB non-SPJ, Pk+Fk indexes" ~timeout:s.timeout env trees
-    Algos.nonspj_roster
+  logical_comparison ~title:"DSB non-SPJ, Pk+Fk indexes" ~timeout:s.timeout
+    ~domains:s.domains env trees Algos.nonspj_roster
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 15: statistics collection on/off                                 *)
@@ -288,11 +290,11 @@ let fig15 s =
       (fun algo ->
         let on =
           Runner.total_time
-            (Runner.run_spj ~collect_stats:true ~timeout:s.timeout env algo queries)
+            (Runner.run_spj ~collect_stats:true ~domains:s.domains ~timeout:s.timeout env algo queries)
         in
         let off =
           Runner.total_time
-            (Runner.run_spj ~collect_stats:false ~timeout:s.timeout env algo queries)
+            (Runner.run_spj ~collect_stats:false ~domains:s.domains ~timeout:s.timeout env algo queries)
         in
         [ algo.Runner.label; Report.seconds on; Report.seconds off ])
       Algos.reopt_roster
@@ -325,7 +327,7 @@ let table5 s =
     let algo =
       { Runner.label; strategy; estimator = (fun _ -> Estimator.default); warm = false }
     in
-    Runner.total_time (Runner.run_spj ~timeout:s.timeout env algo queries)
+    Runner.total_time (Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries)
   in
   let rows =
     List.map
@@ -365,9 +367,9 @@ let max_intermediate (r : Runner.qresult) =
 let categorize s =
   let env, queries = cinema_env s in
   let others = [ Algos.pop; Algos.ief; Algos.perron ] in
-  let qs_rs = Runner.run_spj ~timeout:s.timeout env Algos.querysplit queries in
+  let qs_rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env Algos.querysplit queries in
   let other_rs =
-    List.map (fun a -> Runner.run_spj ~timeout:s.timeout env a queries) others
+    List.map (fun a -> Runner.run_spj ~domains:s.domains ~timeout:s.timeout env a queries) others
   in
   let results =
     List.mapi
@@ -473,7 +475,7 @@ let ablation s =
     List.map
       (fun (label, config) ->
         let algo = Algos.querysplit_with config in
-        let rs = Runner.run_spj ~timeout:s.timeout env algo queries in
+        let rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries in
         let bytes = List.fold_left (fun a r -> a + r.Runner.mat_bytes) 0 rs in
         [
           label;
@@ -496,7 +498,7 @@ let metrics s =
   let labelled =
     List.map
       (fun algo ->
-        (algo.Runner.label, Runner.run_spj ~timeout:s.timeout env algo queries))
+        (algo.Runner.label, Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries))
       Algos.fig11_roster
   in
   (* the JSON blob is the machine-readable artifact; the table is the
@@ -528,6 +530,62 @@ let metrics s =
   print_endline "metrics report (JSON):";
   print_endline (Runner.metrics_report labelled)
 
+(* ---------------------------------------------------------------------- *)
+(* Parallel harness: wall-clock sweep over domain counts                   *)
+(* ---------------------------------------------------------------------- *)
+
+let counters_equal a b =
+  Qs_obs.Metrics.counter_names a = Qs_obs.Metrics.counter_names b
+  && List.for_all
+       (fun n -> Qs_obs.Metrics.counter a n = Qs_obs.Metrics.counter b n)
+       (Qs_obs.Metrics.counter_names a)
+
+let par_sweep s =
+  Report.section "Parallel harness: strategy sweep wall-clock vs domains";
+  let env, queries = cinema_env s in
+  let roster = Algos.reopt_roster in
+  let sweep domains =
+    let t0 = Qs_util.Timer.now () in
+    let rs =
+      List.map
+        (fun algo ->
+          (algo.Runner.label, Runner.run_spj ~domains ~timeout:s.timeout env algo queries))
+        roster
+    in
+    (Qs_util.Timer.elapsed ~since:t0, rs)
+  in
+  (* warm once so environment caches (oracle memo, base-table stats) do
+     not favour whichever sweep runs second *)
+  ignore (sweep 1);
+  let seq_wall, seq = sweep 1 in
+  let par_domains = max 2 s.domains in
+  let par_wall, par = sweep par_domains in
+  let digests rs = List.concat_map (fun (_, l) -> List.map (fun r -> r.Runner.digest) l) rs in
+  let identical = digests seq = digests par in
+  let metrics_ok =
+    List.for_all2
+      (fun (_, a) (_, b) ->
+        counters_equal (Runner.metrics_of_results a) (Runner.metrics_of_results b))
+      seq par
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "wall-clock for %d strategies x %d queries"
+         (List.length roster) (List.length queries))
+    ~headers:[ "domains"; "wall-clock"; "speedup" ]
+    [
+      [ "1"; Report.seconds seq_wall; "1.00x" ];
+      [
+        string_of_int par_domains;
+        Report.seconds par_wall;
+        Printf.sprintf "%.2fx" (seq_wall /. Float.max 1e-9 par_wall);
+      ];
+    ];
+  Printf.printf "result digests byte-identical: %s\n"
+    (if identical then "yes" else "NO (per-query timeouts differ under load?)");
+  Printf.printf "merged metric counters equal:  %s\n"
+    (if metrics_ok then "yes" else "NO")
+
 let all s =
   table1 s;
   table3 s;
@@ -542,4 +600,5 @@ let all s =
   table6 s;
   fig16_19 s;
   ablation s;
-  metrics s
+  metrics s;
+  par_sweep s

@@ -12,6 +12,9 @@ type setup = {
   seed : int;
   n_queries : int;  (** JOB-like query count (paper: 91) *)
   timeout : float;  (** per-query cap in seconds (paper: 1000 s) *)
+  domains : int;
+      (** harness parallelism: queries of a run fan out across this many
+          domains (1 = sequential) *)
 }
 
 val default_setup : setup
@@ -64,5 +67,11 @@ val metrics : setup -> unit
     re-optimization counts, materialization volume, timeout hits — as a
     human-readable table plus the machine-readable JSON blob (see
     EXPERIMENTS.md for the schema). *)
+
+val par_sweep : setup -> unit
+(** Beyond the paper: runs the re-optimizer roster sequentially and at
+    [max 2 domains] domains, reporting wall-clock, speedup, and whether
+    result digests and merged metric counters match the sequential
+    run (they must). *)
 
 val all : setup -> unit

@@ -7,6 +7,10 @@ module Strategy = Qs_core.Strategy
 module Driver = Qs_core.Driver
 module Naive = Qs_exec.Naive
 module Timer = Qs_util.Timer
+module Pool = Qs_util.Pool
+module Table = Qs_storage.Table
+module Schema = Qs_storage.Schema
+module Value = Qs_storage.Value
 module Metrics = Qs_obs.Metrics
 module Qerror = Qs_obs.Qerror
 
@@ -19,17 +23,26 @@ type env = {
 
 let make_env ?(seed = 1234) catalog =
   (* one memo per environment: every oracle-backed estimator built from
-     this env shares the true cardinalities already computed *)
+     this env shares the true cardinalities already computed. The memo
+     (and the weighted-table cache behind it) is also shared by parallel
+     harness cells, so lookups and fills are serialized by a lock — the
+     warm pass amortizes the counting, so contention on the timed pass is
+     all hits *)
+  let mutex = Mutex.create () in
   let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
   let wcache = Naive.make_cache () in
   let oracle_exec frag =
     let k = Qs_stats.Fragment.key frag in
-    match Hashtbl.find_opt memo k with
-    | Some c -> c
-    | None ->
-        let c = Naive.count ~cache:wcache frag in
-        Hashtbl.replace memo k c;
-        c
+    Mutex.lock mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mutex)
+      (fun () ->
+        match Hashtbl.find_opt memo k with
+        | Some c -> c
+        | None ->
+            let c = Naive.count ~cache:wcache frag in
+            Hashtbl.replace memo k c;
+            c)
   in
   { catalog; registry = Stats_registry.create catalog; oracle_exec; seed }
 
@@ -47,7 +60,28 @@ type qresult = {
   mats : int;
   mat_bytes : int;
   iterations : Strategy.iteration list;
+  digest : string;
 }
+
+(* Canonical multiset digest of a result table: rows rendered with
+   columns in sorted-id order, then sorted — invariant under row and
+   column order, so sequential and parallel runs of the same strategy
+   can be compared byte-for-byte. *)
+let result_digest (tbl : Table.t) =
+  let order =
+    Array.to_list tbl.Table.schema
+    |> List.mapi (fun i c -> (Schema.column_id c, i))
+    |> List.sort compare
+  in
+  let rows =
+    Array.to_list tbl.Table.rows
+    |> List.map (fun row ->
+           String.concat "\x00"
+             (List.map (fun (_, i) -> Value.to_string row.(i)) order))
+    |> List.sort compare
+  in
+  let header = String.concat "\x00" (List.map fst order) in
+  Digest.to_hex (Digest.string (String.concat "\x01" (header :: rows)))
 
 (* Wrap an estimator so the time spent estimating is accounted separately
    from engine time; the deadline is pushed forward by the same amount so
@@ -69,20 +103,20 @@ let instrumented (est : Estimator.t) ~deadline =
   in
   (wrapped, spent)
 
-let run_one ~collect_stats ~timeout env algo runner name =
+let run_one ~collect_stats ~timeout ?pool env algo runner name =
   if algo.warm then begin
     (* populate the oracle memo so the timed pass measures engine work *)
     let wctx =
       Strategy.make_ctx ~collect_stats
         ~deadline:(Some (Timer.now () +. (4.0 *. timeout)))
-        ~seed:env.seed env.registry (algo.estimator env)
+        ~seed:env.seed ?pool env.registry (algo.estimator env)
     in
     (try ignore (runner wctx) with _ -> ());
     Gc.major ()
   end;
   let deadline = Some (Timer.now () +. timeout) in
   let ctx0 =
-    Strategy.make_ctx ~collect_stats ~deadline ~seed:env.seed env.registry
+    Strategy.make_ctx ~collect_stats ~deadline ~seed:env.seed ?pool env.registry
       Estimator.default
   in
   let est, est_time = instrumented (algo.estimator env) ~deadline:ctx0.Strategy.deadline in
@@ -105,23 +139,44 @@ let run_one ~collect_stats ~timeout env algo runner name =
     mats;
     mat_bytes;
     iterations = outcome.Strategy.iterations;
+    digest = result_digest outcome.Strategy.result;
   }
 
-let run_spj ?(collect_stats = true) ?(timeout = 30.0) env algo queries =
-  List.map
-    (fun (q : Query.t) ->
-      run_one ~collect_stats ~timeout env algo
-        (fun ctx -> algo.strategy.Strategy.run ctx q)
-        q.Query.name)
-    queries
+(* Fan the per-query cells across a fresh pool. Each cell builds its own
+   ctx (and thus its own fragments, scratch caches and temp-table
+   namespace) exactly as in the sequential path; the only state shared
+   across domains is the registry, the oracle memo and the optional join
+   pool, all lock-guarded. Pool.map keeps results in query order, so the
+   output is indistinguishable from the sequential List.map. *)
+let run_cells ~domains cells =
+  if domains <= 1 then List.map (fun cell -> cell ()) cells
+  else Pool.with_pool ~domains (fun pool -> Pool.map pool (fun cell -> cell ()) cells)
 
-let run_logical ?(collect_stats = true) ?(timeout = 30.0) env algo trees =
-  List.map
-    (fun tree ->
-      run_one ~collect_stats ~timeout env algo
-        (fun ctx -> Driver.run algo.strategy ctx tree)
-        (Logical.name tree))
-    trees
+let with_join_pool ~join_parallelism f =
+  if join_parallelism <= 1 then f None
+  else Pool.with_pool ~domains:join_parallelism (fun p -> f (Some p))
+
+let run_spj ?(collect_stats = true) ?(timeout = 30.0) ?(domains = 1)
+    ?(join_parallelism = 1) env algo queries =
+  with_join_pool ~join_parallelism (fun pool ->
+      run_cells ~domains
+        (List.map
+           (fun (q : Query.t) () ->
+             run_one ~collect_stats ~timeout ?pool env algo
+               (fun ctx -> algo.strategy.Strategy.run ctx q)
+               q.Query.name)
+           queries))
+
+let run_logical ?(collect_stats = true) ?(timeout = 30.0) ?(domains = 1)
+    ?(join_parallelism = 1) env algo trees =
+  with_join_pool ~join_parallelism (fun pool ->
+      run_cells ~domains
+        (List.map
+           (fun tree () ->
+             run_one ~collect_stats ~timeout ?pool env algo
+               (fun ctx -> Driver.run algo.strategy ctx tree)
+               (Logical.name tree))
+           trees))
 
 let total_time results = List.fold_left (fun a r -> a +. r.time) 0.0 results
 

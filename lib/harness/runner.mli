@@ -43,16 +43,27 @@ type qresult = {
   mats : int;  (** materializations counted for Table 4 *)
   mat_bytes : int;
   iterations : Strategy.iteration list;
+  digest : string;
+      (** canonical multiset digest of the result table — row- and
+          column-order independent, so sequential and parallel runs can
+          be compared byte-for-byte *)
 }
 
-val run_spj : ?collect_stats:bool -> ?timeout:float -> env -> algo -> Query.t list ->
-  qresult list
-(** [timeout] (default 30 s) is the per-query wall-clock cap; a timed-out
-    query contributes the full timeout to aggregate times, as in the
-    paper. *)
+val run_spj : ?collect_stats:bool -> ?timeout:float -> ?domains:int ->
+  ?join_parallelism:int -> env -> algo -> Query.t list -> qresult list
+(** [timeout] (default 30 s) is the per-query monotonic-clock cap; a
+    timed-out query contributes the full timeout to aggregate times, as
+    in the paper.
 
-val run_logical : ?collect_stats:bool -> ?timeout:float -> env -> algo ->
-  Logical.t list -> qresult list
+    [domains] (default 1) fans the per-query cells across that many
+    domains; results come back in query order with identical digests and
+    counters — only per-query wall-clock (and thus time histograms)
+    varies. [join_parallelism] (default 1) additionally runs each hash
+    join partitioned across its own pool; keep it at 1 when measuring
+    per-query latency comparatively. *)
+
+val run_logical : ?collect_stats:bool -> ?timeout:float -> ?domains:int ->
+  ?join_parallelism:int -> env -> algo -> Logical.t list -> qresult list
 
 val total_time : qresult list -> float
 

@@ -26,6 +26,24 @@ let observe t name v =
 
 let histogram t name = Hashtbl.find_opt t.histograms name
 
+(* Merging is how per-domain registries become one report: each worker
+   records into its own [t] (no cross-domain mutation), and the harness
+   folds them together once the parallel region is over. *)
+let merge ~into src =
+  Hashtbl.iter (fun name r -> incr ~by:!r into name) src.counters;
+  Hashtbl.iter
+    (fun name h ->
+      let dst =
+        match Hashtbl.find_opt into.histograms name with
+        | Some dst -> dst
+        | None ->
+            let dst = Histogram.create () in
+            Hashtbl.replace into.histograms name dst;
+            dst
+      in
+      Histogram.merge ~into:dst h)
+    src.histograms
+
 let sorted_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
 
 let counter_names t = sorted_keys t.counters

@@ -18,6 +18,11 @@ val observe : t -> string -> float -> unit
 
 val histogram : t -> string -> Histogram.t option
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into]: counters add, histograms
+    merge observation-by-summary. Used to combine per-domain registries
+    after a parallel harness run; [src] is left untouched. *)
+
 val counter_names : t -> string list
 (** Sorted. *)
 

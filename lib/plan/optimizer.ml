@@ -47,6 +47,16 @@ let _cross_preds frag inputs lmask rmask =
    a single base input and one of the equi-join predicates touches an
    indexed column of it. *)
 let usable_index catalog (inner : Fragment.input) preds =
+  (* orient an equality predicate wrt the inner input: [None] when it is
+     not an equality or when neither side belongs to the inner input *)
+  let oriented p =
+    match Expr.join_sides p with
+    | None -> None
+    | Some (a, b) ->
+        if List.mem a.Expr.rel inner.Fragment.provides then Some (a, b)
+        else if List.mem b.Expr.rel inner.Fragment.provides then Some (b, a)
+        else None
+  in
   if inner.Fragment.is_temp then None
   else
     match inner.Fragment.base_table with
@@ -54,18 +64,11 @@ let usable_index catalog (inner : Fragment.input) preds =
     | Some base ->
         List.find_map
           (fun p ->
-            match Expr.join_sides p with
-            | Some (a, b) ->
-                let inner_key, outer_key =
-                  if List.mem a.Expr.rel inner.Fragment.provides then (a, b)
-                  else if List.mem b.Expr.rel inner.Fragment.provides then (b, a)
-                  else (a, a)
-                in
-                if inner_key == outer_key then None
-                else
-                  Catalog.find_index catalog ~table:base ~column:inner_key.Expr.name
-                  |> Option.map (fun ix -> (ix, outer_key, inner_key, p))
-            | None -> None)
+            match oriented p with
+            | None -> None
+            | Some (inner_key, outer_key) ->
+                Catalog.find_index catalog ~table:base ~column:inner_key.Expr.name
+                |> Option.map (fun ix -> (ix, outer_key, inner_key, p)))
           preds
 
 (* Expected total index hits before residual predicates: one lookup per
@@ -255,7 +258,13 @@ let dp_plan ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
           | Some cost -> try_spec cost (Physical.Index_nl, r)
           | None -> ()
         end;
-        if permitted Physical.Nl || (not equi) then begin
+        (* NL is also the fallback of last resort, exactly as in
+           [join_candidates]: without it, [allowed = [Index_nl]] and no
+           usable index would leave [best_spec] unset and [build] would
+           raise. An index join may or may not apply (it depends on the
+           catalog), so the fallback keys on hash join availability. *)
+        let hash_possible = equi && permitted Physical.Hash in
+        if permitted Physical.Nl || (not equi) || not hash_possible then begin
           try_spec
             (best_cost.(l) +. best_cost.(r)
             +. Cost_model.nl_join ~outer_rows:lr ~inner_rows:rr ~out_rows)

@@ -39,3 +39,14 @@ val cost_plan : Catalog.t -> Estimator.t -> Fragment.t -> Physical.t -> float
 
 val estimate_subset : Estimator.t -> Fragment.t -> Fragment.input list -> float
 (** The estimator's row count for a sub-join of the fragment. *)
+
+val usable_index :
+  Catalog.t -> Fragment.input -> Qs_query.Expr.pred list ->
+  (Qs_storage.Index.t * Qs_query.Expr.colref * Qs_query.Expr.colref
+  * Qs_query.Expr.pred)
+  option
+(** The first equality predicate with one side on [inner] whose inner
+    column is indexed: [(index, outer_key, inner_key, pred)]. [None] for
+    temp inputs, non-base inputs, predicates that are not equalities, or
+    equalities where neither side belongs to [inner] (exposed for
+    tests). *)

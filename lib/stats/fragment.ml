@@ -4,6 +4,7 @@ module Query = Qs_query.Query
 module Table = Qs_storage.Table
 module Schema = Qs_storage.Schema
 module Catalog = Qs_storage.Catalog
+module Scratch = Qs_util.Scratch
 
 type input = {
   id : string;
@@ -15,7 +16,7 @@ type input = {
   base_table : string option;
   provenance : string;
   memo : (string, float) Hashtbl.t;
-  scratch : (string, Obj.t) Hashtbl.t;
+  scratch : Scratch.t;
 }
 
 type t = {
@@ -46,13 +47,13 @@ let base_input registry ~alias ~table filters =
     base_table = Some table;
     provenance = base_provenance ~alias ~table filters;
     memo = Hashtbl.create 4;
-    scratch = Hashtbl.create 4;
+    scratch = Scratch.create ();
   }
 
 let temp_input ~id ~provenance table ~provides ~stats =
   {
     id; table; provides; filters = []; stats; is_temp = true; base_table = None;
-    provenance; memo = Hashtbl.create 4; scratch = Hashtbl.create 4;
+    provenance; memo = Hashtbl.create 4; scratch = Scratch.create ();
   }
 
 let of_query registry (q : Query.t) =

@@ -30,10 +30,11 @@ type input = {
       (** scratch cache for estimator-derived per-input quantities
           (post-filter rows, per-column effective ndv); keyed by a label
           chosen by the estimator. Never part of the input's identity. *)
-  scratch : (string, Obj.t) Hashtbl.t;
-      (** opaque per-input cache for the execution layer (filtered rows,
-          weighted groupings); safe because tables are immutable. Never
-          part of the input's identity. *)
+  scratch : Qs_util.Scratch.t;
+      (** typed per-input cache for the execution layer (filtered rows,
+          weighted groupings), keyed by the producing computation; safe
+          because tables are immutable, and mutex-guarded so domains can
+          share an input. Never part of the input's identity. *)
 }
 
 type t = {

@@ -2,19 +2,30 @@ module Catalog = Qs_storage.Catalog
 
 type t = {
   catalog : Catalog.t;
+  mutex : Mutex.t;
   cache : (string, Table_stats.t) Hashtbl.t;
 }
 
-let create catalog = { catalog; cache = Hashtbl.create 16 }
+let create catalog =
+  { catalog; mutex = Mutex.create (); cache = Hashtbl.create 16 }
 
 let catalog t = t.catalog
 
-let stats t name =
-  match Hashtbl.find_opt t.cache name with
-  | Some s -> s
-  | None ->
-      let s = Analyze.of_table (Catalog.table t.catalog name) in
-      Hashtbl.replace t.cache name s;
-      s
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let invalidate t name = Hashtbl.remove t.cache name
+(* One registry is shared by every harness cell, so the lazy fill must
+   be guarded when cells run on separate domains. ANALYZE is held under
+   the lock: it is deterministic, and racing it would only duplicate
+   work. *)
+let stats t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.cache name with
+      | Some s -> s
+      | None ->
+          let s = Analyze.of_table (Catalog.table t.catalog name) in
+          Hashtbl.replace t.cache name s;
+          s)
+
+let invalidate t name = with_lock t (fun () -> Hashtbl.remove t.cache name)

@@ -1,0 +1,118 @@
+(* Fixed-size domain pool with a plain FIFO queue (no work stealing).
+
+   Three properties matter to callers:
+   - deterministic ordering: [map] returns results in item order no
+     matter which domain ran which item;
+   - exception propagation: the first failing item's exception is
+     re-raised (with its backtrace) on the calling domain;
+   - nesting: a job may itself call [map] on the same pool. The caller
+     always helps drain the queue while its batch is outstanding, so
+     inner batches make progress even when every worker is busy.
+
+   Publication safety: each job writes its slot in [results] and then
+   decrements [remaining] (an atomic RMW); the caller only reads the
+   slots after observing [remaining = 0], so the atomic pair gives the
+   required happens-before edge. *)
+
+type job = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  changed : Condition.t;
+  queue : job Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  size : int;
+}
+
+let size t = t.size
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stop do
+    Condition.wait t.changed t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopping *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    job ();
+    worker t
+  end
+
+let create ~domains =
+  let size = max 1 domains in
+  let t =
+    {
+      mutex = Mutex.create ();
+      changed = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+      size;
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.changed;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else if t.size <= 1 || n = 1 then Array.to_list (Array.map f items)
+  else begin
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let job i () =
+      let r =
+        match f items.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r;
+      ignore (Atomic.fetch_and_add remaining (-1));
+      (* the broadcast is under the mutex so a caller that checked
+         [remaining] before our decrement is guaranteed to be parked on
+         [changed] by the time we signal: no lost wakeup *)
+      Mutex.lock t.mutex;
+      Condition.broadcast t.changed;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (job i) t.queue
+    done;
+    Condition.broadcast t.changed;
+    Mutex.unlock t.mutex;
+    while Atomic.get remaining > 0 do
+      Mutex.lock t.mutex;
+      let next =
+        if Queue.is_empty t.queue then begin
+          if Atomic.get remaining > 0 then Condition.wait t.changed t.mutex;
+          None
+        end
+        else Some (Queue.pop t.queue)
+      in
+      Mutex.unlock t.mutex;
+      match next with Some j -> j () | None -> ()
+    done;
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      results;
+    Array.to_list
+      (Array.map (function Some (Ok v) -> v | _ -> assert false) results)
+  end

@@ -1,0 +1,32 @@
+(** Fixed-size [Domain]-based worker pool.
+
+    A pool of size [n] uses the calling domain plus [n - 1] spawned
+    worker domains. [map] distributes items across the pool and returns
+    results in item order; if any item raises, the first failure (in
+    item order) is re-raised on the caller with its backtrace.
+
+    Jobs may call [map] recursively on the same pool: the caller helps
+    drain the queue while waiting, so nested batches cannot deadlock. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [max 1 domains - 1] worker domains.
+    [domains <= 1] yields an inline pool that runs everything on the
+    calling domain. *)
+
+val size : t -> int
+(** Total parallelism, including the calling domain. Always [>= 1]. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f items] applies [f] to every item, in parallel across the
+    pool, and returns the results in item order. [f] must be safe to
+    run concurrently with itself. *)
+
+val shutdown : t -> unit
+(** Signal workers to exit and join them. Idempotent. Outstanding
+    [map] calls must have returned. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and always shuts
+    it down, including on exceptions. *)

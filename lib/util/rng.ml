@@ -17,6 +17,10 @@ let split t =
   let s = int64 t in
   { state = s }
 
+let streams ~seed n =
+  let root = create seed in
+  Array.init n (fun _ -> split root)
+
 let int t bound =
   assert (bound > 0);
   (* keep 62 bits so the conversion to OCaml's 63-bit int stays positive *)

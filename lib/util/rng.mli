@@ -14,6 +14,12 @@ val copy : t -> t
 val split : t -> t
 (** [split t] derives an independent generator and advances [t]. *)
 
+val streams : seed:int -> int -> t array
+(** [streams ~seed n] derives [n] independent generators from [seed],
+    e.g. one per worker domain. Stream [i] depends only on [(seed, i)],
+    never on which domain consumes it, so parallel runs stay
+    reproducible. *)
+
 val int64 : t -> int64
 
 val int : t -> int -> int

@@ -1,0 +1,58 @@
+(* A typed, mutex-guarded universal cache.
+
+   Each [slot ()] mints a fresh constructor of the extensible [binding]
+   type, so a value stored through a slot can only be read back through
+   the same slot — the projection returns [None] for every other
+   constructor. This gives the "heterogeneous table" shape the executor
+   scratch caches need without any [Obj.magic]/[Obj.repr]. *)
+
+type binding = ..
+
+type 'a slot = { inj : 'a -> binding; prj : binding -> 'a option }
+
+let slot (type a) () =
+  let module M = struct
+    type binding += B of a
+  end in
+  {
+    inj = (fun v -> M.B v);
+    prj = (function M.B v -> Some v | _ -> None);
+  }
+
+type t = { mutex : Mutex.t; tbl : (string, binding) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 4 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t slot key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> None
+      | Some b -> slot.prj b)
+
+let set t slot key v =
+  with_lock t (fun () -> Hashtbl.replace t.tbl key (slot.inj v))
+
+(* The computation runs outside the lock: it may be expensive (it
+   materializes tables) and may raise (deadline [Timeout]s must
+   propagate without poisoning the cache). First write wins, which is
+   sound because every cached computation here is deterministic. *)
+let find_or_add t slot key f =
+  match find t slot key with
+  | Some v -> v
+  | None -> (
+      let v = f () in
+      with_lock t (fun () ->
+          match Hashtbl.find_opt t.tbl key with
+          | Some b -> (
+              match slot.prj b with
+              | Some prior -> prior
+              | None ->
+                  Hashtbl.replace t.tbl key (slot.inj v);
+                  v)
+          | None ->
+              Hashtbl.add t.tbl key (slot.inj v);
+              v))

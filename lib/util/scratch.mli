@@ -1,0 +1,28 @@
+(** Typed, mutex-guarded universal cache.
+
+    Replaces the old [(string, Obj.t) Hashtbl.t] scratch spaces: values
+    are stored through a ['a slot] minted with {!slot}, and can only be
+    read back through that same slot, so no unsafe casts are involved.
+    All operations are safe to call from multiple domains. *)
+
+type t
+
+type 'a slot
+
+val slot : unit -> 'a slot
+(** Mint a new slot. Typically one per cache site, created at module
+    load time. *)
+
+val create : unit -> t
+
+val find : t -> 'a slot -> string -> 'a option
+(** [find t slot key] is the value stored under [key] through [slot],
+    or [None] if absent or stored through a different slot. *)
+
+val set : t -> 'a slot -> string -> 'a -> unit
+
+val find_or_add : t -> 'a slot -> string -> (unit -> 'a) -> 'a
+(** [find_or_add t slot key f] returns the cached value, computing and
+    caching [f ()] on a miss. [f] runs outside the lock; if two domains
+    race, the first write wins and both observe the same value.
+    Exceptions from [f] propagate and nothing is cached. *)

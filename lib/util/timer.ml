@@ -1,6 +1,16 @@
-let now () = Unix.gettimeofday ()
+(* Monotonic time source shared by every deadline and trace in the
+   repository. [Unix.gettimeofday] is not monotonic — an NTP step can
+   fire spurious [Timeout]s or produce negative elapsed times — so we
+   read the OS monotonic clock (via bechamel's noalloc stub) and report
+   seconds since process start. *)
+
+let epoch = Monotonic_clock.now ()
+
+let now () = Int64.to_float (Int64.sub (Monotonic_clock.now ()) epoch) *. 1e-9
+
+let elapsed ~since = Float.max 0.0 (now () -. since)
 
 let time f =
   let t0 = now () in
   let r = f () in
-  (r, now () -. t0)
+  (r, elapsed ~since:t0)

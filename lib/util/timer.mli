@@ -1,8 +1,12 @@
-(** Wall-clock measurement helpers used by the execution traces and the
-    benchmark harness. *)
-
-val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and also returns the elapsed wall-clock seconds. *)
+(** Monotonic time for deadlines, execution traces and the benchmark
+    harness. All values are seconds since process start, read from the
+    OS monotonic clock — immune to wall-clock steps. *)
 
 val now : unit -> float
-(** Monotonic-ish wall clock in seconds. *)
+(** Monotonic clock in seconds since process start. *)
+
+val elapsed : since:float -> float
+(** [elapsed ~since] is [now () -. since], clamped at [>= 0]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and also returns the elapsed seconds. *)

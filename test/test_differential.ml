@@ -86,6 +86,90 @@ let test_fuzz_varies () =
   in
   Alcotest.(check bool) "corpus is not degenerate" true (distinct > 20)
 
+(* --- parallel execution paths ----------------------------------------- *)
+
+module Runner = Qs_harness.Runner
+module Algos = Qs_harness.Algos
+module Metrics = Qs_obs.Metrics
+module Pool = Qs_util.Pool
+
+let counters_equal label a b =
+  Alcotest.(check (list string)) (label ^ ": counter names") (Metrics.counter_names a)
+    (Metrics.counter_names b);
+  List.iter
+    (fun name ->
+      Alcotest.(check int) (label ^ ": counter " ^ name) (Metrics.counter a name)
+        (Metrics.counter b name))
+    (Metrics.counter_names a)
+
+(* 200 seeded queries through the harness at increasing domain counts:
+   result digests and all metric counters must be independent of the
+   fan-out (a fresh env per run keeps stats/oracle caches comparable). *)
+let test_parallel_harness_corpus () =
+  let cat = Fixtures.shop_catalog ~n_orders:400 () in
+  let queries = Fuzz.queries cat ~seed:20230617 ~n:200 () in
+  let run domains =
+    Runner.run_spj ~timeout:60.0 ~domains (Runner.make_env ~seed:7 cat) Algos.default
+      queries
+  in
+  let seq = run 1 in
+  let seq_metrics = Runner.metrics_of_results seq in
+  List.iter
+    (fun domains ->
+      let par = run domains in
+      Alcotest.(check int) "one result per query" (List.length seq) (List.length par);
+      List.iter2
+        (fun (a : Runner.qresult) (b : Runner.qresult) ->
+          Alcotest.(check string) "query order" a.Runner.query b.Runner.query;
+          if a.Runner.digest <> b.Runner.digest then
+            Alcotest.failf "%s: digest differs at domains=%d" a.Runner.query domains;
+          Alcotest.(check bool) "timeout status" a.Runner.timed_out b.Runner.timed_out;
+          Alcotest.(check int) "materializations" a.Runner.mats b.Runner.mats)
+        seq par;
+      (* aggregate counters match the sequential run... *)
+      counters_equal
+        (Printf.sprintf "domains=%d" domains)
+        seq_metrics
+        (Runner.metrics_of_results par);
+      (* ...and merging per-chunk registries (as the harness does with
+         per-domain registries) reproduces the whole *)
+      let n_chunks = 4 in
+      let chunks = Array.make n_chunks [] in
+      List.iteri (fun i r -> chunks.(i mod n_chunks) <- r :: chunks.(i mod n_chunks)) par;
+      let merged = Metrics.create () in
+      Array.iter
+        (fun chunk -> Metrics.merge ~into:merged (Runner.metrics_of_results chunk))
+        chunks;
+      counters_equal (Printf.sprintf "domains=%d merged chunks" domains) seq_metrics merged;
+      match
+        (Metrics.histogram seq_metrics "qerror", Metrics.histogram merged "qerror")
+      with
+      | Some hs, Some hm ->
+          Alcotest.(check int) "merged qerror count" (Qs_obs.Histogram.count hs)
+            (Qs_obs.Histogram.count hm)
+      | None, None -> ()
+      | _ -> Alcotest.fail "qerror histogram present in only one run")
+    [ 2; 4 ]
+
+(* the partitioned parallel hash join must be plan-for-plan identical to
+   the sequential hash join across the whole fuzz corpus *)
+let test_parallel_join_corpus () =
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let queries = Fuzz.queries cat ~seed:20230617 ~n:200 () in
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun (q : Query.t) ->
+          let frag = Strategy.fragment_of_query ctx q in
+          if Naive.count frag <= max_result_rows then begin
+            let plan = (Optimizer.optimize cat Estimator.default frag).Optimizer.plan in
+            let seq, _ = Executor.run plan in
+            let par, _ = Executor.run ~pool plan in
+            if not (Fixtures.tables_equal seq par) then
+              Alcotest.failf "%s: partitioned join diverges (%d vs %d rows)"
+                q.Query.name (Table.n_rows seq) (Table.n_rows par)
+          end)
+        queries)
+
 let suite =
   [
     Alcotest.test_case "fuzz corpus deterministic" `Quick test_fuzz_deterministic;
@@ -94,4 +178,8 @@ let suite =
       test_shop_corpus;
     Alcotest.test_case "cinema corpus: naive = executor = strategies" `Slow
       test_cinema_corpus;
+    Alcotest.test_case "parallel harness: digests + counters invariant" `Slow
+      test_parallel_harness_corpus;
+    Alcotest.test_case "parallel hash join over fuzz corpus" `Slow
+      test_parallel_join_corpus;
   ]

@@ -83,7 +83,7 @@ let test_filter_input () =
       base_table = Some "a";
       provenance = "a";
       memo = Hashtbl.create 1;
-      scratch = Hashtbl.create 1;
+      scratch = Qs_util.Scratch.create ();
     }
   in
   Alcotest.(check int) "2 rows" 2 (Table.n_rows (Executor.filter_input input))
@@ -126,7 +126,7 @@ let test_deadline_timeout () =
       base_table = Some base;
       provenance = t.Table.name;
       memo = Hashtbl.create 1;
-      scratch = Hashtbl.create 1;
+      scratch = Qs_util.Scratch.create ();
     }
   in
   let l = Physical.scan (input big "big") ~est_rows:30000.0 ~est_cost:1.0 in
@@ -138,7 +138,7 @@ let test_deadline_timeout () =
   in
   Alcotest.(check bool) "timeout raised" true
     (try
-       ignore (Executor.run ~deadline:(Unix.gettimeofday () +. 0.05) join);
+       ignore (Executor.run ~deadline:(Qs_util.Timer.now () +. 0.05) join);
        false
      with Executor.Timeout -> true)
 
@@ -190,7 +190,7 @@ let fragment_input ?(filters = []) (t : Table.t) =
     base_table = Some t.Table.name;
     provenance = t.Table.name;
     memo = Hashtbl.create 1;
-    scratch = Hashtbl.create 1;
+    scratch = Qs_util.Scratch.create ();
   }
 
 let index_nl_plan ?outer_filters ?inner_filters () =
@@ -270,6 +270,67 @@ let test_stats_complete_optimized_plans () =
       [ Physical.Index_nl; Physical.Hash; Physical.Nl ];
     ]
 
+(* --- filter-cache keying ----------------------------------------------- *)
+(* Regression: the filtered-rows cache used the fixed key "filtered" (via
+   Obj.repr), so re-filtering the same input record under a different
+   pushed-down predicate set silently returned the stale rows of the
+   first filter. The cache is now typed and keyed by the predicates. *)
+
+let test_filter_cache_keyed_by_predicates () =
+  let a, _ = mini_tables () in
+  let eq v = [ Expr.Cmp (Expr.Eq, Expr.col "a" "x", Expr.vint v) ] in
+  let input = fragment_input ~filters:(eq 2) a in
+  Alcotest.(check int) "first filter" 2 (Table.n_rows (Executor.filter_input input));
+  (* same input record — and thus the same scratch cache — re-planned
+     with a different predicate set *)
+  let input' = { input with Fragment.filters = eq 1 } in
+  Alcotest.(check int) "re-filter is not stale" 1
+    (Table.n_rows (Executor.filter_input input'));
+  (* the first filter's entry is still served, still correct *)
+  Alcotest.(check int) "original entry intact" 2
+    (Table.n_rows (Executor.filter_input input))
+
+(* --- partitioned parallel hash join ------------------------------------ *)
+
+let test_parallel_hash_join_matches () =
+  let a, b = mini_tables () in
+  let p = Expr.eq (Expr.col "a" "x") (Expr.col "b" "y") in
+  let res = Expr.Cmp (Expr.Gt, Expr.col "b" "v", Expr.vint 10) in
+  Qs_util.Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun preds ->
+          let seq = Executor.hash_join ~build:a ~probe:b preds in
+          let par = Executor.hash_join ~pool ~build:a ~probe:b preds in
+          Alcotest.(check bool) "same multiset" true (Fixtures.tables_equal seq par))
+        [ [ p ]; [ p; res ] ])
+
+let test_parallel_hash_join_limit () =
+  (* the row limit must still convert explosive joins into Timeout, even
+     when the counting is spread across domains *)
+  let big =
+    Table.create ~name:"c"
+      ~schema:(Schema.make "c" [ ("k", Value.TInt) ])
+      (Array.init 2000 (fun _ -> [| Value.Int 1 |]))
+  in
+  let big2 = Table.rename big "d" in
+  let p = Expr.eq (Expr.col "c" "k") (Expr.col "d" "k") in
+  Qs_util.Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check bool) "timeout raised" true
+        (try
+           ignore (Executor.hash_join ~limit:10_000 ~pool ~build:big ~probe:big2 [ p ]);
+           false
+         with Executor.Timeout -> true))
+
+let test_run_with_pool_matches () =
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let frag = Strategy.fragment_of_query ctx (Fixtures.shop_query ()) in
+  let res = Optimizer.optimize ~allowed:[ Physical.Hash ] cat Estimator.default frag in
+  let seq, _ = Executor.run res.Optimizer.plan in
+  Qs_util.Pool.with_pool ~domains:3 (fun pool ->
+      let par, stats = Executor.run ~pool res.Optimizer.plan in
+      Alcotest.(check bool) "same multiset" true (Fixtures.tables_equal seq par);
+      check_stats_complete res.Optimizer.plan stats)
+
 let test_naive_count_matches_rows () =
   let _, ctx = Fixtures.shop_ctx ~n_orders:400 () in
   let rng = Qs_util.Rng.create 1 in
@@ -300,4 +361,11 @@ let suite =
     Alcotest.test_case "stats cover all nodes (optimized plans)" `Quick
       test_stats_complete_optimized_plans;
     Alcotest.test_case "naive count = rows" `Quick test_naive_count_matches_rows;
+    Alcotest.test_case "filter cache keyed by predicates" `Quick
+      test_filter_cache_keyed_by_predicates;
+    Alcotest.test_case "parallel hash join = sequential" `Quick
+      test_parallel_hash_join_matches;
+    Alcotest.test_case "parallel hash join row limit" `Quick
+      test_parallel_hash_join_limit;
+    Alcotest.test_case "run with pool = sequential" `Quick test_run_with_pool_matches;
   ]

@@ -95,6 +95,42 @@ let test_warm_flags () =
       Alcotest.(check bool) (a.Runner.label ^ " warm flag") expected a.Runner.warm)
     Algos.fig11_roster
 
+let test_parallel_run_matches_sequential () =
+  (* same env, same queries: fanning cells across domains must not change
+     results (digests) or merged metric counters — only wall-clock *)
+  let qs = queries () in
+  let seq = Runner.run_spj ~timeout:20.0 (small_env ()) Algos.querysplit qs in
+  let par = Runner.run_spj ~timeout:20.0 ~domains:2 (small_env ()) Algos.querysplit qs in
+  Alcotest.(check int) "same cardinality" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Runner.qresult) (b : Runner.qresult) ->
+      Alcotest.(check string) "query order preserved" a.Runner.query b.Runner.query;
+      Alcotest.(check string) ("digest of " ^ a.Runner.query) a.Runner.digest
+        b.Runner.digest;
+      Alcotest.(check int) "materializations" a.Runner.mats b.Runner.mats)
+    seq par;
+  let ms = Runner.metrics_of_results seq and mp = Runner.metrics_of_results par in
+  let module Metrics = Qs_obs.Metrics in
+  Alcotest.(check (list string)) "counter names" (Metrics.counter_names ms)
+    (Metrics.counter_names mp);
+  List.iter
+    (fun name ->
+      Alcotest.(check int) ("counter " ^ name) (Metrics.counter ms name)
+        (Metrics.counter mp name))
+    (Metrics.counter_names ms)
+
+let test_join_parallelism_matches () =
+  let qs = queries () in
+  let seq = Runner.run_spj ~timeout:20.0 (small_env ()) Algos.default qs in
+  let par =
+    Runner.run_spj ~timeout:20.0 ~join_parallelism:4 (small_env ()) Algos.default qs
+  in
+  List.iter2
+    (fun (a : Runner.qresult) (b : Runner.qresult) ->
+      Alcotest.(check string) ("digest of " ^ a.Runner.query) a.Runner.digest
+        b.Runner.digest)
+    seq par
+
 let suite =
   [
     Alcotest.test_case "run_spj metrics" `Quick test_run_spj_metrics;
@@ -105,4 +141,7 @@ let suite =
     Alcotest.test_case "report rendering" `Quick test_report_rendering;
     Alcotest.test_case "fig11 roster" `Quick test_fig11_roster_complete;
     Alcotest.test_case "warm flags" `Quick test_warm_flags;
+    Alcotest.test_case "parallel run matches sequential" `Quick
+      test_parallel_run_matches_sequential;
+    Alcotest.test_case "join parallelism matches" `Quick test_join_parallelism_matches;
   ]

@@ -132,6 +132,41 @@ let test_metrics_counters_and_json () =
   Alcotest.(check bool) "labelled object" true
     (Str_helpers.contains many "\"a\": {" && Str_helpers.contains many "\"b\": {")
 
+let test_metrics_merge () =
+  (* merging per-domain registries must equal the registry a single
+     domain would have accumulated *)
+  let whole = Metrics.create () in
+  let parts = [ Metrics.create (); Metrics.create (); Metrics.create () ] in
+  List.iteri
+    (fun d m ->
+      Metrics.incr ~by:(d + 1) m "runs";
+      Metrics.incr ~by:(d + 1) whole "runs";
+      if d = 1 then (
+        Metrics.incr m "timeouts";
+        Metrics.incr whole "timeouts");
+      List.iter
+        (fun v ->
+          Metrics.observe m "latency" v;
+          Metrics.observe whole "latency" v)
+        [ float_of_int d; float_of_int (10 * (d + 1)) ])
+    parts;
+  let merged = Metrics.create () in
+  List.iter (Metrics.merge ~into:merged) parts;
+  Alcotest.(check int) "counters add" (Metrics.counter whole "runs")
+    (Metrics.counter merged "runs");
+  Alcotest.(check int) "counter only in one part" (Metrics.counter whole "timeouts")
+    (Metrics.counter merged "timeouts");
+  Alcotest.(check (list string)) "counter names" (Metrics.counter_names whole)
+    (Metrics.counter_names merged);
+  (match (Metrics.histogram merged "latency", Metrics.histogram whole "latency") with
+  | Some hm, Some hw ->
+      Alcotest.(check int) "histogram count" (Histogram.count hw) (Histogram.count hm);
+      feq "histogram sum" (Histogram.sum hw) (Histogram.sum hm);
+      feq "histogram max" (Histogram.max_value hw) (Histogram.max_value hm)
+  | _ -> Alcotest.fail "latency histogram missing after merge");
+  (* src registries are untouched *)
+  Alcotest.(check int) "src unchanged" 1 (Metrics.counter (List.hd parts) "runs")
+
 (* --- trace + explain -------------------------------------------------- *)
 
 let traced_shop_plan () =
@@ -261,6 +296,7 @@ let suite =
     Alcotest.test_case "histogram edge cases" `Quick test_histogram_edge_cases;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "metrics counters + json" `Quick test_metrics_counters_and_json;
+    Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
     Alcotest.test_case "trace covers all nodes" `Quick test_trace_covers_all_nodes;
     Alcotest.test_case "trace volumes" `Quick test_trace_volumes;
     Alcotest.test_case "explain analyze golden" `Quick test_explain_golden;

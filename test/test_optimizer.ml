@@ -172,6 +172,63 @@ let test_replace_node () =
       let expected, _ = Executor.run res.Optimizer.plan in
       Alcotest.(check bool) "same result" true (Fixtures.tables_equal tbl expected)
 
+let test_index_nl_only_falls_back_to_nl () =
+  (* Regression: an equi-join on columns with no index (qty/stars are
+     neither pks nor fks) used to make [dp_plan] raise "no plan found"
+     when the method list was [Index_nl] — [join_candidates] always had
+     the plain-NL fallback, the DP path lacked it. *)
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:300 () in
+  let q =
+    Query.make ~name:"no_usable_index"
+      [ { Query.alias = "o"; table = "orders" }; { Query.alias = "r"; table = "reviews" } ]
+      [
+        Expr.Cmp (Expr.Eq, Expr.col "o" "qty", Expr.col "r" "stars");
+        Expr.Cmp (Expr.Ge, Expr.col "r" "stars", Expr.vint 4);
+      ]
+  in
+  let frag = Strategy.fragment_of_query ctx q in
+  let res =
+    Optimizer.optimize ~allowed:[ Physical.Index_nl ] cat Estimator.default frag
+  in
+  List.iter
+    (fun m -> Alcotest.(check bool) "degraded to plain NL" true (m = Physical.Nl))
+    (methods_used res.Optimizer.plan);
+  Alcotest.(check int) "one join" 1 (Physical.n_joins res.Optimizer.plan);
+  let tbl, _ = Executor.run res.Optimizer.plan in
+  Alcotest.(check bool) "result equals naive" true
+    (Fixtures.tables_equal tbl (Naive.rows { frag with Fragment.output = [] }))
+
+let test_usable_index_orientation () =
+  (* Regression: [usable_index] used a physical-equality (a, a) sentinel
+     to mark "no side of this pred touches the inner"; a pred whose
+     sides both live elsewhere must simply yield None, and a matching
+     pred must orient (outer_key, inner_key) correctly whichever side
+     the inner column appears on. *)
+  let cat, _, frag = setup () in
+  let c = Fragment.find_input frag "c" in
+  let unrelated = Expr.Cmp (Expr.Eq, Expr.col "o" "product_id", Expr.col "p" "id") in
+  Alcotest.(check bool) "pred not touching inner -> None" true
+    (Optimizer.usable_index cat c [ unrelated ] = None);
+  let check_oriented pred =
+    match Optimizer.usable_index cat c [ unrelated; pred ] with
+    | None -> Alcotest.fail "expected a usable index on c.id"
+    | Some (ix, outer_key, inner_key, p) ->
+        Alcotest.(check string) "index" "customers.id" (Qs_storage.Index.name ix);
+        Alcotest.(check string) "inner side is c" "c" inner_key.Expr.rel;
+        Alcotest.(check string) "inner column" "id" inner_key.Expr.name;
+        Alcotest.(check string) "outer side is o" "o" outer_key.Expr.rel;
+        Alcotest.(check bool) "returns the matching pred" true (p = pred)
+  in
+  (* inner column on the right of the equality... *)
+  check_oriented (Expr.Cmp (Expr.Eq, Expr.col "o" "customer_id", Expr.col "c" "id"));
+  (* ...and flipped to the left *)
+  check_oriented (Expr.Cmp (Expr.Eq, Expr.col "c" "id", Expr.col "o" "customer_id"));
+  (* a non-equality on the right columns is never usable *)
+  Alcotest.(check bool) "non-equality -> None" true
+    (Optimizer.usable_index cat c
+       [ Expr.Cmp (Expr.Ge, Expr.col "o" "customer_id", Expr.col "c" "id") ]
+    = None)
+
 let suite =
   [
     Alcotest.test_case "plan covers inputs" `Quick test_plan_covers_inputs;
@@ -184,4 +241,7 @@ let suite =
     Alcotest.test_case "recost consistency" `Quick test_optimal_cost_not_above_default_cost;
     Alcotest.test_case "plan matches naive" `Quick test_plan_execution_matches_naive;
     Alcotest.test_case "replace node" `Quick test_replace_node;
+    Alcotest.test_case "index-NL-only falls back to NL" `Quick
+      test_index_nl_only_falls_back_to_nl;
+    Alcotest.test_case "usable_index orientation" `Quick test_usable_index_orientation;
   ]

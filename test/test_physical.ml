@@ -20,7 +20,7 @@ let input name =
     base_table = Some name;
     provenance = name;
     memo = Hashtbl.create 1;
-    scratch = Hashtbl.create 1;
+    scratch = Qs_util.Scratch.create ();
   }
 
 let scan name = Physical.scan (input name) ~est_rows:5.0 ~est_cost:1.0

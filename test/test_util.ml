@@ -1,7 +1,10 @@
-(* Rng / Zipf / Timer. *)
+(* Rng / Zipf / Timer / Scratch / Pool. *)
 
 module Rng = Qs_util.Rng
 module Zipf = Qs_util.Zipf
+module Timer = Qs_util.Timer
+module Scratch = Qs_util.Scratch
+module Pool = Qs_util.Pool
 
 let test_determinism () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -112,6 +115,141 @@ let test_zipf_sample_matches_frequency () =
   Alcotest.(check bool) "rank-0 empirical close" true
     (Float.abs (emp0 -. Zipf.frequency z 0) < 0.02)
 
+let test_streams_deterministic () =
+  let a = Rng.streams ~seed:5 4 and b = Rng.streams ~seed:5 4 in
+  Array.iteri
+    (fun i ra ->
+      for _ = 1 to 20 do
+        Alcotest.(check int64)
+          (Printf.sprintf "stream %d replays" i)
+          (Rng.int64 ra) (Rng.int64 b.(i))
+      done)
+    a;
+  (* distinct streams of the same family disagree *)
+  let c = Rng.streams ~seed:5 2 in
+  Alcotest.(check bool) "streams 0 and 1 differ" true
+    (Rng.int64 c.(0) <> Rng.int64 c.(1))
+
+let test_streams_prefix_stable () =
+  (* stream [i] depends only on (seed, i): asking for more streams must
+     not change the earlier ones, or per-domain workloads would shift
+     when the domain count changes *)
+  let small = Rng.streams ~seed:2023 2 and big = Rng.streams ~seed:2023 8 in
+  for i = 0 to 1 do
+    for _ = 1 to 20 do
+      Alcotest.(check int64) "prefix stable" (Rng.int64 small.(i)) (Rng.int64 big.(i))
+    done
+  done
+
+let test_timer_monotone () =
+  let t0 = Timer.now () in
+  let acc = ref 0 in
+  for i = 1 to 100_000 do
+    acc := !acc + i
+  done;
+  ignore !acc;
+  let t1 = Timer.now () in
+  Alcotest.(check bool) "non-decreasing" true (t1 >= t0);
+  (* process-relative: seconds since start, not an epoch timestamp *)
+  Alcotest.(check bool) "process-relative base" true (t0 >= 0.0 && t0 < 1e6)
+
+let test_timer_elapsed_clamped () =
+  Alcotest.(check bool) "future deadline clamps to 0" true
+    (Timer.elapsed ~since:(Timer.now () +. 60.0) = 0.0);
+  Alcotest.(check bool) "past is positive" true (Timer.elapsed ~since:(-1.0) > 0.0)
+
+let test_timer_time () =
+  let v, dt = Timer.time (fun () -> 41 + 1) in
+  Alcotest.(check int) "value" 42 v;
+  Alcotest.(check bool) "elapsed >= 0" true (dt >= 0.0)
+
+let test_scratch_typed_slots () =
+  let s = Scratch.create () in
+  let ints : int Scratch.slot = Scratch.slot () in
+  let strs : string Scratch.slot = Scratch.slot () in
+  Scratch.set s ints "k" 7;
+  Alcotest.(check (option int)) "read back" (Some 7) (Scratch.find s ints "k");
+  (* the same key through a different slot is invisible, not a crash *)
+  Alcotest.(check (option string)) "other slot sees nothing" None (Scratch.find s strs "k");
+  Scratch.set s ints "k" 8;
+  Alcotest.(check (option int)) "overwrite" (Some 8) (Scratch.find s ints "k");
+  Alcotest.(check (option int)) "missing key" None (Scratch.find s ints "absent")
+
+let test_scratch_find_or_add () =
+  let s = Scratch.create () in
+  let slot : int Scratch.slot = Scratch.slot () in
+  let calls = ref 0 in
+  let compute () = incr calls; !calls * 10 in
+  Alcotest.(check int) "computed once" 10 (Scratch.find_or_add s slot "k" compute);
+  Alcotest.(check int) "cached" 10 (Scratch.find_or_add s slot "k" compute);
+  Alcotest.(check int) "one call" 1 !calls;
+  (* exceptions propagate and nothing is cached *)
+  let failing () = failwith "boom" in
+  Alcotest.(check bool) "exception propagates" true
+    (try ignore (Scratch.find_or_add s slot "bad" failing); false
+     with Failure _ -> true);
+  Alcotest.(check (option int)) "failure not cached" None (Scratch.find s slot "bad");
+  Alcotest.(check int) "recomputed after failure" 20
+    (Scratch.find_or_add s slot "bad" compute)
+
+let test_pool_map_ordered () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let items = List.init 100 (fun i -> i) in
+      Alcotest.(check (list int)) "order preserved"
+        (List.map (fun i -> i * i) items)
+        (Pool.map pool (fun i -> i * i) items);
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun i -> i) []);
+      Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map pool (fun i -> i * 9) [ 1 ]))
+
+let test_pool_inline_when_one () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "size 1" 1 (Pool.size pool);
+      (* inline pools run on the calling domain: effects are immediate
+         and ordered *)
+      let trace = ref [] in
+      let out = Pool.map pool (fun i -> trace := i :: !trace; i + 1) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "results" [ 2; 3; 4 ] out;
+      Alcotest.(check (list int)) "sequential order" [ 3; 2; 1 ] !trace)
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let raised =
+        try
+          ignore
+            (Pool.map pool
+               (fun i -> if i >= 3 then raise (Boom i) else i)
+               [ 0; 1; 2; 3; 4; 5 ]);
+          None
+        with Boom i -> Some i
+      in
+      (* the first failing item in ITEM order wins, not whichever domain
+         happened to crash first *)
+      Alcotest.(check (option int)) "first failure in item order" (Some 3) raised;
+      (* the pool survives a failed batch *)
+      Alcotest.(check (list int)) "pool still usable" [ 2; 4 ]
+        (Pool.map pool (fun i -> i * 2) [ 1; 2 ]))
+
+let test_pool_nested_map () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let out =
+        Pool.map pool
+          (fun i ->
+            (* jobs may re-enter the same pool: caller-helps scheduling
+               makes this deadlock-free even with every domain busy *)
+            List.fold_left ( + ) 0 (Pool.map pool (fun j -> i * j) [ 1; 2; 3 ]))
+          [ 1; 2; 3; 4; 5; 6 ]
+      in
+      Alcotest.(check (list int)) "nested results" [ 6; 12; 18; 24; 30; 36 ] out)
+
+let test_pool_matches_sequential () =
+  let f i = (i * 7919) mod 1009 in
+  let items = List.init 500 (fun i -> i) in
+  let seq = List.map f items in
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (list int)) "parallel = sequential" seq (Pool.map pool f items))
+
 let qcheck_int_never_out_of_bounds =
   QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
     QCheck.(pair small_int (int_range 1 1000))
@@ -136,5 +274,17 @@ let suite =
     Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
     Alcotest.test_case "zipf uniform theta=0" `Quick test_zipf_uniform_when_theta_zero;
     Alcotest.test_case "zipf empirical" `Slow test_zipf_sample_matches_frequency;
+    Alcotest.test_case "rng streams deterministic" `Quick test_streams_deterministic;
+    Alcotest.test_case "rng streams prefix stable" `Quick test_streams_prefix_stable;
+    Alcotest.test_case "timer monotone" `Quick test_timer_monotone;
+    Alcotest.test_case "timer elapsed clamped" `Quick test_timer_elapsed_clamped;
+    Alcotest.test_case "timer time" `Quick test_timer_time;
+    Alcotest.test_case "scratch typed slots" `Quick test_scratch_typed_slots;
+    Alcotest.test_case "scratch find_or_add" `Quick test_scratch_find_or_add;
+    Alcotest.test_case "pool map ordered" `Quick test_pool_map_ordered;
+    Alcotest.test_case "pool inline when one" `Quick test_pool_inline_when_one;
+    Alcotest.test_case "pool exception propagation" `Quick test_pool_exception_propagates;
+    Alcotest.test_case "pool nested map" `Quick test_pool_nested_map;
+    Alcotest.test_case "pool matches sequential" `Quick test_pool_matches_sequential;
     QCheck_alcotest.to_alcotest qcheck_int_never_out_of_bounds;
   ]

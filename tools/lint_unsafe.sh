@@ -1,0 +1,25 @@
+#!/bin/sh
+# Fail the build when unsafe casts (Obj.magic / Obj.repr / Obj.obj) appear
+# in library, binary or bench sources. The typed Scratch cache exists
+# precisely so nothing needs them; new uses must extend ALLOW below with a
+# justification.
+#
+# Allow-list entries only *mention* Obj in documentation comments:
+#   lib/util/scratch.ml / .mli — docs explaining what Scratch replaces.
+set -eu
+
+ALLOW="lib/util/scratch.ml lib/util/scratch.mli"
+
+status=0
+for f in $(find lib bin bench \( -name '*.ml' -o -name '*.mli' \) | sort); do
+  skip=0
+  for a in $ALLOW; do
+    [ "$f" = "$a" ] && skip=1
+  done
+  [ $skip -eq 1 ] && continue
+  if grep -nE 'Obj\.(magic|repr|obj)' "$f"; then
+    echo "lint: unsafe Obj cast in $f (see tools/lint_unsafe.sh)" >&2
+    status=1
+  fi
+done
+exit $status
