@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- table3 fig11 # selected experiments
      dune exec bench/main.exe -- micro        # substrate micro-benchmarks
      dune exec bench/main.exe -- --scale 0.2 --queries 40 --timeout 5 all
-     dune exec bench/main.exe -- --domains 4 par_sweep   # parallel harness *)
+     dune exec bench/main.exe -- --domains 4 par_sweep   # parallel harness
+     dune exec bench/main.exe -- --domains 4 --chunk-rows 16384 scan_sweep *)
 
 module Experiments = Qs_harness.Experiments
 
@@ -28,6 +29,7 @@ let experiments : (string * (Experiments.setup -> unit)) list =
     ("ablation", Experiments.ablation);
     ("metrics", Experiments.metrics);
     ("par_sweep", Experiments.par_sweep);
+    ("scan_sweep", Experiments.scan_sweep);
   ]
 
 (* ---------------------------------------------------------------------- *)
@@ -122,6 +124,9 @@ let () =
         parse rest
     | "--domains" :: v :: rest ->
         setup := { !setup with Experiments.domains = int_of_string v };
+        parse rest
+    | "--chunk-rows" :: v :: rest ->
+        Qs_storage.Table.set_default_chunk_rows (int_of_string v);
         parse rest
     | "micro" :: rest ->
         want_micro := true;

@@ -70,6 +70,18 @@ let join_par_arg =
              "Partition executor hash joins across this many domains \
               (1 = off; results are identical either way).")
 
+let chunk_rows_arg =
+  Arg.(value & opt int 0
+       & info [ "chunk-rows" ]
+           ~doc:
+             "Rows per storage chunk (0 = keep the default, 64k). Applied \
+              before the catalog is built; smaller chunks expose more scan \
+              parallelism.")
+
+(* applied before any table is built, so every table of the run is chunked
+   at the requested size *)
+let apply_chunk_rows n = if n > 0 then Table.set_default_chunk_rows n
+
 let stats_arg =
   Arg.(value & opt bool true
        & info [ "collect-stats" ] ~doc:"ANALYZE materialized temps (the §6.4 switch).")
@@ -101,7 +113,8 @@ let build_cinema ~scale ~seed ~index =
   cat
 
 let run_cmd workload scale seed n timeout index algo collect_stats domains
-    join_parallelism explain =
+    join_parallelism explain chunk_rows =
+  apply_chunk_rows chunk_rows;
   match workload with
   | `Cinema when explain ->
       let cat = build_cinema ~scale ~seed ~index in
@@ -157,7 +170,8 @@ let run_cmd workload scale seed n timeout index algo collect_stats domains
         rs;
       Printf.printf "total: %s\n" (Qs_harness.Report.seconds (Runner.total_time rs))
 
-let plan_cmd scale seed qidx =
+let plan_cmd scale seed qidx chunk_rows =
+  apply_chunk_rows chunk_rows;
   let cat = build_cinema ~scale ~seed ~index:Catalog.Pk_fk in
   let env = Runner.make_env ~seed cat in
   let queries = Qs_workload.Cinema.queries cat ~seed:(seed + 1) ~n:(qidx + 1) in
@@ -178,7 +192,8 @@ let plan_cmd scale seed qidx =
         (Query.to_sql sq))
     (Querysplit.subquery_plans ctx q Querysplit.default_config)
 
-let sql_cmd workload scale seed index explain sql_text =
+let sql_cmd workload scale seed index explain chunk_rows sql_text =
+  apply_chunk_rows chunk_rows;
   let cat =
     match workload with
     | `Cinema -> build_cinema ~scale ~seed ~index
@@ -223,12 +238,14 @@ let sql_cmd workload scale seed index explain sql_text =
 let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ seed_arg $ queries_arg $ timeout_arg
-    $ index_arg $ algo_arg $ stats_arg $ domains_arg $ join_par_arg $ explain_arg)
+    $ index_arg $ algo_arg $ stats_arg $ domains_arg $ join_par_arg $ explain_arg
+    $ chunk_rows_arg)
 
 let query_arg =
   Arg.(value & opt int 0 & info [ "query"; "q" ] ~doc:"Query index to inspect.")
 
-let plan_term = Term.(const plan_cmd $ scale_arg $ seed_arg $ query_arg)
+let plan_term =
+  Term.(const plan_cmd $ scale_arg $ seed_arg $ query_arg $ chunk_rows_arg)
 
 let sql_text_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The SQL text.")
@@ -236,7 +253,7 @@ let sql_text_arg =
 let sql_term =
   Term.(
     const sql_cmd $ workload_arg $ scale_arg $ seed_arg $ index_arg $ explain_arg
-    $ sql_text_arg)
+    $ chunk_rows_arg $ sql_text_arg)
 
 let () =
   let run =

@@ -28,7 +28,34 @@ let table_slot : Table.t Scratch.slot = Scratch.slot ()
 let filters_key filters =
   String.concat " & " (List.sort compare (List.map Expr.to_string filters))
 
-let filter_input ?deadline (input : Fragment.input) =
+let filter_chunk ?deadline schema filters rows =
+  let out = ref [] in
+  Array.iteri
+    (fun i row ->
+      if i mod batch = 0 then check_deadline deadline;
+      if List.for_all (Expr.eval schema row) filters then out := row :: !out)
+    rows;
+  Array.of_list (List.rev !out)
+
+(* Chunked scan+filter. With [pool], chunks are filtered in parallel;
+   Pool.map returns per-chunk outputs in chunk order, so the surviving
+   rows come back in exactly the sequential scan's row order. *)
+let filter_table ?deadline ?pool (tbl : Table.t) filters =
+  match filters with
+  | [] -> tbl
+  | filters ->
+      let schema = tbl.Table.schema in
+      let nc = Table.n_chunks tbl in
+      let job ci = filter_chunk ?deadline schema filters (Table.chunk tbl ci) in
+      let chunks =
+        match pool with
+        | Some pool when Pool.size pool > 1 && nc > 1 ->
+            Pool.map pool job (List.init nc Fun.id)
+        | _ -> List.init nc job
+      in
+      Table.of_chunks ~name:tbl.Table.name ~schema chunks
+
+let filter_input ?deadline ?pool (input : Fragment.input) =
   let tbl = input.Fragment.table in
   match input.Fragment.filters with
   | [] -> tbl
@@ -40,15 +67,7 @@ let filter_input ?deadline (input : Fragment.input) =
          rows filtered under the old ones. *)
       Scratch.find_or_add input.Fragment.scratch table_slot
         ("filtered:" ^ filters_key filters)
-        (fun () ->
-          let schema = tbl.Table.schema in
-          let out = ref [] in
-          Array.iteri
-            (fun i row ->
-              if i mod batch = 0 then check_deadline deadline;
-              if List.for_all (Expr.eval schema row) filters then out := row :: !out)
-            tbl.Table.rows;
-          Table.create ~name:tbl.Table.name ~schema (Array.of_list (List.rev !out)))
+        (fun () -> filter_table ?deadline ?pool tbl filters)
 
 (* Join-key extraction: positions of the equi-join columns on each side,
    plus the residual predicates evaluated on the concatenated row. *)
@@ -84,9 +103,9 @@ let partitioned_hash_join ?deadline ~limit ~pool ~(build : Table.t)
   let bpos = key_positions build.Table.schema (List.map fst build_cols) in
   let ppos = key_positions probe.Table.schema (List.map snd build_cols) in
   let k = Pool.size pool in
-  let partition rows pos =
+  let partition tbl pos =
     let parts = Array.make k [] in
-    Array.iteri
+    Table.iteri
       (fun i row ->
         if i mod batch = 0 then check_deadline deadline;
         let key = key_of_row row pos in
@@ -94,11 +113,11 @@ let partitioned_hash_join ?deadline ~limit ~pool ~(build : Table.t)
           let p = Hashtbl.hash key mod k in
           parts.(p) <- row :: parts.(p)
         end)
-      rows;
+      tbl;
     Array.map List.rev parts
   in
-  let bparts = partition build.Table.rows bpos in
-  let pparts = partition probe.Table.rows ppos in
+  let bparts = partition build bpos in
+  let pparts = partition probe ppos in
   let emitted = Atomic.make 0 in
   let run_part pi =
     let index : (Value.t list, Value.t array list) Hashtbl.t =
@@ -150,16 +169,16 @@ let hash_join ?deadline ?(limit = max_int) ?pool ~(build : Table.t)
   let index : (Value.t list, Value.t array list) Hashtbl.t =
     Hashtbl.create (max 16 (Table.n_rows build))
   in
-  Array.iteri
+  Table.iteri
     (fun i row ->
       if i mod batch = 0 then check_deadline deadline;
       let k = key_of_row row bpos in
       if not (has_null k) then
         Hashtbl.replace index k (row :: Option.value (Hashtbl.find_opt index k) ~default:[]))
-    build.Table.rows;
+    build;
   let out = ref [] in
   let emitted = ref 0 in
-  Array.iteri
+  Table.iteri
     (fun i prow ->
       if i mod batch = 0 then check_deadline deadline;
       let k = key_of_row prow ppos in
@@ -177,7 +196,7 @@ let hash_join ?deadline ?(limit = max_int) ?pool ~(build : Table.t)
                   if !emitted > limit then raise Timeout
                 end)
               matches)
-    probe.Table.rows;
+    probe;
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
 let hash_join_count ?deadline ~(build : Table.t) ~(probe : Table.t) preds =
@@ -188,19 +207,19 @@ let hash_join_count ?deadline ~(build : Table.t) ~(probe : Table.t) preds =
   let index : (Value.t list, Value.t array list) Hashtbl.t =
     Hashtbl.create (max 16 (Table.n_rows build))
   in
-  Array.iteri
+  Table.iteri
     (fun i row ->
       if i mod batch = 0 then check_deadline deadline;
       let k = key_of_row row bpos in
       if not (has_null k) then
         Hashtbl.replace index k (row :: Option.value (Hashtbl.find_opt index k) ~default:[]))
-    build.Table.rows;
+    build;
   (* pre-count build groups so the residual-free case never walks pairs *)
   let counts : (Value.t list, int) Hashtbl.t = Hashtbl.create (Hashtbl.length index) in
   Hashtbl.iter (fun k rows -> Hashtbl.replace counts k (List.length rows)) index;
   let total = ref 0 in
   let steps = ref 0 in
-  Array.iteri
+  Table.iteri
     (fun i prow ->
       if i mod batch = 0 then check_deadline deadline;
       let k = key_of_row prow ppos in
@@ -218,7 +237,7 @@ let hash_join_count ?deadline ~(build : Table.t) ~(probe : Table.t) preds =
                   let row = Array.append prow brow in
                   if List.for_all (Expr.eval out_schema row) residual then incr total)
                 matches)
-    probe.Table.rows;
+    probe;
   !total
 
 let index_nl_join ?deadline ?(limit = max_int) ?matched_rows ~(outer : Table.t)
@@ -234,7 +253,7 @@ let index_nl_join ?deadline ?(limit = max_int) ?matched_rows ~(outer : Table.t)
   let out = ref [] in
   let probes = ref 0 in
   let matched = ref 0 in
-  Array.iter
+  Table.iter
     (fun orow ->
       incr probes;
       if !probes mod 1024 = 0 then check_deadline deadline;
@@ -242,7 +261,7 @@ let index_nl_join ?deadline ?(limit = max_int) ?matched_rows ~(outer : Table.t)
       if not (Value.is_null key) then
         List.iter
           (fun rid ->
-            let irow = inner_tbl.Table.rows.(rid) in
+            let irow = Table.row inner_tbl rid in
             if List.for_all (Expr.eval inner_schema irow) inner_input.Fragment.filters
             then begin
               incr matched;
@@ -253,7 +272,7 @@ let index_nl_join ?deadline ?(limit = max_int) ?matched_rows ~(outer : Table.t)
               end
             end)
           (Index.lookup index key))
-    outer.Table.rows;
+    outer;
   Option.iter (fun r -> r := !matched) matched_rows;
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
@@ -262,9 +281,9 @@ let nl_join ?deadline ?(limit = max_int) ~(outer : Table.t) ~(inner : Table.t) p
   let out = ref [] in
   let steps = ref 0 in
   let kept = ref 0 in
-  Array.iter
+  Table.iter
     (fun orow ->
-      Array.iter
+      Table.iter
         (fun irow ->
           incr steps;
           if !steps mod batch = 0 then check_deadline deadline;
@@ -274,8 +293,8 @@ let nl_join ?deadline ?(limit = max_int) ~(outer : Table.t) ~(inner : Table.t) p
             incr kept;
             if !kept > limit then raise Timeout
           end)
-        inner.Table.rows)
-    outer.Table.rows;
+        inner)
+    outer;
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
 let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace plan =
@@ -302,7 +321,7 @@ let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace plan =
     let t0 = now () in
     match p.Physical.node with
     | Physical.Scan input ->
-        let result = filter_input ?deadline input in
+        let result = filter_input ?deadline ?pool input in
         record p ~t0 ~scanned:(Table.n_rows input.Fragment.table) result;
         result
     | Physical.Join j -> (
@@ -392,22 +411,25 @@ let project ?name (tbl : Table.t) cols =
           cols
       in
       let schema = Array.of_list (List.map (fun p -> tbl.Table.schema.(p)) positions) in
-      let rows =
-        Array.map (fun row -> Array.of_list (List.map (fun p -> row.(p)) positions)) tbl.Table.rows
+      let chunks =
+        List.init (Table.n_chunks tbl) (fun ci ->
+            Array.map
+              (fun row -> Array.of_list (List.map (fun p -> row.(p)) positions))
+              (Table.chunk tbl ci))
       in
-      Table.create ~name:(Option.value name ~default:tbl.Table.name) ~schema rows
+      Table.of_chunks ~name:(Option.value name ~default:tbl.Table.name) ~schema chunks
 
 let cartesian ~name tables =
   match tables with
   | [] -> invalid_arg "Executor.cartesian: no tables"
-  | [ t ] -> Table.create ~name ~schema:t.Table.schema t.Table.rows
+  | [ t ] -> Table.with_name t name
   | first :: rest ->
       List.fold_left
         (fun acc t ->
           let schema = Schema.concat acc.Table.schema t.Table.schema in
           let rows = ref [] in
-          Array.iter
-            (fun a -> Array.iter (fun b -> rows := Array.append a b :: !rows) t.Table.rows)
-            acc.Table.rows;
+          Table.iter
+            (fun a -> Table.iter (fun b -> rows := Array.append a b :: !rows) t)
+            acc;
           Table.create ~name ~schema (Array.of_list (List.rev !rows)))
         first rest

@@ -40,14 +40,22 @@ val run : ?deadline:float -> ?row_limit:int -> ?pool:Qs_util.Pool.t ->
     entirely.
 
     With [pool] (of size > 1), hash joins run partitioned across the
-    pool's domains; plans, costs and the result multiset are unchanged —
-    only wall-clock is affected. Off by default. *)
+    pool's domains and leaf scans filter their table chunks in parallel;
+    plans, costs and the result multiset are unchanged — only wall-clock
+    is affected. Off by default. *)
 
 val project : ?name:string -> Table.t -> Expr.colref list -> Table.t
 (** Keep only the named columns (in the given order, duplicates removed);
     an empty list keeps everything. *)
 
-val filter_input : ?deadline:float -> Fragment.input -> Table.t
+val filter_table : ?deadline:float -> ?pool:Qs_util.Pool.t -> Table.t ->
+  Expr.pred list -> Table.t
+(** Chunked scan+filter of one table. With [pool] (size > 1) chunks are
+    scanned in parallel; per-chunk outputs are merged in chunk order, so
+    the result is row-for-row identical to the sequential scan. *)
+
+val filter_input : ?deadline:float -> ?pool:Qs_util.Pool.t ->
+  Fragment.input -> Table.t
 (** Scan one input applying its filters (the executor's leaf operator,
     exposed for the naive counter and tests). The result is cached on the
     input's scratch, keyed by the filter predicates. *)

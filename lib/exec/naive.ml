@@ -28,7 +28,7 @@ let prune tbl preds keep =
   else if cols = [] then
     (* keep an empty-schema table with the right row count *)
     Table.create ~name:tbl.Table.name ~schema:[||]
-      (Array.map (fun _ -> [||]) tbl.Table.rows)
+      (Array.make (Table.n_rows tbl) [||])
   else Executor.project tbl cols
 
 (* saturating arithmetic: true cardinalities of cartesian products and
@@ -190,7 +190,7 @@ let weighted_of_input ?deadline preds (i : Fragment.input) =
     (fun () ->
       let wschema, wrows =
         group_by_needed preds filtered.Table.schema
-          (Seq.map (fun r -> (r, 1)) (Array.to_seq filtered.Table.rows))
+          (Seq.map (fun r -> (r, 1)) (Table.to_seq filtered))
       in
       { aliases = i.Fragment.provides; wschema; wrows })
 

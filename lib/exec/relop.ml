@@ -3,6 +3,7 @@ module Schema = Qs_storage.Schema
 module Value = Qs_storage.Value
 module Expr = Qs_query.Expr
 module Logical = Qs_plan.Logical
+module Pool = Qs_util.Pool
 
 let flatten ~name (tbl : Table.t) =
   let seen = Hashtbl.create 8 in
@@ -22,7 +23,7 @@ let flatten ~name (tbl : Table.t) =
         { Schema.rel = name; name = flat; ty = c.Schema.ty })
       tbl.Table.schema
   in
-  Table.create ~name ~schema tbl.Table.rows
+  Table.reschema ~name ~schema tbl
 
 type acc = {
   mutable count : int;
@@ -70,37 +71,94 @@ let agg_out_ty (fn : Logical.agg_fn) v =
   | Logical.Avg -> Value.TFloat
   | _ -> ( match Value.type_of v with Some ty -> ty | None -> Value.TInt)
 
-let aggregate ~name ~group_by ~aggs (tbl : Table.t) =
+let merge_acc ~into:a b =
+  a.count <- a.count + b.count;
+  a.sum <- a.sum +. b.sum;
+  a.sum_is_int <- a.sum_is_int && b.sum_is_int;
+  a.non_null <- a.non_null + b.non_null;
+  if
+    (not (Value.is_null b.min_v))
+    && (Value.is_null a.min_v || Value.compare b.min_v a.min_v < 0)
+  then a.min_v <- b.min_v;
+  if
+    (not (Value.is_null b.max_v))
+    && (Value.is_null a.max_v || Value.compare b.max_v a.max_v > 0)
+  then a.max_v <- b.max_v
+
+let aggregate ?pool ~name ~group_by ~aggs (tbl : Table.t) =
   let schema = tbl.Table.schema in
   let gpos =
     List.map
       (fun (c : Expr.colref) -> Schema.find_exn schema ~rel:c.Expr.rel ~name:c.Expr.name)
       group_by
   in
-  let groups : (Value.t list, Value.t array * acc array) Hashtbl.t = Hashtbl.create 64 in
-  let order = ref [] in
-  Array.iter
-    (fun row ->
-      let key = List.map (fun p -> row.(p)) gpos in
-      let _, accs =
-        match Hashtbl.find_opt groups key with
-        | Some e -> e
-        | None ->
-            let e = (row, Array.init (List.length aggs) (fun _ -> fresh_acc ())) in
-            Hashtbl.replace groups key e;
-            order := key :: !order;
-            e
-      in
-      List.iteri
-        (fun i (a : Logical.agg) ->
-          let v =
-            match a.Logical.arg with
-            | None -> Value.Int 1 (* COUNT of rows *)
-            | Some s -> Expr.eval_scalar schema row s
-          in
-          feed accs.(i) v)
-        aggs)
-    tbl.Table.rows;
+  let feed_row groups order row =
+    let key = List.map (fun p -> row.(p)) gpos in
+    let _, accs =
+      match Hashtbl.find_opt groups key with
+      | Some e -> e
+      | None ->
+          let e = (row, Array.init (List.length aggs) (fun _ -> fresh_acc ())) in
+          Hashtbl.replace groups key e;
+          order := key :: !order;
+          e
+    in
+    List.iteri
+      (fun i (a : Logical.agg) ->
+        let v =
+          match a.Logical.arg with
+          | None -> Value.Int 1 (* COUNT of rows *)
+          | Some s -> Expr.eval_scalar schema row s
+        in
+        feed accs.(i) v)
+      aggs
+  in
+  let groups, order =
+    match pool with
+    | Some pool when Pool.size pool > 1 && Table.n_chunks tbl > 1 ->
+        (* per-chunk partial aggregation, then an ordered merge: a group's
+           first appearance globally is in the earliest chunk where it
+           appears, so walking partials in chunk order reproduces the
+           sequential group order (and exact sums on integer columns;
+           float sums may differ from sequential in the last ulp, but the
+           merge order is fixed, so the result is deterministic) *)
+        let feed_chunk ci =
+          let groups = Hashtbl.create 64 in
+          let order = ref [] in
+          Array.iter (fun row -> feed_row groups order row) (Table.chunk tbl ci);
+          (groups, List.rev !order)
+        in
+        let parts =
+          Pool.map pool feed_chunk (List.init (Table.n_chunks tbl) Fun.id)
+        in
+        let groups : (Value.t list, Value.t array * acc array) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        let order = ref [] in
+        List.iter
+          (fun (part, part_order) ->
+            List.iter
+              (fun key ->
+                let entry = Hashtbl.find part key in
+                match Hashtbl.find_opt groups key with
+                | None ->
+                    Hashtbl.replace groups key entry;
+                    order := key :: !order
+                | Some (_, into) ->
+                    Array.iteri
+                      (fun i b -> merge_acc ~into:into.(i) b)
+                      (snd entry))
+              part_order)
+          parts;
+        (groups, order)
+    | _ ->
+        let groups : (Value.t list, Value.t array * acc array) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        let order = ref [] in
+        Table.iter (fun row -> feed_row groups order row) tbl;
+        (groups, order)
+  in
   (* a global aggregate over an empty input still yields one row *)
   if Hashtbl.length groups = 0 && group_by = [] then begin
     let e = ([||], Array.init (List.length aggs) (fun _ -> fresh_acc ())) in
@@ -146,8 +204,8 @@ let union_all ~name tables =
           if Schema.arity t.Table.schema <> arity then
             invalid_arg "Relop.union_all: arity mismatch")
         tables;
-      let rows = Array.concat (List.map (fun (t : Table.t) -> t.Table.rows) tables) in
-      Table.create ~name ~schema:template.Table.schema rows
+      let chunks = List.concat_map Table.chunk_list tables in
+      Table.of_chunks ~name ~schema:template.Table.schema chunks
 
 let semi_join ~name ~anti ~(left : Table.t) ~(right : Table.t) ~on =
   let lschema = left.Table.schema in
@@ -169,12 +227,12 @@ let semi_join ~name ~anti ~(left : Table.t) ~(right : Table.t) ~on =
     List.map (fun (_, (c : Expr.colref)) -> Schema.find_exn rschema ~rel:c.Expr.rel ~name:c.Expr.name) equi
   in
   let buckets : (Value.t list, Value.t array list) Hashtbl.t = Hashtbl.create 64 in
-  Array.iter
+  Table.iter
     (fun row ->
       let k = List.map (fun p -> row.(p)) rpos in
       if not (List.exists Value.is_null k) then
         Hashtbl.replace buckets k (row :: Option.value (Hashtbl.find_opt buckets k) ~default:[]))
-    right.Table.rows;
+    right;
   let combined_schema = Schema.concat lschema rschema in
   let matches lrow =
     let k = List.map (fun p -> lrow.(p)) lpos in
@@ -189,10 +247,12 @@ let semi_join ~name ~anti ~(left : Table.t) ~(right : Table.t) ~on =
               List.for_all (Expr.eval combined_schema row) residual)
             rrows
   in
-  let rows =
-    Array.to_list left.Table.rows
-    |> List.filter (fun lrow -> if anti then not (matches lrow) else matches lrow)
-    |> Array.of_list
+  let chunks =
+    List.init (Table.n_chunks left) (fun ci ->
+        Table.chunk left ci
+        |> Array.to_list
+        |> List.filter (fun lrow -> if anti then not (matches lrow) else matches lrow)
+        |> Array.of_list)
   in
-  let out = Table.create ~name:left.Table.name ~schema:lschema rows in
+  let out = Table.of_chunks ~name:left.Table.name ~schema:lschema chunks in
   flatten ~name out

@@ -7,10 +7,14 @@ module Table = Qs_storage.Table
 module Expr = Qs_query.Expr
 module Logical = Qs_plan.Logical
 
-val aggregate : name:string -> group_by:Expr.colref list -> aggs:Logical.agg list ->
-  Table.t -> Table.t
+val aggregate : ?pool:Qs_util.Pool.t -> name:string -> group_by:Expr.colref list ->
+  aggs:Logical.agg list -> Table.t -> Table.t
 (** Hash aggregation. With an empty [group_by] a single row is produced
-    even for empty input (COUNT = 0, other aggregates NULL). *)
+    even for empty input (COUNT = 0, other aggregates NULL). With [pool]
+    (size > 1), chunks aggregate in parallel and the partials merge in
+    chunk order: group order and integer aggregates are identical to the
+    sequential path; float sums merge per-chunk, deterministically, but
+    may differ from the sequential rounding in the last ulp. *)
 
 val union_all : name:string -> Table.t list -> Table.t
 (** Inputs must have equal arity; the first input's column names (flattened)

@@ -12,7 +12,7 @@ let namer () =
 
 let materialize ~name ~keep tbl =
   let projected = Executor.project ~name tbl keep in
-  Table.create ~name ~schema:projected.Table.schema projected.Table.rows
+  Table.with_name projected name
 
 let stats_of ~collect tbl =
   if collect then Analyze.of_table tbl else Analyze.rowcount_of_table tbl

@@ -586,6 +586,76 @@ let par_sweep s =
   Printf.printf "merged metric counters equal:  %s\n"
     (if metrics_ok then "yes" else "NO")
 
+(* ---------------------------------------------------------------------- *)
+(* Sharded storage: chunked scan/filter/aggregate wall-clock vs domains    *)
+(* ---------------------------------------------------------------------- *)
+
+let scan_sweep s =
+  Report.section "Sharded storage: chunked scan wall-clock vs domains";
+  let module Table = Qs_storage.Table in
+  let module Schema = Qs_storage.Schema in
+  let module Value = Qs_storage.Value in
+  let module Expr = Qs_query.Expr in
+  let module Executor = Qs_exec.Executor in
+  let module Relop = Qs_exec.Relop in
+  let module Logical = Qs_plan.Logical in
+  let n = int_of_float (2_000_000.0 *. s.scale) in
+  let schema =
+    Schema.make "f"
+      [ ("id", Value.TInt); ("grp", Value.TInt); ("amount", Value.TInt) ]
+  in
+  (* deterministic synthetic fact table: LCG-ish values, no Rng needed *)
+  let rows =
+    Array.init n (fun i ->
+        let h = (i * 2654435761) land 0x3fffffff in
+        [| Value.Int i; Value.Int (h mod 97); Value.Int (h mod 1000) |])
+  in
+  let filters = [ Expr.Cmp (Expr.Lt, Expr.col "f" "amount", Expr.vint 500) ] in
+  let group_by = [ { Expr.rel = "f"; name = "grp" } ] in
+  let aggs =
+    [
+      { Logical.fn = Logical.Sum; arg = Some (Expr.col "f" "amount"); label = "total" };
+      { Logical.fn = Logical.Count_star; arg = None; label = "n" };
+    ]
+  in
+  let run_once pool tbl =
+    let t0 = Qs_util.Timer.now () in
+    let filtered = Executor.filter_table ?pool tbl filters in
+    let agged = Relop.aggregate ?pool ~name:"g" ~group_by ~aggs tbl in
+    let wall = Qs_util.Timer.elapsed ~since:t0 in
+    (wall, Runner.result_digest filtered ^ Runner.result_digest agged)
+  in
+  let par_domains = max 2 s.domains in
+  let chunk_sizes = [ 16_384; 65_536; 262_144 ] in
+  let all_identical = ref true in
+  let rows_out =
+    List.map
+      (fun chunk_rows ->
+        let tbl = Table.create ~chunk_rows ~name:"f" ~schema rows in
+        ignore (run_once None tbl) (* warm *);
+        let seq_wall, seq_digest = run_once None tbl in
+        let par_wall, par_digest =
+          Qs_util.Pool.with_pool ~domains:par_domains (fun p ->
+              run_once (Some p) tbl)
+        in
+        if seq_digest <> par_digest then all_identical := false;
+        [
+          string_of_int chunk_rows;
+          string_of_int (Table.n_chunks tbl);
+          Report.seconds seq_wall;
+          Report.seconds par_wall;
+          Printf.sprintf "%.2fx" (seq_wall /. Float.max 1e-9 par_wall);
+        ])
+      chunk_sizes
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "filter + group-by over %d rows, %d domains" n par_domains)
+    ~headers:[ "chunk rows"; "chunks"; "seq"; "par"; "speedup" ]
+    rows_out;
+  Printf.printf "filter+aggregate digests byte-identical: %s\n"
+    (if !all_identical then "yes" else "NO")
+
 let all s =
   table1 s;
   table3 s;
@@ -601,4 +671,5 @@ let all s =
   fig16_19 s;
   ablation s;
   metrics s;
-  par_sweep s
+  par_sweep s;
+  scan_sweep s

@@ -74,4 +74,10 @@ val par_sweep : setup -> unit
     result digests and merged metric counters match the sequential
     run (they must). *)
 
+val scan_sweep : setup -> unit
+(** Beyond the paper: sequential vs pooled chunked scans (filter +
+    group-by aggregation) over a synthetic fact table at several chunk
+    sizes, verifying the parallel results are digest-identical to the
+    sequential ones. *)
+
 val all : setup -> unit

@@ -74,10 +74,12 @@ let result_digest (tbl : Table.t) =
     |> List.sort compare
   in
   let rows =
-    Array.to_list tbl.Table.rows
-    |> List.map (fun row ->
-           String.concat "\x00"
-             (List.map (fun (_, i) -> Value.to_string row.(i)) order))
+    Table.fold
+      (fun acc row ->
+        String.concat "\x00"
+          (List.map (fun (_, i) -> Value.to_string row.(i)) order)
+        :: acc)
+      [] tbl
     |> List.sort compare
   in
   let header = String.concat "\x00" (List.map fst order) in

@@ -49,6 +49,10 @@ type qresult = {
           be compared byte-for-byte *)
 }
 
+val result_digest : Qs_storage.Table.t -> string
+(** The canonical multiset digest used for [qresult.digest] (exposed for
+    the chunked-scan sweep and differential tests). *)
+
 val run_spj : ?collect_stats:bool -> ?timeout:float -> ?domains:int ->
   ?join_parallelism:int -> env -> algo -> Query.t list -> qresult list
 (** [timeout] (default 30 s) is the per-query monotonic-clock cap; a

@@ -2,13 +2,26 @@ module Table = Qs_storage.Table
 
 let default_sample = 8192
 
-(* Evenly-strided row sample; deterministic so stats are reproducible. *)
+(* Evenly-strided row sample; deterministic so stats are reproducible.
+   Sampling is per chunk with a proportional quota — the telescoping
+   [stop*sample/n - start*sample/n] quotas sum exactly to [sample], and a
+   single-chunk table degenerates to one global stride. *)
 let sample_rows (tbl : Table.t) sample =
   let n = Table.n_rows tbl in
-  if n <= sample then tbl.Table.rows
+  if n <= sample then Table.to_rows tbl
   else
-    let stride = float_of_int n /. float_of_int sample in
-    Array.init sample (fun i -> tbl.Table.rows.(int_of_float (float_of_int i *. stride)))
+    let quota_before start = start * sample / n in
+    let parts =
+      Array.init (Table.n_chunks tbl) (fun ci ->
+          let chunk = Table.chunk tbl ci in
+          let start = Table.chunk_offset tbl ci in
+          let q = quota_before (start + Array.length chunk) - quota_before start in
+          if q <= 0 then [||]
+          else
+            let stride = float_of_int (Array.length chunk) /. float_of_int q in
+            Array.init q (fun i -> chunk.(int_of_float (float_of_int i *. stride))))
+    in
+    Array.concat (Array.to_list parts)
 
 (* Scale a sampled distinct count up to the full table: values seen once in
    a small sample suggest many unseen distincts (a crude stand-in for the

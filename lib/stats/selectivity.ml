@@ -23,10 +23,19 @@ let eq_sel (cs : Column_stats.t) v =
   match Column_stats.mcv_freq cs v with
   | Some f -> f
   | None ->
-      let others = 1.0 -. Column_stats.mcv_total cs -. cs.null_frac in
+      let others = Float.max 0.0 (1.0 -. Column_stats.mcv_total cs -. cs.null_frac) in
       let rest_distinct = cs.n_distinct - List.length cs.mcvs in
-      if rest_distinct <= 0 then default_eq_sel
-      else Float.max 0.0 (others /. float_of_int rest_distinct)
+      if rest_distinct > 0 then others /. float_of_int rest_distinct
+      else
+        (* The MCV list covers every observed distinct value, so a value
+           outside it is at most as frequent as the residual mass — and no
+           more common than the rarest MCV (falling back to default_eq_sel
+           here overestimated full-coverage columns by orders of magnitude,
+           e.g. 0.005 for a miss against a 10-value complete MCV list). *)
+        let rarest =
+          List.fold_left (fun a (_, f) -> Float.min a f) 1.0 cs.mcvs
+        in
+        Float.min others rarest
 
 let range_sel (cs : Column_stats.t) op v =
   match cs.hist with
@@ -39,6 +48,17 @@ let range_sel (cs : Column_stats.t) op v =
       | Expr.Gt -> (1.0 -. Histogram.fraction_le h v) *. nonnull
       | Expr.Ge -> (1.0 -. Histogram.fraction_lt h v) *. nonnull
       | _ -> default_range_sel)
+
+(* Least string strictly greater than every string with prefix [p]:
+   increment the last byte that is not 0xff and drop what follows. [None]
+   when every byte is 0xff (no finite successor exists). *)
+let prefix_successor p =
+  let n = ref (String.length p) in
+  while !n > 0 && p.[!n - 1] = '\xff' do decr n done;
+  if !n = 0 then None
+  else
+    let n = !n in
+    Some (String.init n (fun i -> if i = n - 1 then Char.chr (Char.code p.[i] + 1) else p.[i]))
 
 (* LIKE selectivity: a left-anchored pattern behaves like a range over the
    prefix; otherwise use a fixed default scaled by pattern restrictiveness,
@@ -55,17 +75,21 @@ let like_sel (cs : Column_stats.t option) pattern =
   in
   match (cs, prefix) with
   | Some cs, p when String.length p > 0 -> (
-      match cs.hist with
-      | Some h ->
-          (* [p, p ^ 0xff): fraction of strings starting with the prefix *)
-          let lo = Value.Str p in
-          let hi = Value.Str (p ^ "\xff") in
-          let frac = Histogram.fraction_between h ~lo ~hi in
+      match (cs.hist, prefix_successor p) with
+      | Some h, Some succ ->
+          (* [p, succ): every string with the prefix, and nothing else.
+             (The old bound [p ^ "\xff"] under-covered: e.g. "ab\xffz" has
+             prefix "ab" but sorts above "ab\xff".) *)
+          let frac =
+            Float.max 0.0
+              (Histogram.fraction_lt h (Value.Str succ)
+              -. Histogram.fraction_lt h (Value.Str p))
+          in
           let residual_wildcards =
             String.length pattern - String.length p > 1
           in
           clamp (frac *. if residual_wildcards then 0.5 else 1.0)
-      | None -> default_like_sel)
+      | _ -> default_like_sel)
   | _ -> default_like_sel
 
 let flip = function

@@ -19,6 +19,21 @@ val default_num_distinct : int
 (** Distinct-count guess for a column with no stats
     (DEFAULT_NUM_DISTINCT). *)
 
+val eq_sel : Column_stats.t -> Value.t -> float
+(** Equality selectivity: MCV frequency when the value is in the MCV list;
+    otherwise the residual (non-MCV, non-null) mass spread over the
+    remaining distincts. When the MCV list covers every observed distinct,
+    the estimate is the residual mass capped by the rarest MCV frequency
+    (exposed for regression tests). *)
+
+val prefix_successor : string -> string option
+(** Least string strictly greater than every string with the given prefix
+    ([None] when all bytes are 0xff). Used to turn a left-anchored LIKE
+    into the range [p, successor p) (exposed for regression tests). *)
+
+val like_sel : Column_stats.t option -> string -> float
+(** Selectivity of [LIKE pattern] given the column's stats, if any. *)
+
 val pred :
   stats_of:(Expr.colref -> Column_stats.t option) -> Expr.pred -> float
 (** Selectivity of one predicate over the relation(s) its columns live in.

@@ -354,5 +354,5 @@ let check_invariants t =
 
 let of_column table ~col =
   let t = create () in
-  Array.iteri (fun row r -> insert t r.(col) row) table.Table.rows;
+  Table.iteri (fun row r -> insert t r.(col) row) table;
   t

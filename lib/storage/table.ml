@@ -1,10 +1,25 @@
+(* Rows are sharded into fixed-size chunks so very large tables are not
+   one allocation and scans can fan out per-chunk on a domain pool. The
+   chunk layout is invisible to readers that go through the iteration
+   API: row order is always chunk order. *)
+
 type t = {
   name : string;
   schema : Schema.t;
-  rows : Value.t array array;
+  chunks : Value.t array array array;
+  offsets : int array; (* offsets.(i) = global row id of chunks.(i).(0);
+                          offsets.(n_chunks) = total rows *)
+  chunk_bytes : int array; (* memoized per-chunk byte sizes; -1 = unknown *)
 }
 
-let create ~name ~schema rows =
+(* Default rows per chunk. Set once at startup (--chunk-rows); ints are
+   immediate, so a racy read at worst sees the old default. *)
+let default_chunk = ref 65_536
+
+let default_chunk_rows () = !default_chunk
+let set_default_chunk_rows n = default_chunk := max 1 n
+
+let check_arity ~name ~schema rows =
   let arity = Schema.arity schema in
   Array.iter
     (fun r ->
@@ -12,29 +27,141 @@ let create ~name ~schema rows =
         invalid_arg
           (Printf.sprintf "Table.create %s: row arity %d, schema arity %d" name
              (Array.length r) arity))
-    rows;
-  { name; schema; rows }
+    rows
 
-let of_rows ~name ~schema rows = create ~name ~schema (Array.of_list rows)
+let offsets_of_chunks chunks =
+  let nc = Array.length chunks in
+  let offsets = Array.make (nc + 1) 0 in
+  for i = 0 to nc - 1 do
+    offsets.(i + 1) <- offsets.(i) + Array.length chunks.(i)
+  done;
+  offsets
 
-let n_rows t = Array.length t.rows
+let of_chunk_array ~name ~schema chunks =
+  {
+    name;
+    schema;
+    chunks;
+    offsets = offsets_of_chunks chunks;
+    chunk_bytes = Array.make (Array.length chunks) (-1);
+  }
 
-let column_values t col = Array.map (fun r -> r.(col)) t.rows
+let create ?chunk_rows ~name ~schema rows =
+  check_arity ~name ~schema rows;
+  let cr = max 1 (Option.value chunk_rows ~default:!default_chunk) in
+  let n = Array.length rows in
+  let chunks =
+    if n = 0 then [||]
+    else if n <= cr then [| rows |]
+    else
+      Array.init
+        ((n + cr - 1) / cr)
+        (fun ci ->
+          let start = ci * cr in
+          Array.sub rows start (min cr (n - start)))
+  in
+  of_chunk_array ~name ~schema chunks
 
-let get t ~row ~col = t.rows.(row).(col)
+let of_rows ?chunk_rows ~name ~schema rows =
+  create ?chunk_rows ~name ~schema (Array.of_list rows)
+
+let of_chunks ~name ~schema chunks =
+  (* pre-chunked construction (per-chunk filter outputs, union of tables):
+     batches may be ragged; empty ones are dropped so chunk counts stay
+     proportional to data, not to operator fan-out *)
+  let chunks =
+    chunks |> List.filter (fun c -> Array.length c > 0) |> Array.of_list
+  in
+  Array.iter (fun c -> check_arity ~name ~schema c) chunks;
+  of_chunk_array ~name ~schema chunks
+
+let n_chunks t = Array.length t.chunks
+let n_rows t = t.offsets.(Array.length t.chunks)
+let chunk t i = t.chunks.(i)
+let chunk_offset t i = t.offsets.(i)
+let chunk_list t = Array.to_list t.chunks
+
+let iter f t = Array.iter (fun c -> Array.iter f c) t.chunks
+
+let iteri f t =
+  Array.iteri
+    (fun ci c ->
+      let base = t.offsets.(ci) in
+      Array.iteri (fun i row -> f (base + i) row) c)
+    t.chunks
+
+let fold f init t =
+  Array.fold_left (fun acc c -> Array.fold_left f acc c) init t.chunks
+
+let to_seq t =
+  Seq.concat_map Array.to_seq (Array.to_seq t.chunks)
+
+let to_rows t =
+  match t.chunks with
+  | [||] -> [||]
+  | [| c |] -> c
+  | chunks -> Array.concat (Array.to_list chunks)
+
+(* chunk holding global row [i]: binary search over the offset table *)
+let chunk_of_row t i =
+  if i < 0 || i >= n_rows t then
+    invalid_arg (Printf.sprintf "Table.row %s: index %d out of %d" t.name i (n_rows t));
+  let lo = ref 0 and hi = ref (Array.length t.chunks - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.offsets.(mid) <= i then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let row t i =
+  let ci = chunk_of_row t i in
+  t.chunks.(ci).(i - t.offsets.(ci))
+
+let get t ~row:r ~col = (row t r).(col)
+
+let column_values t col =
+  let out = Array.make (n_rows t) Value.Null in
+  iteri (fun i r -> out.(i) <- r.(col)) t;
+  out
+
+let chunk_byte_size t i =
+  let b = t.chunk_bytes.(i) in
+  if b >= 0 then b
+  else begin
+    let b =
+      Array.fold_left
+        (fun acc row -> Array.fold_left (fun a v -> a + Value.byte_size v) acc row)
+        0 t.chunks.(i)
+    in
+    (* memo write is racy across domains but idempotent: both sides
+       compute the same immediate int *)
+    t.chunk_bytes.(i) <- b;
+    b
+  end
 
 let byte_size t =
-  Array.fold_left
-    (fun acc row -> Array.fold_left (fun a v -> a + Value.byte_size v) acc row)
-    0 t.rows
+  let total = ref 0 in
+  for i = 0 to Array.length t.chunks - 1 do
+    total := !total + chunk_byte_size t i
+  done;
+  !total
 
 let rename t name = { t with name; schema = Schema.requalify name t.schema }
+
+let with_name t name = { t with name }
+
+let reschema ~name ~schema t =
+  if Schema.arity schema <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Table.reschema %s: arity %d, had %d" name
+         (Schema.arity schema) (Schema.arity t.schema));
+  { t with name; schema }
 
 let pp_sample ?(limit = 10) fmt t =
   Format.fprintf fmt "table %s (%d rows): %a@." t.name (n_rows t) Schema.pp t.schema;
   let shown = min limit (n_rows t) in
   for i = 0 to shown - 1 do
-    let cells = Array.to_list (Array.map Value.to_string t.rows.(i)) in
+    let cells = Array.to_list (Array.map Value.to_string (row t i)) in
     Format.fprintf fmt "  | %s@." (String.concat " | " cells)
   done;
   if n_rows t > shown then Format.fprintf fmt "  ... (%d more)@." (n_rows t - shown)

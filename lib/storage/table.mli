@@ -1,32 +1,101 @@
-(** In-memory row-store tables.
+(** In-memory row-store tables, sharded into fixed-size chunks.
 
     Tables are immutable after construction; the engine materializes
-    intermediate results as fresh tables. *)
+    intermediate results as fresh tables. Rows live in chunks of at most
+    [chunk_rows] rows ({!default_chunk_rows} unless overridden per
+    table), so very large tables are never one allocation and scans,
+    filters and aggregations can run per-chunk on a domain pool. Row
+    order is chunk order: iterating chunks in index order visits exactly
+    the row order [create] was given. *)
 
 type t = private {
   name : string;
   schema : Schema.t;
-  rows : Value.t array array;
+  chunks : Value.t array array array;
+      (** Read through {!chunk} / {!iter} / {!row}; direct [.rows]-style
+          field access outside [lib/storage] is rejected by the lint. *)
+  offsets : int array;
+      (** [offsets.(i)] is the global row id of the first row of chunk
+          [i]; [offsets.(n_chunks)] is the row count. *)
+  chunk_bytes : int array;  (** memoized per-chunk byte sizes, -1 = unknown *)
 }
 
-val create : name:string -> schema:Schema.t -> Value.t array array -> t
-(** Rows must match the schema arity. *)
+val default_chunk_rows : unit -> int
+(** Rows per chunk for tables built without [?chunk_rows] (default 64k). *)
 
-val of_rows : name:string -> schema:Schema.t -> Value.t array list -> t
+val set_default_chunk_rows : int -> unit
+(** Set the global default (clamped to >= 1). Intended to be called once
+    at startup (the [--chunk-rows] flag), before tables are built. *)
+
+val create : ?chunk_rows:int -> name:string -> schema:Schema.t ->
+  Value.t array array -> t
+(** Rows must match the schema arity; they are split into chunks of
+    [chunk_rows] (last chunk may be short). *)
+
+val of_rows : ?chunk_rows:int -> name:string -> schema:Schema.t ->
+  Value.t array list -> t
+
+val of_chunks : name:string -> schema:Schema.t -> Value.t array array list -> t
+(** Concatenation of pre-chunked row batches, in order. Batches may be
+    ragged (per-chunk filter outputs); empty batches are dropped. The
+    batch arrays are shared, not copied. *)
 
 val n_rows : t -> int
+
+val n_chunks : t -> int
+
+val chunk : t -> int -> Value.t array array
+(** The rows of one chunk (shared, do not mutate). *)
+
+val chunk_offset : t -> int -> int
+(** Global row id of the first row of the given chunk. *)
+
+val chunk_list : t -> Value.t array array list
+(** All chunks in row order (shared arrays). *)
+
+val row : t -> int -> Value.t array
+(** Random access by global row id (binary search over the chunk offsets,
+    O(log n_chunks)). Index row ids ({!Index.lookup}) are global ids. *)
+
+val get : t -> row:int -> col:int -> Value.t
+
+val iter : (Value.t array -> unit) -> t -> unit
+(** Visit every row in row order. *)
+
+val iteri : (int -> Value.t array -> unit) -> t -> unit
+(** [iter] with the global row id. *)
+
+val fold : ('a -> Value.t array -> 'a) -> 'a -> t -> 'a
+
+val to_seq : t -> Value.t array Seq.t
+
+val to_rows : t -> Value.t array array
+(** Flat copy of all rows (the single chunk itself when there is only
+    one). For API boundaries that need a plain array; prefer the
+    iterators elsewhere. *)
 
 val column_values : t -> int -> Value.t array
 (** All values of the column at the given position (in row order). *)
 
-val get : t -> row:int -> col:int -> Value.t
-
 val byte_size : t -> int
-(** Approximate memory footprint of the row data (Table 4 accounting). *)
+(** Approximate memory footprint of the row data (Table 4 accounting).
+    Memoized per chunk: the first call walks each chunk's cells, later
+    calls are O(n_chunks). *)
+
+val chunk_byte_size : t -> int -> int
+(** Memoized byte size of one chunk. *)
 
 val rename : t -> string -> t
-(** New table sharing rows, with the given name and columns requalified to
-    it. *)
+(** New table sharing chunks (and byte-size memo), with the given name
+    and columns requalified to it. *)
+
+val with_name : t -> string -> t
+(** New table sharing chunks, renamed without requalifying the schema
+    (temp materialization keeps alias-qualified columns). *)
+
+val reschema : name:string -> schema:Schema.t -> t -> t
+(** New table sharing chunks under a same-arity replacement schema
+    (column flattening). *)
 
 val pp_sample : ?limit:int -> Format.formatter -> t -> unit
 (** Debug/demo printer: schema plus the first [limit] rows (default 10). *)

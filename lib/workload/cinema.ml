@@ -333,11 +333,11 @@ let col_pos (tbl : Table.t) name =
 let rows_by_movie (tbl : Table.t) =
   let pos = col_pos tbl "movie_id" in
   let h = Hashtbl.create 4096 in
-  Array.iteri
+  Table.iteri
     (fun i row ->
       let m = row.(pos) in
       Hashtbl.replace h m (i :: Option.value (Hashtbl.find_opt h m) ~default:[]))
-    tbl.Table.rows;
+    tbl;
   h
 
 let str_prefix s =
@@ -348,7 +348,7 @@ let str_prefix s =
    on low-cardinality attributes, ranges on years, IN lists. *)
 let dim_filter rng cat ~alias ~table ~witness_id =
   let tbl = Catalog.table cat table in
-  let row = tbl.Table.rows.(witness_id - 1) in
+  let row = Table.row tbl (witness_id - 1) in
   (* serial pks: id i is row i-1 *)
   let v name = row.(col_pos tbl name) in
   match table with
@@ -387,7 +387,7 @@ let dim_filter rng cat ~alias ~table ~witness_id =
 
 let title_filter rng cat ~witness_movie =
   let tbl = Catalog.table cat "title" in
-  let row = tbl.Table.rows.(witness_movie - 1) in
+  let row = Table.row tbl (witness_movie - 1) in
   let year = Value.as_int row.(col_pos tbl "production_year") in
   match Rng.int rng 3 with
   | 0 ->
@@ -444,7 +444,7 @@ let generate_one cat rng ~name ~movie_index =
           (fun (f, h) ->
             let tbl = Catalog.table cat f.table in
             let rid = List.hd (Hashtbl.find h movie) in
-            (f, tbl, tbl.Table.rows.(rid)))
+            (f, tbl, Table.row tbl rid))
           indexes
       in
       (* 3. relations: t + facts + a random subset of each fact's dims *)
@@ -482,7 +482,7 @@ let generate_one cat rng ~name ~movie_index =
         add_rel "kt" "kind_type";
         preds := Expr.eq (Expr.col "t" "kind_id") (Expr.col "kt" "id") :: !preds;
         let tbl = Catalog.table cat "title" in
-        let kid = Value.as_int tbl.Table.rows.(Value.as_int movie - 1).(col_pos tbl "kind_id") in
+        let kid = Value.as_int (Table.row tbl (Value.as_int movie - 1)).(col_pos tbl "kind_id") in
         filters :=
           dim_filter rng cat ~alias:"kt" ~table:"kind_type" ~witness_id:kid @ !filters
       end;

@@ -49,7 +49,7 @@ let random_filter rng (tbl : Table.t) alias =
   else
     let ci = Rng.int rng (Array.length tbl.Table.schema) in
     let col = tbl.Table.schema.(ci) in
-    let v = tbl.Table.rows.(Rng.int rng n).(ci) in
+    let v = (Table.row tbl (Rng.int rng n)).(ci) in
     let cref = Expr.col alias col.Schema.name in
     match v with
     | Value.Int x ->

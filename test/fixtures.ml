@@ -166,8 +166,9 @@ let canonical_rows (t : Table.t) =
     |> List.mapi (fun i c -> (Schema.column_id c, i))
     |> List.sort compare
   in
-  t.Table.rows |> Array.to_list
-  |> List.map (fun row -> List.map (fun (_, i) -> Value.to_string row.(i)) order)
+  Table.fold
+    (fun acc row -> List.map (fun (_, i) -> Value.to_string row.(i)) order :: acc)
+    [] t
   |> List.sort compare
 
 let tables_equal a b = canonical_rows a = canonical_rows b

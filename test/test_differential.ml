@@ -170,6 +170,92 @@ let test_parallel_join_corpus () =
           end)
         queries)
 
+(* --- sharded storage --------------------------------------------------- *)
+
+module Schema = Qs_storage.Schema
+module Value = Qs_storage.Value
+module Expr = Qs_query.Expr
+module Relop = Qs_exec.Relop
+module Logical = Qs_plan.Logical
+
+(* Chunked parallel scan/filter/aggregate must be *row-for-row* identical
+   to the flat sequential path, for every chunk size x domain count.
+   Aggregation columns are integers, so per-chunk partial sums are exact
+   and even the merged aggregates must match bit-for-bit. *)
+let test_chunked_scan_property () =
+  let n = 200 in
+  let schema =
+    Schema.make "f" [ ("id", Value.TInt); ("grp", Value.TInt); ("amount", Value.TInt) ]
+  in
+  let rows =
+    Array.init n (fun i ->
+        let h = i * 131 mod 1009 in
+        [| Value.Int i; Value.Int (h mod 7); Value.Int (h mod 100) |])
+  in
+  let filters = [ Expr.Cmp (Expr.Lt, Expr.col "f" "amount", Expr.vint 50) ] in
+  let group_by = [ { Expr.rel = "f"; name = "grp" } ] in
+  let aggs =
+    [
+      { Logical.fn = Logical.Sum; arg = Some (Expr.col "f" "amount"); label = "total" };
+      { Logical.fn = Logical.Count_star; arg = None; label = "n" };
+      { Logical.fn = Logical.Max; arg = Some (Expr.col "f" "id"); label = "top" };
+    ]
+  in
+  let flat = Table.create ~chunk_rows:n ~name:"f" ~schema rows in
+  let base_filtered = Executor.filter_table flat filters in
+  let base_agg = Relop.aggregate ~name:"g" ~group_by ~aggs flat in
+  List.iter
+    (fun chunk_rows ->
+      let tbl = Table.create ~chunk_rows ~name:"f" ~schema rows in
+      List.iter
+        (fun domains ->
+          let label what =
+            Printf.sprintf "%s (chunk_rows=%d domains=%d)" what chunk_rows domains
+          in
+          Pool.with_pool ~domains (fun pool ->
+              let filtered = Executor.filter_table ~pool tbl filters in
+              Alcotest.(check bool) (label "filter row-identical") true
+                (Table.to_rows base_filtered = Table.to_rows filtered);
+              let agged = Relop.aggregate ~pool ~name:"g" ~group_by ~aggs tbl in
+              Alcotest.(check bool) (label "aggregate row-identical") true
+                (Table.to_rows base_agg = Table.to_rows agged)))
+        [ 1; 2; 4 ])
+    [ 1; 7; 64; n ]
+
+(* the full differential corpus with the catalog sharded into small chunks:
+   optimized plans over chunked tables (with a pool) must equal the flat
+   sequential results *)
+let test_chunked_corpus () =
+  let saved = Table.default_chunk_rows () in
+  Fun.protect
+    ~finally:(fun () -> Table.set_default_chunk_rows saved)
+    (fun () ->
+      let cat_flat, ctx_flat = Fixtures.shop_ctx ~n_orders:400 () in
+      Table.set_default_chunk_rows 64;
+      let _, ctx_chunked = Fixtures.shop_ctx ~n_orders:400 () in
+      let queries = Fuzz.queries cat_flat ~seed:20230617 ~n:200 () in
+      Pool.with_pool ~domains:4 (fun pool ->
+          List.iter
+            (fun (q : Query.t) ->
+              let frag = Strategy.fragment_of_query ctx_flat q in
+              if Naive.count frag <= max_result_rows then begin
+                let plan =
+                  (Optimizer.optimize cat_flat Estimator.default frag).Optimizer.plan
+                in
+                let seq, _ = Executor.run plan in
+                let frag_c = Strategy.fragment_of_query ctx_chunked q in
+                let plan_c =
+                  (Optimizer.optimize (Strategy.catalog ctx_chunked) Estimator.default
+                     frag_c)
+                    .Optimizer.plan
+                in
+                let par, _ = Executor.run ~pool plan_c in
+                if not (Fixtures.tables_equal seq par) then
+                  Alcotest.failf "%s: chunked parallel scan diverges (%d vs %d rows)"
+                    q.Query.name (Table.n_rows seq) (Table.n_rows par)
+              end)
+            queries))
+
 let suite =
   [
     Alcotest.test_case "fuzz corpus deterministic" `Quick test_fuzz_deterministic;
@@ -182,4 +268,8 @@ let suite =
       test_parallel_harness_corpus;
     Alcotest.test_case "parallel hash join over fuzz corpus" `Slow
       test_parallel_join_corpus;
+    Alcotest.test_case "chunked scan row-identical across chunk sizes x domains"
+      `Quick test_chunked_scan_property;
+    Alcotest.test_case "chunked parallel corpus = flat sequential" `Slow
+      test_chunked_corpus;
   ]

@@ -58,7 +58,7 @@ let test_agg_sum_value_correct () =
   in
   let out = Driver.run Static.default ctx tree in
   Alcotest.(check bool) "count = 500" true
-    (out.Strategy.result.Table.rows.(0).(0) = Value.Int 500)
+    (Table.get out.Strategy.result ~row:0 ~col:0 = Value.Int 500)
 
 let test_union_of_aggs () =
   let _, ctx = Fixtures.shop_ctx () in

@@ -32,7 +32,7 @@ let make_temp f aliases =
   let inputs = List.map (Fragment.input_of_alias f) aliases in
   let sub = Fragment.restrict f inputs in
   let tbl = Naive.rows { sub with Fragment.output = [] } in
-  let tbl = Table.create ~name:"T1" ~schema:tbl.Table.schema tbl.Table.rows in
+  let tbl = Table.with_name tbl "T1" in
   Fragment.temp_input ~id:"T1" ~provenance:(Fragment.key sub) tbl ~provides:aliases
     ~stats:(Analyze.of_table tbl)
 

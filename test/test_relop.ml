@@ -21,7 +21,7 @@ let sales () =
 let agg fn arg label = { Logical.fn; arg; label }
 
 let find_row (t : Table.t) key =
-  Array.to_list t.Table.rows
+  Array.to_list (Table.to_rows t)
   |> List.find (fun row -> Value.to_string row.(0) = key)
 
 let test_group_by_sum_count () =
@@ -57,7 +57,7 @@ let test_min_max_avg () =
       (sales ())
   in
   Alcotest.(check int) "one row" 1 (Table.n_rows out);
-  let row = out.Table.rows.(0) in
+  let row = Table.row out 0 in
   Alcotest.(check bool) "min 5" true (row.(0) = Value.Int 5);
   Alcotest.(check bool) "max 20" true (row.(1) = Value.Int 20);
   (match row.(2) with
@@ -78,8 +78,8 @@ let test_global_agg_on_empty_input () =
       empty
   in
   Alcotest.(check int) "one row even when empty" 1 (Table.n_rows out);
-  Alcotest.(check bool) "count 0" true (out.Table.rows.(0).(0) = Value.Int 0);
-  Alcotest.(check bool) "sum null" true (Value.is_null out.Table.rows.(0).(1))
+  Alcotest.(check bool) "count 0" true (Table.get out ~row:0 ~col:0 = Value.Int 0);
+  Alcotest.(check bool) "sum null" true (Value.is_null (Table.get out ~row:0 ~col:1))
 
 let test_group_by_empty_input_no_rows () =
   let empty =
@@ -106,7 +106,7 @@ let test_agg_with_arith_expression () =
       ~aggs:[ agg Logical.Sum (Some revenue) "rev" ]
       (sales ())
   in
-  match out.Table.rows.(0).(0) with
+  match Table.get out ~row:0 ~col:0 with
   | Value.Float f -> Alcotest.(check (float 1e-6)) "10*.9+20*.8+5*1" 30.0 f
   | v -> Alcotest.failf "expected float, got %s" (Value.to_string v)
 
@@ -159,7 +159,7 @@ let test_semi_join_no_duplicates () =
   let on = [ Expr.eq (Expr.col "o" "pid") (Expr.col "p" "id") ] in
   let out = Relop.semi_join ~name:"sj" ~anti:false ~left:people ~right:orders ~on in
   let names =
-    Array.to_list out.Table.rows |> List.map (fun r -> Value.to_string r.(1))
+    Table.fold (fun acc r -> Value.to_string r.(1) :: acc) [] out
   in
   Alcotest.(check (list string)) "each person once" [ "ann"; "eve" ]
     (List.sort compare names)
@@ -169,7 +169,7 @@ let test_anti_join () =
   let on = [ Expr.eq (Expr.col "o" "pid") (Expr.col "p" "id") ] in
   let out = Relop.semi_join ~name:"aj" ~anti:true ~left:people ~right:orders ~on in
   Alcotest.(check int) "only bob" 1 (Table.n_rows out);
-  Alcotest.(check string) "bob" "bob" (Value.to_string out.Table.rows.(0).(1))
+  Alcotest.(check string) "bob" "bob" (Value.to_string (Table.get out ~row:0 ~col:1))
 
 let test_semi_join_residual_pred () =
   let people, orders = people_orders () in

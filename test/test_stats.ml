@@ -88,6 +88,18 @@ let test_analyze_sampling_extrapolates () =
   (* the sample saturates (all distinct), so ndv must extrapolate to ~60k *)
   Alcotest.(check bool) "extrapolated" true (id.Column_stats.n_distinct > 50_000)
 
+(* per-chunk sampling: the proportional quotas must sum to the requested
+   sample, so a sharded table extrapolates like a flat one *)
+let test_analyze_chunked () =
+  let rows = Array.init 60_000 (fun i -> [| Value.Int i |]) in
+  let schema = Schema.make "big" [ ("id", Value.TInt) ] in
+  let chunked = Table.create ~chunk_rows:1000 ~name:"big" ~schema rows in
+  Alcotest.(check int) "60 chunks" 60 (Table.n_chunks chunked);
+  let stats = Analyze.of_table ~sample:4000 chunked in
+  Alcotest.(check int) "row count" 60_000 (Table_stats.n_rows stats);
+  let id = Option.get (Table_stats.find stats ~rel:"big" ~name:"id") in
+  Alcotest.(check bool) "extrapolated" true (id.Column_stats.n_distinct > 50_000)
+
 let test_rowcount_only () =
   let stats = Analyze.rowcount_of_table (sample_table ()) in
   Alcotest.(check int) "rows" 1000 (Table_stats.n_rows stats);
@@ -129,6 +141,49 @@ let test_conj_independence () =
   let s2 = Selectivity.pred ~stats_of p2 in
   let both = Selectivity.conj ~stats_of [ p1; p2 ] in
   Alcotest.(check (float 1e-9)) "product rule" (s1 *. s2) both
+
+(* regression: when the MCV list covers every observed distinct value
+   (rest_distinct = 0), eq_sel used to fall back to default_eq_sel
+   (0.005) for any value outside the list — overestimating misses against
+   small complete domains. It must return the clamped residual mass. *)
+let test_eq_sel_full_mcv_coverage () =
+  let values = Array.init 100 (fun i -> Value.Int (if i < 90 then 1 else 2)) in
+  let cs = Column_stats.of_values values in
+  Alcotest.(check int) "2 distinct" 2 cs.Column_stats.n_distinct;
+  Alcotest.(check int) "MCVs cover the domain" 2 (List.length cs.Column_stats.mcvs);
+  let sel = Selectivity.eq_sel cs (Value.Int 999) in
+  Alcotest.(check bool) "below the no-stats default" true
+    (sel < Selectivity.default_eq_sel);
+  let rarest =
+    List.fold_left (fun a (_, f) -> Float.min a f) 1.0 cs.Column_stats.mcvs
+  in
+  Alcotest.(check bool) "capped by rarest MCV" true (sel <= rarest)
+
+let test_prefix_successor () =
+  Alcotest.(check (option string)) "ab -> ac" (Some "ac")
+    (Selectivity.prefix_successor "ab");
+  Alcotest.(check (option string)) "trailing 0xff dropped" (Some "b")
+    (Selectivity.prefix_successor "a\xff");
+  Alcotest.(check (option string)) "all 0xff -> none" None
+    (Selectivity.prefix_successor "\xff\xff");
+  Alcotest.(check (option string)) "empty -> none" None
+    (Selectivity.prefix_successor "")
+
+(* regression: the prefix range upper bound used to be [p ^ "\xff"], which
+   excludes strings like "ab\xffq" that do start with "ab". With half the
+   column above that old bound, the old estimate was ~half the truth. *)
+let test_like_sel_high_byte_prefix () =
+  let values =
+    Array.init 100 (fun i ->
+        Value.Str
+          (if i < 25 then Printf.sprintf "ab%02d" i
+           else if i < 50 then Printf.sprintf "ab\xff%02d" i
+           else Printf.sprintf "zz%02d" i))
+  in
+  let cs = Column_stats.of_values values in
+  let sel = Selectivity.like_sel (Some cs) "ab%" in
+  (* truth is 0.5; the pre-fix bound captured only ~0.25 *)
+  Alcotest.(check bool) "covers high-byte suffixes" true (sel > 0.4 && sel < 0.6)
 
 let test_no_stats_defaults () =
   let stats_of _ = None in
@@ -173,6 +228,10 @@ let suite =
     Alcotest.test_case "range sel" `Quick test_range_selectivity;
     Alcotest.test_case "between sel" `Quick test_between_selectivity;
     Alcotest.test_case "like prefix sel" `Quick test_like_selectivity_prefix;
+    Alcotest.test_case "eq sel: full MCV coverage" `Quick test_eq_sel_full_mcv_coverage;
+    Alcotest.test_case "prefix successor" `Quick test_prefix_successor;
+    Alcotest.test_case "like sel: high-byte prefix" `Quick test_like_sel_high_byte_prefix;
+    Alcotest.test_case "analyze chunked table" `Quick test_analyze_chunked;
     Alcotest.test_case "conjunction independence" `Quick test_conj_independence;
     Alcotest.test_case "no-stats defaults" `Quick test_no_stats_defaults;
     QCheck_alcotest.to_alcotest arbitrary_pred_sel;

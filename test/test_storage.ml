@@ -47,7 +47,7 @@ let test_table_arity_check () =
 let test_table_rename_shares_rows () =
   let t = sample_table () in
   let r = Table.rename t "e" in
-  Alcotest.(check bool) "rows shared" true (r.Table.rows == t.Table.rows);
+  Alcotest.(check bool) "chunks shared" true (Table.chunk r 0 == Table.chunk t 0);
   Alcotest.(check string) "renamed" "e" r.Table.name;
   Alcotest.(check bool) "schema requalified" true (Schema.mem r.Table.schema ~rel:"e" ~name:"id")
 
@@ -60,6 +60,65 @@ let test_table_byte_size () =
   let t = sample_table () in
   (* 3 ints (8 each) + "eng","ops","eng" (24+3 each) *)
   Alcotest.(check int) "byte size" ((3 * 8) + (3 * 27)) (Table.byte_size t)
+
+let int_rows n = Array.init n (fun i -> [| Value.Int i |])
+let int_schema = Schema.make "t" [ ("a", Value.TInt) ]
+
+let test_table_chunking () =
+  let t = Table.create ~chunk_rows:2 ~name:"t" ~schema:int_schema (int_rows 5) in
+  Alcotest.(check int) "5 rows" 5 (Table.n_rows t);
+  Alcotest.(check int) "3 chunks" 3 (Table.n_chunks t);
+  Alcotest.(check int) "last chunk short" 1 (Array.length (Table.chunk t 2));
+  Alcotest.(check int) "offset of chunk 2" 4 (Table.chunk_offset t 2);
+  (* iteration visits the original row order with global row ids *)
+  let seen = ref [] in
+  Table.iteri (fun i row -> seen := (i, Value.as_int row.(0)) :: !seen) t;
+  Alcotest.(check (list (pair int int))) "iteri order"
+    (List.init 5 (fun i -> (i, i)))
+    (List.rev !seen);
+  (* random access crosses chunk boundaries (binary search) *)
+  for i = 0 to 4 do
+    Alcotest.(check bool) ("row " ^ string_of_int i) true
+      (Table.get t ~row:i ~col:0 = Value.Int i)
+  done;
+  Alcotest.(check int) "to_rows flattens" 5 (Array.length (Table.to_rows t))
+
+let test_table_of_chunks_ragged () =
+  let c1 = int_rows 3 in
+  let c2 = [||] in
+  let c3 = Array.init 2 (fun i -> [| Value.Int (10 + i) |]) in
+  let t = Table.of_chunks ~name:"t" ~schema:int_schema [ c1; c2; c3 ] in
+  Alcotest.(check int) "empty chunk dropped" 2 (Table.n_chunks t);
+  Alcotest.(check int) "5 rows" 5 (Table.n_rows t);
+  Alcotest.(check bool) "chunk arrays shared" true (Table.chunk t 0 == c1);
+  Alcotest.(check bool) "order preserved" true (Table.get t ~row:3 ~col:0 = Value.Int 10)
+
+let test_table_byte_size_memo () =
+  let t = sample_table () in
+  let flat = Table.byte_size t in
+  (* chunked layout accounts identically, and the memoized second call
+     agrees with the first *)
+  let chunked =
+    Table.create ~chunk_rows:2 ~name:"emp" ~schema:t.Table.schema (Table.to_rows t)
+  in
+  Alcotest.(check int) "chunked = flat" flat (Table.byte_size chunked);
+  Alcotest.(check int) "memoized call stable" flat (Table.byte_size chunked);
+  Alcotest.(check int) "per-chunk sizes sum" flat
+    (List.init (Table.n_chunks chunked) (Table.chunk_byte_size chunked)
+    |> List.fold_left ( + ) 0);
+  (* rename shares the memo with the original *)
+  Alcotest.(check int) "rename shares size" flat (Table.byte_size (Table.rename chunked "e"))
+
+let test_default_chunk_rows () =
+  let saved = Table.default_chunk_rows () in
+  Fun.protect
+    ~finally:(fun () -> Table.set_default_chunk_rows saved)
+    (fun () ->
+      Table.set_default_chunk_rows 2;
+      let t = Table.create ~name:"t" ~schema:int_schema (int_rows 5) in
+      Alcotest.(check int) "default applies" 3 (Table.n_chunks t);
+      let u = Table.create ~chunk_rows:10 ~name:"t" ~schema:int_schema (int_rows 5) in
+      Alcotest.(check int) "explicit overrides" 1 (Table.n_chunks u))
 
 let test_index_lookup () =
   let t = sample_table () in
@@ -131,6 +190,10 @@ let suite =
     Alcotest.test_case "rename shares rows" `Quick test_table_rename_shares_rows;
     Alcotest.test_case "column values" `Quick test_table_column_values;
     Alcotest.test_case "byte size" `Quick test_table_byte_size;
+    Alcotest.test_case "chunking" `Quick test_table_chunking;
+    Alcotest.test_case "of_chunks ragged" `Quick test_table_of_chunks_ragged;
+    Alcotest.test_case "byte size memoized" `Quick test_table_byte_size_memo;
+    Alcotest.test_case "default chunk rows" `Quick test_default_chunk_rows;
     Alcotest.test_case "index lookup" `Quick test_index_lookup;
     Alcotest.test_case "index missing column" `Quick test_index_missing_column;
     Alcotest.test_case "catalog basics" `Quick test_catalog_basics;

@@ -114,11 +114,11 @@ let test_skew_present () =
   let cat = Lazy.force Fixtures.cinema in
   let ci = Catalog.table cat "cast_info" in
   let counts = Hashtbl.create 1024 in
-  Array.iter
+  Table.iter
     (fun row ->
       let m = row.(1) in
       Hashtbl.replace counts m (1 + Option.value (Hashtbl.find_opt counts m) ~default:0))
-    ci.Table.rows;
+    ci;
   let all = Hashtbl.fold (fun _ c acc -> c :: acc) counts [] in
   let sorted = List.sort (fun a b -> compare b a) all in
   let top = List.hd sorted in

@@ -1,8 +1,15 @@
 #!/bin/sh
-# Fail the build when unsafe casts (Obj.magic / Obj.repr / Obj.obj) appear
-# in library, binary or bench sources. The typed Scratch cache exists
-# precisely so nothing needs them; new uses must extend ALLOW below with a
-# justification.
+# Fail the build when unsafe patterns appear in library, binary or bench
+# sources:
+#
+#   1. Obj.magic / Obj.repr / Obj.obj — the typed Scratch cache exists
+#      precisely so nothing needs them; new uses must extend ALLOW below
+#      with a justification.
+#   2. Direct `.rows` record access — Table stores rows in chunks; every
+#      caller outside lib/storage must go through the chunk API
+#      (Table.chunk / iter / row / to_rows) so scans stay shardable.
+#      (`Naive.rows` is a function call, not a field access, and is
+#      excluded.)
 #
 # Allow-list entries only *mention* Obj in documentation comments:
 #   lib/util/scratch.ml / .mli — docs explaining what Scratch replaces.
@@ -19,6 +26,13 @@ for f in $(find lib bin bench \( -name '*.ml' -o -name '*.mli' \) | sort); do
   [ $skip -eq 1 ] && continue
   if grep -nE 'Obj\.(magic|repr|obj)' "$f"; then
     echo "lint: unsafe Obj cast in $f (see tools/lint_unsafe.sh)" >&2
+    status=1
+  fi
+  case "$f" in
+    lib/storage/*) continue ;;
+  esac
+  if grep -nE '\.rows\b' "$f" | grep -vE '(Naive|Qs_exec\.Naive)\.rows'; then
+    echo "lint: direct Table .rows access in $f — use the chunk API (see tools/lint_unsafe.sh)" >&2
     status=1
   fi
 done
