@@ -8,7 +8,9 @@
      dune exec bench/main.exe -- micro        # substrate micro-benchmarks
      dune exec bench/main.exe -- --scale 0.2 --queries 40 --timeout 5 all
      dune exec bench/main.exe -- --domains 4 par_sweep   # parallel harness
-     dune exec bench/main.exe -- --domains 4 --chunk-rows 16384 scan_sweep *)
+     dune exec bench/main.exe -- --domains 4 --chunk-rows 16384 scan_sweep
+     dune exec bench/main.exe -- --trace-out trace.json fig11  # Chrome trace
+     dune exec bench/main.exe -- --metrics-out BENCH.json      # bench_diff dump *)
 
 module Experiments = Qs_harness.Experiments
 
@@ -108,6 +110,8 @@ let () =
   let setup = ref Experiments.default_setup in
   let chosen = ref [] in
   let want_micro = ref false in
+  let trace_out = ref None in
+  let metrics_out = ref None in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -128,6 +132,12 @@ let () =
     | "--chunk-rows" :: v :: rest ->
         Qs_storage.Table.set_default_chunk_rows (int_of_string v);
         parse rest
+    | "--trace-out" :: v :: rest ->
+        trace_out := Some v;
+        parse rest
+    | "--metrics-out" :: v :: rest ->
+        metrics_out := Some v;
+        parse rest
     | "micro" :: rest ->
         want_micro := true;
         parse rest
@@ -143,8 +153,11 @@ let () =
         exit 1
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (* no arguments: run everything, micro-benchmarks included *)
-  let default_run = !chosen = [] && not !want_micro in
+  if !trace_out <> None then
+    setup := { !setup with Experiments.tracer = Some (Qs_util.Span.create ()) };
+  (* no arguments: run everything, micro-benchmarks included — unless the
+     invocation is a pure --metrics-out dump *)
+  let default_run = !chosen = [] && (not !want_micro) && !metrics_out = None in
   if default_run then want_micro := true;
   let names = if default_run then List.map fst experiments else !chosen in
   let s = !setup in
@@ -161,4 +174,18 @@ let () =
       Printf.printf "\n[%s finished in %.1fs]\n%!" name
         (Qs_util.Timer.elapsed ~since:t0))
     names;
-  if !want_micro then micro ()
+  if !want_micro then micro ();
+  (match !metrics_out with
+  | None -> ()
+  | Some path ->
+      let json = Experiments.metrics_json s in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc json;
+          output_char oc '\n');
+      Printf.printf "wrote metrics JSON to %s\n%!" path);
+  match (!trace_out, s.Experiments.tracer) with
+  | Some path, Some tr ->
+      Qs_obs.Chrome_trace.write path tr;
+      Printf.printf "wrote Chrome trace (%d spans) to %s\n%!"
+        (Qs_util.Span.count tr) path
+  | _ -> ()

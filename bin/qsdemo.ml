@@ -4,6 +4,7 @@
      dune exec bin/qsdemo.exe -- run --workload cinema --algo querysplit
      dune exec bin/qsdemo.exe -- run --workload dsb --algo pop --index pk
      dune exec bin/qsdemo.exe -- run --explain -n 3        # EXPLAIN ANALYZE
+     dune exec bin/qsdemo.exe -- run --profile -n 4        # span profile + journal
      dune exec bin/qsdemo.exe -- plan --workload cinema --query 3 *)
 
 module Catalog = Qs_storage.Catalog
@@ -20,6 +21,8 @@ module Algos = Qs_harness.Algos
 module Executor = Qs_exec.Executor
 module Trace = Qs_obs.Trace
 module Explain = Qs_obs.Explain
+module Profile = Qs_obs.Profile
+module Span = Qs_util.Span
 
 open Cmdliner
 
@@ -86,6 +89,16 @@ let stats_arg =
   Arg.(value & opt bool true
        & info [ "collect-stats" ] ~doc:"ANALYZE materialized temps (the §6.4 switch).")
 
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:
+             "Record spans during the run and print the text profile: \
+              per-phase time breakdown, per-domain utilization, pool \
+              queue-wait percentiles and the re-optimization journal \
+              (one line per reopt step: selected subquery, score, \
+              estimated vs. observed cardinality, replan decision).")
+
 let explain_arg =
   Arg.(value & flag
        & info [ "explain" ]
@@ -113,8 +126,16 @@ let build_cinema ~scale ~seed ~index =
   cat
 
 let run_cmd workload scale seed n timeout index algo collect_stats domains
-    join_parallelism explain chunk_rows =
+    join_parallelism explain profile chunk_rows =
   apply_chunk_rows chunk_rows;
+  let tracer = if profile then Some (Span.create ()) else None in
+  let print_profile () =
+    match tracer with
+    | None -> ()
+    | Some tr ->
+        print_newline ();
+        print_string (Profile.summary tr)
+  in
   match workload with
   | `Cinema when explain ->
       let cat = build_cinema ~scale ~seed ~index in
@@ -132,8 +153,8 @@ let run_cmd workload scale seed n timeout index algo collect_stats domains
       Printf.printf "%s on %d cinema queries (scale %.2f)\n" algo.Runner.label
         (List.length queries) scale;
       let rs =
-        Runner.run_spj ~collect_stats ~timeout ~domains ~join_parallelism env algo
-          queries
+        Runner.run_spj ~collect_stats ~timeout ~domains ~join_parallelism ?tracer
+          env algo queries
       in
       List.iter
         (fun (r : Runner.qresult) ->
@@ -142,7 +163,8 @@ let run_cmd workload scale seed n timeout index algo collect_stats domains
             r.Runner.mats
             (Qs_harness.Report.bytes_mb r.Runner.mat_bytes))
         rs;
-      Printf.printf "total: %s\n" (Qs_harness.Report.seconds (Runner.total_time rs))
+      Printf.printf "total: %s\n" (Qs_harness.Report.seconds (Runner.total_time rs));
+      print_profile ()
   | (`Star | `Dsb) when explain ->
       prerr_endline "--explain is only supported for the cinema (SPJ) workload";
       exit 1
@@ -160,15 +182,16 @@ let run_cmd workload scale seed n timeout index algo collect_stats domains
       let env = Runner.make_env ~seed cat in
       Printf.printf "%s on %d non-SPJ queries\n" algo.Runner.label (List.length trees);
       let rs =
-        Runner.run_logical ~collect_stats ~timeout ~domains ~join_parallelism env
-          algo trees
+        Runner.run_logical ~collect_stats ~timeout ~domains ~join_parallelism
+          ?tracer env algo trees
       in
       List.iter
         (fun (r : Runner.qresult) ->
           Printf.printf "  %-14s %8.4fs%s\n" r.Runner.query r.Runner.time
             (if r.Runner.timed_out then " TIMEOUT" else ""))
         rs;
-      Printf.printf "total: %s\n" (Qs_harness.Report.seconds (Runner.total_time rs))
+      Printf.printf "total: %s\n" (Qs_harness.Report.seconds (Runner.total_time rs));
+      print_profile ()
 
 let plan_cmd scale seed qidx chunk_rows =
   apply_chunk_rows chunk_rows;
@@ -239,7 +262,7 @@ let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ seed_arg $ queries_arg $ timeout_arg
     $ index_arg $ algo_arg $ stats_arg $ domains_arg $ join_par_arg $ explain_arg
-    $ chunk_rows_arg)
+    $ profile_arg $ chunk_rows_arg)
 
 let query_arg =
   Arg.(value & opt int 0 & info [ "query"; "q" ] ~doc:"Query index to inspect.")

@@ -7,7 +7,11 @@ module Timer = Qs_util.Timer
 let rec eval (strategy : Strategy.t) ctx node =
   match (node : Logical.t) with
   | Logical.Spj q ->
-      let o = strategy.Strategy.run ctx q in
+      let o =
+        Qs_util.Span.span ctx.Strategy.spans Qs_util.Span.Execute
+          ("spj:" ^ q.Qs_query.Query.name)
+          (fun () -> strategy.Strategy.run ctx q)
+      in
       if o.Strategy.timed_out then raise Executor.Timeout;
       (o.Strategy.result, o.Strategy.iterations)
   | Logical.Agg { name; group_by; aggs; input } ->

@@ -27,7 +27,10 @@ let run ctx (q : Query.t) =
   let cat = Strategy.catalog ctx in
   let scenarios = List.map (fun f -> scaled f ctx.Strategy.estimator) scale_factors in
   let candidates =
-    List.map (fun est -> (Optimizer.optimize cat est frag).Optimizer.plan) scenarios
+    List.map
+      (fun est ->
+        (Optimizer.optimize ?spans:ctx.Strategy.spans cat est frag).Optimizer.plan)
+      scenarios
   in
   let worst_case plan =
     List.fold_left
@@ -40,7 +43,8 @@ let run ctx (q : Query.t) =
       (List.hd candidates) (List.tl candidates)
   in
   let table, _ =
-    Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace plan
+    Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
+      ?spans:ctx.Strategy.spans plan
   in
   let result = Executor.project ~name:q.Query.name table q.Query.output in
   Strategy.finished ~start ~result

@@ -7,6 +7,7 @@ module Physical = Qs_plan.Physical
 module Executor = Qs_exec.Executor
 module Temp = Qs_exec.Temp
 module Timer = Qs_util.Timer
+module Span = Qs_util.Span
 
 type selector =
   | Deepest
@@ -179,7 +180,10 @@ let run policy ?selector ctx (q : Query.t) =
   let start = Timer.now () in
   Strategy.guard ctx @@ fun () ->
   let cat = Strategy.catalog ctx in
-  let optimize frag = (Optimizer.optimize cat ctx.Strategy.estimator frag).Optimizer.plan in
+  let optimize frag =
+    (Optimizer.optimize ?spans:ctx.Strategy.spans cat ctx.Strategy.estimator frag)
+      .Optimizer.plan
+  in
   let fresh_temp = Temp.namer () in
   let frag = ref (Strategy.fragment_of_query ctx q) in
   let plan = ref (optimize !frag) in
@@ -194,9 +198,19 @@ let run policy ?selector ctx (q : Query.t) =
         (* no executable join left: run the remaining plan to completion *)
         let table, _ =
           Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
-            !plan
+            ?spans:ctx.Strategy.spans !plan
         in
         finished_table := Some table;
+        Span.add ctx.Strategy.spans Span.Reopt_step
+          ~args:
+            [
+              ("subquery", "final");
+              ("est_rows", Printf.sprintf "%.0f" !plan.Physical.est_rows);
+              ("actual_rows", string_of_int (Table.n_rows table));
+              ("replanned", "no");
+              ("remaining", "0");
+            ]
+          (q.Query.name ^ "/final") ~start:t0 ~dur:(Timer.elapsed ~since:t0);
         iterations :=
           {
             Strategy.index = !iter_index;
@@ -212,7 +226,7 @@ let run policy ?selector ctx (q : Query.t) =
     | Some node ->
         let table, _ =
           Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
-            node
+            ?spans:ctx.Strategy.spans node
         in
         let actual = Table.n_rows table in
         let observed =
@@ -228,8 +242,9 @@ let run policy ?selector ctx (q : Query.t) =
         let collect = ctx.Strategy.collect_stats in
         ignore policy.analyze_temps;
         let temp_input =
-          Temp.to_input ~name ~provenance:(Fragment.key subtree_frag) ~provides
-            ~collect_stats:collect temp_tbl
+          Span.span ctx.Strategy.spans Span.Analyze ("analyze:" ^ name) (fun () ->
+              Temp.to_input ~name ~provenance:(Fragment.key subtree_frag)
+                ~provides ~collect_stats:collect temp_tbl)
         in
         frag := Fragment.substitute !frag ~temp:temp_input;
         let triggered =
@@ -245,6 +260,19 @@ let run policy ?selector ctx (q : Query.t) =
           in
           plan := Physical.replace !plan ~id:node.Physical.id ~by:scan_replacement
         end;
+        Span.add ctx.Strategy.spans Span.Reopt_step
+          ~args:
+            [
+              ("subquery", String.concat "," provides);
+              ("est_rows", Printf.sprintf "%.0f" node.Physical.est_rows);
+              ("actual_rows", string_of_int actual);
+              ("replanned", if replanned then "yes" else "no");
+              ( "remaining",
+                string_of_int (List.length (executable_joins !plan)) );
+            ]
+          (Printf.sprintf "%s/%s(%s)" q.Query.name policy.name
+             (String.concat "," provides))
+          ~start:t0 ~dur:(Timer.elapsed ~since:t0);
         iterations :=
           {
             Strategy.index = !iter_index;

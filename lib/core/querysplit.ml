@@ -9,6 +9,7 @@ module Executor = Qs_exec.Executor
 module Temp = Qs_exec.Temp
 module Timer = Qs_util.Timer
 module Rng = Qs_util.Rng
+module Span = Qs_util.Span
 
 type config = {
   qsa : Qsa.policy;
@@ -33,7 +34,8 @@ let optimize_cached ~enabled cache ctx frag =
   | true, Some r -> r
   | _ ->
       let r =
-        Optimizer.optimize (Strategy.catalog ctx) ctx.Strategy.estimator frag
+        Optimizer.optimize ?spans:ctx.Strategy.spans (Strategy.catalog ctx)
+          ctx.Strategy.estimator frag
       in
       if enabled then Hashtbl.replace cache key r;
       r
@@ -43,7 +45,11 @@ let optimize_cached ~enabled cache ctx frag =
 let global_deep_order ctx (q : Query.t) (frags : Fragment.t list) =
   let rng = Rng.create ctx.Strategy.seed in
   let global = Strategy.fragment_of_query ctx q in
-  let plan = (Optimizer.optimize (Strategy.catalog ctx) ctx.Strategy.estimator global).plan in
+  let plan =
+    (Optimizer.optimize ?spans:ctx.Strategy.spans (Strategy.catalog ctx)
+       ctx.Strategy.estimator global)
+      .plan
+  in
   let unordered = ref (List.mapi (fun i f -> (i, f)) frags) in
   let ordered = ref [] in
   List.iter
@@ -127,7 +133,7 @@ let run config ctx (q : Query.t) =
           (e, r, score))
         !remaining
     in
-    let chosen, plan_res, _ =
+    let chosen, plan_res, chosen_score =
       List.fold_left
         (fun ((_, _, best) as acc) ((_, _, s) as cand) ->
           if s < best then cand else acc)
@@ -135,7 +141,22 @@ let run config ctx (q : Query.t) =
     in
     let table, _ =
       Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
-        plan_res.Optimizer.plan
+        ?spans:ctx.Strategy.spans plan_res.Optimizer.plan
+    in
+    (* the re-optimization journal: one [reopt-step] span per iteration *)
+    let journal ~actual ~replanned ~remaining_n =
+      Span.add ctx.Strategy.spans Span.Reopt_step
+        ~args:
+          [
+            ("subquery", chosen.label);
+            ("score", Printf.sprintf "%.6g" chosen_score);
+            ("est_rows", Printf.sprintf "%.0f" plan_res.Optimizer.est_rows);
+            ("actual_rows", string_of_int actual);
+            ("replanned", if replanned then "yes" else "no");
+            ("remaining", string_of_int remaining_n);
+          ]
+        (q.Query.name ^ "/" ^ chosen.label)
+        ~start:t0 ~dur:(Timer.elapsed ~since:t0)
     in
     let others = List.filter (fun e -> e != chosen) !remaining in
     remaining := others;
@@ -145,6 +166,7 @@ let run config ctx (q : Query.t) =
       let merged = Executor.cartesian ~name:q.Query.name (table :: List.rev !isolated) in
       let projected = Executor.project ~name:q.Query.name merged q.Query.output in
       final := Some projected;
+      journal ~actual ~replanned:false ~remaining_n:0;
       iterations :=
         {
           Strategy.index = !iter_index;
@@ -166,8 +188,9 @@ let run config ctx (q : Query.t) =
       let name = fresh_temp () in
       let temp_tbl = Temp.materialize ~name ~keep table in
       let temp_input =
-        Temp.to_input ~name ~provenance:(Fragment.key chosen.frag) ~provides
-          ~collect_stats:ctx.Strategy.collect_stats temp_tbl
+        Span.span ctx.Strategy.spans Span.Analyze ("analyze:" ^ name) (fun () ->
+            Temp.to_input ~name ~provenance:(Fragment.key chosen.frag) ~provides
+              ~collect_stats:ctx.Strategy.collect_stats temp_tbl)
       in
       (* substitute into overlapping subqueries; drop the fully-covered *)
       let overlapped = ref false in
@@ -196,6 +219,8 @@ let run config ctx (q : Query.t) =
         (* every overlapping subquery was fully covered: the temp holds
            their combined answer and nothing else references it *)
         isolated := temp_tbl :: !isolated;
+      journal ~actual ~replanned:!overlapped
+        ~remaining_n:(List.length survivors);
       iterations :=
         {
           Strategy.index = !iter_index;
@@ -232,6 +257,9 @@ let subquery_plans ctx q config =
   List.map
     (fun sq ->
       let frag = Strategy.fragment_of_query ctx sq in
-      let r = Optimizer.optimize (Strategy.catalog ctx) ctx.Strategy.estimator frag in
+      let r =
+        Optimizer.optimize ?spans:ctx.Strategy.spans (Strategy.catalog ctx)
+          ctx.Strategy.estimator frag
+      in
       (sq, r.Optimizer.est_cost, r.Optimizer.est_rows))
     subqueries

@@ -11,10 +11,13 @@ let run_with ~name ?allowed ~estimator_of ctx (q : Query.t) =
   Strategy.guard ctx @@ fun () ->
   let frag = Strategy.fragment_of_query ctx q in
   let est = estimator_of ctx in
-  let res = Optimizer.optimize ?allowed (Strategy.catalog ctx) est frag in
+  let res =
+    Optimizer.optimize ?allowed ?spans:ctx.Strategy.spans (Strategy.catalog ctx)
+      est frag
+  in
   let table, _ =
     Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
-      res.Optimizer.plan
+      ?spans:ctx.Strategy.spans res.Optimizer.plan
   in
   let result = Executor.project ~name:q.Query.name table q.Query.output in
   Strategy.finished ~start ~result

@@ -38,6 +38,7 @@ type ctx = {
   seed : int;
   pseudo : (string, Table.t * Table_stats.t) Hashtbl.t;
   trace : Qs_obs.Trace.t option;
+  spans : Qs_util.Span.t option;
   pool : Pool.t option;
 }
 
@@ -46,11 +47,11 @@ type t = {
   run : ctx -> Query.t -> outcome;
 }
 
-let make_ctx ?(collect_stats = true) ?(deadline = None) ?(seed = 42) ?trace ?pool
-    registry estimator =
+let make_ctx ?(collect_stats = true) ?(deadline = None) ?(seed = 42) ?trace ?spans
+    ?pool registry estimator =
   {
     registry; estimator; collect_stats; deadline = ref deadline; seed;
-    pseudo = Hashtbl.create 8; trace; pool;
+    pseudo = Hashtbl.create 8; trace; spans; pool;
   }
 
 let catalog ctx = Stats_registry.catalog ctx.registry

@@ -50,6 +50,11 @@ type ctx = {
       (** when set, every executor invocation records per-node execution
           figures here (EXPLAIN ANALYZE); strategies that execute several
           plans accumulate into the same trace *)
+  spans : Qs_util.Span.t option;
+      (** when set, optimizer calls, executed operators and each
+          re-optimization iteration (the [reopt-step] journal: selected
+          subquery, score, est vs. actual rows, replanned or not) are
+          recorded as time-ordered spans *)
   pool : Qs_util.Pool.t option;
       (** when set (size > 1), executor hash joins run partitioned across
           the pool's domains; plans and results are unchanged *)
@@ -61,8 +66,8 @@ type t = {
 }
 
 val make_ctx : ?collect_stats:bool -> ?deadline:float option -> ?seed:int ->
-  ?trace:Qs_obs.Trace.t -> ?pool:Qs_util.Pool.t -> Stats_registry.t ->
-  Estimator.t -> ctx
+  ?trace:Qs_obs.Trace.t -> ?spans:Qs_util.Span.t -> ?pool:Qs_util.Pool.t ->
+  Stats_registry.t -> Estimator.t -> ctx
 
 val catalog : ctx -> Catalog.t
 

@@ -9,6 +9,7 @@ module Trace = Qs_obs.Trace
 module Scratch = Qs_util.Scratch
 module Timer = Qs_util.Timer
 module Pool = Qs_util.Pool
+module Span = Qs_util.Span
 
 exception Timeout
 
@@ -297,25 +298,54 @@ let nl_join ?deadline ?(limit = max_int) ~(outer : Table.t) ~(inner : Table.t) p
     outer;
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
-let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace plan =
+(* Span bridging: the label of the operator span emitted per executed
+   plan node. Exactly one arm per [Physical] operator constructor —
+   tools/check.sh lints that none is missing (stats-completeness,
+   extended to spans). *)
+let span_label (p : Physical.t) =
+  match p.Physical.node with
+  | Physical.Scan i -> "scan:" ^ i.Fragment.id
+  | Physical.Join { method_ = Physical.Hash; _ } -> "hash-join"
+  | Physical.Join { method_ = Physical.Index_nl; _ } -> "index-nl-join"
+  | Physical.Join { method_ = Physical.Nl; _ } -> "nl-join"
+
+let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace ?spans plan =
   let stats : stats = Hashtbl.create 16 in
   (* Tracing is the only consumer of wall-clock / byte figures; keep the
      untraced path free of clock reads and byte-size walks. *)
-  let now () = match trace with Some _ -> Timer.now () | None -> 0.0 in
+  let timed = trace <> None || spans <> None in
+  let now () = if timed then Timer.now () else 0.0 in
+  let children (p : Physical.t) =
+    match p.Physical.node with
+    | Physical.Scan _ -> []
+    | Physical.Join j -> [ j.Physical.left.Physical.id; j.Physical.right.Physical.id ]
+  in
+  let operator_span (p : Physical.t) ~t0 ~dur ~rows =
+    Span.add spans Span.Operator (span_label p) ~start:t0 ~dur
+      ~args:
+        [
+          ("node", string_of_int p.Physical.id);
+          ("est_rows", Printf.sprintf "%.0f" p.Physical.est_rows);
+          ("actual_rows", string_of_int rows);
+        ]
+  in
   let record ?(scanned = 0) ?(built = 0) ?(probed = 0) (p : Physical.t) ~t0 result =
     let rows = Table.n_rows result in
     Hashtbl.replace stats p.Physical.id rows;
-    match trace with
+    let elapsed = if timed then Timer.elapsed ~since:t0 else 0.0 in
+    (match trace with
     | None -> ()
     | Some tr ->
         let n = Trace.node tr p.Physical.id in
         n.Trace.est_rows <- p.Physical.est_rows;
         n.Trace.actual_rows <- rows;
-        n.Trace.elapsed <- Timer.elapsed ~since:t0;
+        n.Trace.elapsed <- elapsed;
         n.Trace.output_bytes <- Table.byte_size result;
         n.Trace.rows_scanned <- scanned;
         n.Trace.rows_built <- built;
-        n.Trace.rows_probed <- probed
+        n.Trace.rows_probed <- probed;
+        n.Trace.children <- children p);
+    if spans <> None then operator_span p ~t0 ~dur:elapsed ~rows
   in
   let rec go (p : Physical.t) =
     let t0 = now () in
@@ -329,7 +359,6 @@ let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace plan =
         | Physical.Hash ->
             let build = go j.Physical.left in
             let probe = go j.Physical.right in
-            let t0 = now () in
             let result =
               hash_join ?deadline ~limit:row_limit ?pool ~build ~probe
                 j.Physical.preds
@@ -355,7 +384,6 @@ let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace plan =
             let residual =
               List.filter (fun pr -> not (Expr.equal_pred pr indexed)) j.Physical.preds
             in
-            let t0 = now () in
             let matched = ref 0 in
             let result =
               index_nl_join ?deadline ~limit:row_limit ~matched_rows:matched ~outer
@@ -375,12 +403,15 @@ let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace plan =
                 n.Trace.actual_rows <- !matched;
                 n.Trace.rows_scanned <-
                   Table.n_rows inner_input.Fragment.table);
+            if spans <> None then
+              (* zero duration: the inner side's work happens inside the
+                 index lookups and is part of the join span *)
+              operator_span inner ~t0:(now ()) ~dur:0.0 ~rows:!matched;
             record p ~t0 ~probed:(Table.n_rows outer) result;
             result
         | Physical.Nl ->
             let outer = go j.Physical.left in
             let inner = go j.Physical.right in
-            let t0 = now () in
             let result =
               nl_join ?deadline ~limit:row_limit ~outer ~inner j.Physical.preds
             in

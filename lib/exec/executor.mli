@@ -26,8 +26,14 @@ val default_row_limit : int
 type stats = (int, int) Hashtbl.t
 (** Physical node id → actual output rows. *)
 
+val span_label : Physical.t -> string
+(** The name of the [operator] span bridged for a plan node ([scan:<id>],
+    [hash-join], [index-nl-join], [nl-join]). One arm per [Physical]
+    operator constructor — tools/check.sh lints for completeness. *)
+
 val run : ?deadline:float -> ?row_limit:int -> ?pool:Qs_util.Pool.t ->
-  ?trace:Qs_obs.Trace.t -> Physical.t -> Table.t * stats
+  ?trace:Qs_obs.Trace.t -> ?spans:Qs_util.Span.t -> Physical.t ->
+  Table.t * stats
 (** Evaluate the plan bottom-up. The output schema is the concatenation of
     the leaf schemas (alias-qualified); apply {!project} for the query's
     final projection.
@@ -35,9 +41,12 @@ val run : ?deadline:float -> ?row_limit:int -> ?pool:Qs_util.Pool.t ->
     Every node id of the plan — including the inner scan of an index
     nested-loop join, which is consumed through the index rather than
     scanned — is present in the returned stats. With [trace], each node
-    additionally records estimates, wall-clock, output bytes and operator
-    volume counters; without it the timing/byte probes are skipped
-    entirely.
+    additionally records estimates, wall-clock (inclusive of children —
+    see {!Qs_obs.Trace.self_time}), output bytes and operator volume
+    counters; without it the timing/byte probes are skipped entirely.
+    With [spans], each node is additionally bridged into one [operator]
+    span (est/actual rows in the args; the index-NL inner scan gets a
+    zero-duration marker since its work happens inside the lookups).
 
     With [pool] (of size > 1), hash joins run partitioned across the
     pool's domains and leaf scans filter their table chunks in parallel;

@@ -18,10 +18,18 @@ type setup = {
   n_queries : int;
   timeout : float;
   domains : int;
+  tracer : Qs_util.Span.t option;
 }
 
 let default_setup =
-  { scale = 0.5; seed = 2023; n_queries = 91; timeout = 5.0; domains = 1 }
+  {
+    scale = 0.5;
+    seed = 2023;
+    n_queries = 91;
+    timeout = 5.0;
+    domains = 1;
+    tracer = None;
+  }
 
 (* --- workload environments -------------------------------------------- *)
 
@@ -89,7 +97,7 @@ let table3 s =
         :: List.map
              (fun qsa ->
                let algo = Algos.querysplit_with { Querysplit.default_config with Querysplit.qsa; ssa } in
-               let rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries in
+               let rs = Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout env algo queries in
                Report.seconds (Runner.total_time rs))
              Qsa.all_policies)
       ssa_grid
@@ -123,7 +131,7 @@ let fig10 s =
   Printf.printf "(noise sweep over %d of the queries)\n" (List.length queries);
   let run config ~mu ~sigma =
     Runner.total_time
-      (Runner.run_spj ~domains:s.domains ~timeout:s.timeout env (noisy_algo s config ~mu ~sigma) queries)
+      (Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout env (noisy_algo s config ~mu ~sigma) queries)
   in
   let sigmas = [ 0.0; 0.5; 1.0; 2.0; 4.0 ] in
   let qsa_series =
@@ -175,7 +183,7 @@ let fig11 s =
       let rows =
         List.map
           (fun algo ->
-            let rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries in
+            let rs = Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout env algo queries in
             let tos = List.length (List.filter (fun r -> r.Runner.timed_out) rs) in
             [
               algo.Runner.label;
@@ -196,7 +204,7 @@ let table4 s =
   let rows =
     List.map
       (fun algo ->
-        let rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries in
+        let rs = Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout env algo queries in
         let n_q = List.length rs in
         let total_mats = List.fold_left (fun a r -> a + r.Runner.mats) 0 rs in
         let total_bytes = List.fold_left (fun a r -> a + r.Runner.mat_bytes) 0 rs in
@@ -221,11 +229,11 @@ let table4 s =
 (* Figures 12-14: Starbench (TPC-H-like) and DSB                           *)
 (* ---------------------------------------------------------------------- *)
 
-let logical_comparison ~title ~timeout ~domains env trees roster =
+let logical_comparison ?tracer ~title ~timeout ~domains env trees roster =
   let rows =
     List.map
       (fun algo ->
-        let rs = Runner.run_logical ~domains ~timeout env algo trees in
+        let rs = Runner.run_logical ?tracer ~domains ~timeout env algo trees in
         let tos = List.length (List.filter (fun r -> r.Runner.timed_out) rs) in
         [
           algo.Runner.label;
@@ -244,7 +252,7 @@ let fig12 s =
       Catalog.build_indexes cat cfg;
       let env = Runner.make_env ~seed:s.seed cat in
       let trees = Starbench.queries cat ~seed:(s.seed + 1) in
-      logical_comparison
+      logical_comparison ?tracer:s.tracer
         ~title:(Printf.sprintf "Starbench, %s indexes" cfg_name)
         ~timeout:s.timeout ~domains:s.domains env trees Algos.nonspj_roster)
     [ (Catalog.Pk_only, "Pk-only"); (Catalog.Pk_fk, "Pk+Fk") ]
@@ -260,7 +268,7 @@ let fig13 s =
       let rows =
         List.map
           (fun algo ->
-            let rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries in
+            let rs = Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout env algo queries in
             [ algo.Runner.label; Report.seconds (Runner.total_time rs) ])
           Algos.fig11_roster
       in
@@ -275,8 +283,8 @@ let fig14 s =
   Catalog.build_indexes cat Catalog.Pk_fk;
   let env = Runner.make_env ~seed:s.seed cat in
   let trees = Dsb.nonspj_queries cat ~seed:(s.seed + 1) in
-  logical_comparison ~title:"DSB non-SPJ, Pk+Fk indexes" ~timeout:s.timeout
-    ~domains:s.domains env trees Algos.nonspj_roster
+  logical_comparison ?tracer:s.tracer ~title:"DSB non-SPJ, Pk+Fk indexes"
+    ~timeout:s.timeout ~domains:s.domains env trees Algos.nonspj_roster
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 15: statistics collection on/off                                 *)
@@ -290,11 +298,11 @@ let fig15 s =
       (fun algo ->
         let on =
           Runner.total_time
-            (Runner.run_spj ~collect_stats:true ~domains:s.domains ~timeout:s.timeout env algo queries)
+            (Runner.run_spj ?tracer:s.tracer ~collect_stats:true ~domains:s.domains ~timeout:s.timeout env algo queries)
         in
         let off =
           Runner.total_time
-            (Runner.run_spj ~collect_stats:false ~domains:s.domains ~timeout:s.timeout env algo queries)
+            (Runner.run_spj ?tracer:s.tracer ~collect_stats:false ~domains:s.domains ~timeout:s.timeout env algo queries)
         in
         [ algo.Runner.label; Report.seconds on; Report.seconds off ])
       Algos.reopt_roster
@@ -327,7 +335,7 @@ let table5 s =
     let algo =
       { Runner.label; strategy; estimator = (fun _ -> Estimator.default); warm = false }
     in
-    Runner.total_time (Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries)
+    Runner.total_time (Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout env algo queries)
   in
   let rows =
     List.map
@@ -367,9 +375,9 @@ let max_intermediate (r : Runner.qresult) =
 let categorize s =
   let env, queries = cinema_env s in
   let others = [ Algos.pop; Algos.ief; Algos.perron ] in
-  let qs_rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env Algos.querysplit queries in
+  let qs_rs = Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout env Algos.querysplit queries in
   let other_rs =
-    List.map (fun a -> Runner.run_spj ~domains:s.domains ~timeout:s.timeout env a queries) others
+    List.map (fun a -> Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout env a queries) others
   in
   let results =
     List.mapi
@@ -475,7 +483,7 @@ let ablation s =
     List.map
       (fun (label, config) ->
         let algo = Algos.querysplit_with config in
-        let rs = Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries in
+        let rs = Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout env algo queries in
         let bytes = List.fold_left (fun a r -> a + r.Runner.mat_bytes) 0 rs in
         [
           label;
@@ -492,15 +500,39 @@ let ablation s =
 (* Observability: per-strategy metrics report                              *)
 (* ---------------------------------------------------------------------- *)
 
+(* One registry per fig11-roster strategy over the JOB-like workload —
+   the shared substrate of the [metrics] experiment and of the bench
+   tool's [--metrics-out] dump (which bench_diff then compares). *)
+let metrics_results s =
+  let env, queries = cinema_env s in
+  List.map
+    (fun algo ->
+      ( algo.Runner.label,
+        Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout
+          env algo queries ))
+    Algos.fig11_roster
+
+let json_of_labelled s labelled =
+  let regs =
+    List.map (fun (l, rs) -> (l, Runner.metrics_of_results rs)) labelled
+  in
+  (* with a tracer attached, per-phase span times ride along as one more
+     pseudo-strategy entry so they land in the same machine-readable dump *)
+  let regs =
+    match s.tracer with
+    | None -> regs
+    | Some tr ->
+        let m = Qs_obs.Metrics.create () in
+        Runner.fold_span_times tr m;
+        regs @ [ ("phases", m) ]
+  in
+  Qs_obs.Metrics.json_of_many regs
+
+let metrics_json s = json_of_labelled s (metrics_results s)
+
 let metrics s =
   Report.section "Metrics: per-strategy execution metrics over the JOB-like workload";
-  let env, queries = cinema_env s in
-  let labelled =
-    List.map
-      (fun algo ->
-        (algo.Runner.label, Runner.run_spj ~domains:s.domains ~timeout:s.timeout env algo queries))
-      Algos.fig11_roster
-  in
+  let labelled = metrics_results s in
   (* the JSON blob is the machine-readable artifact; the table is the
      human summary of the same registries *)
   let rows =
@@ -528,7 +560,7 @@ let metrics s =
       [ "algorithm"; "queries"; "TO"; "replans"; "mats"; "qerror p50"; "qerror p95" ]
     rows;
   print_endline "metrics report (JSON):";
-  print_endline (Runner.metrics_report labelled)
+  print_endline (json_of_labelled s labelled)
 
 (* ---------------------------------------------------------------------- *)
 (* Parallel harness: wall-clock sweep over domain counts                   *)
@@ -549,7 +581,9 @@ let par_sweep s =
     let rs =
       List.map
         (fun algo ->
-          (algo.Runner.label, Runner.run_spj ~domains ~timeout:s.timeout env algo queries))
+          ( algo.Runner.label,
+            Runner.run_spj ?tracer:s.tracer ~domains ~timeout:s.timeout env algo
+              queries ))
         roster
     in
     (Qs_util.Timer.elapsed ~since:t0, rs)

@@ -15,6 +15,9 @@ type setup = {
   domains : int;
       (** harness parallelism: queries of a run fan out across this many
           domains (1 = sequential) *)
+  tracer : Qs_util.Span.t option;
+      (** span tracer threaded through every runner invocation; [None]
+          (the default) keeps all experiments trace-free *)
 }
 
 val default_setup : setup
@@ -60,6 +63,13 @@ val fig16_19 : setup -> unit
 val ablation : setup -> unit
 (** Beyond the paper: ablates QuerySplit's implementation choices —
     subquery plan caching and column pruning at materialization. *)
+
+val metrics_json : setup -> string
+(** Machine-readable per-strategy metrics over the JOB-like workload
+    (fig. 11 roster): the [Metrics.json_of_many] dump the bench tool
+    writes with [--metrics-out] and [tools/bench_diff] compares. When
+    [setup.tracer] is set, a synthetic ["phases"] entry carries the
+    per-category span counts and time histograms. *)
 
 val metrics : setup -> unit
 (** Beyond the paper: the observability layer's per-strategy metrics

@@ -13,6 +13,7 @@ module Schema = Qs_storage.Schema
 module Value = Qs_storage.Value
 module Metrics = Qs_obs.Metrics
 module Qerror = Qs_obs.Qerror
+module Span = Qs_util.Span
 
 type env = {
   catalog : Catalog.t;
@@ -105,9 +106,10 @@ let instrumented (est : Estimator.t) ~deadline =
   in
   (wrapped, spent)
 
-let run_one ~collect_stats ~timeout ?pool env algo runner name =
+let run_one ~collect_stats ~timeout ?pool ?tracer env algo runner name =
   if algo.warm then begin
-    (* populate the oracle memo so the timed pass measures engine work *)
+    (* populate the oracle memo so the timed pass measures engine work;
+       the warm pass is untimed and deliberately untraced *)
     let wctx =
       Strategy.make_ctx ~collect_stats
         ~deadline:(Some (Timer.now () +. (4.0 *. timeout)))
@@ -118,12 +120,23 @@ let run_one ~collect_stats ~timeout ?pool env algo runner name =
   end;
   let deadline = Some (Timer.now () +. timeout) in
   let ctx0 =
-    Strategy.make_ctx ~collect_stats ~deadline ~seed:env.seed ?pool env.registry
-      Estimator.default
+    Strategy.make_ctx ~collect_stats ~deadline ~seed:env.seed ?spans:tracer ?pool
+      env.registry Estimator.default
   in
   let est, est_time = instrumented (algo.estimator env) ~deadline:ctx0.Strategy.deadline in
   let ctx = { ctx0 with Strategy.estimator = est } in
-  let outcome = runner ctx in
+  let qstart = match tracer with Some _ -> Timer.now () | None -> 0.0 in
+  let outcome =
+    Span.span tracer Span.Execute
+      ~args:[ ("algo", algo.label) ]
+      ("query:" ^ name)
+      (fun () -> runner ctx)
+  in
+  (* estimation time accrues call-by-call inside the optimizer; one
+     aggregate span per query keeps the trace readable *)
+  if tracer <> None && !est_time > 0.0 then
+    Span.add tracer Span.Estimate ("estimate:" ^ name) ~start:qstart
+      ~dur:!est_time;
   let mats =
     List.length (List.filter (fun i -> i.Strategy.materialized) outcome.Strategy.iterations)
   in
@@ -150,32 +163,34 @@ let run_one ~collect_stats ~timeout ?pool env algo runner name =
    across domains is the registry, the oracle memo and the optional join
    pool, all lock-guarded. Pool.map keeps results in query order, so the
    output is indistinguishable from the sequential List.map. *)
-let run_cells ~domains cells =
+let run_cells ?tracer ~domains cells =
   if domains <= 1 then List.map (fun cell -> cell ()) cells
-  else Pool.with_pool ~domains (fun pool -> Pool.map pool (fun cell -> cell ()) cells)
+  else
+    Pool.with_pool ?tracer ~domains (fun pool ->
+        Pool.map pool (fun cell -> cell ()) cells)
 
-let with_join_pool ~join_parallelism f =
+let with_join_pool ?tracer ~join_parallelism f =
   if join_parallelism <= 1 then f None
-  else Pool.with_pool ~domains:join_parallelism (fun p -> f (Some p))
+  else Pool.with_pool ?tracer ~domains:join_parallelism (fun p -> f (Some p))
 
 let run_spj ?(collect_stats = true) ?(timeout = 30.0) ?(domains = 1)
-    ?(join_parallelism = 1) env algo queries =
-  with_join_pool ~join_parallelism (fun pool ->
-      run_cells ~domains
+    ?(join_parallelism = 1) ?tracer env algo queries =
+  with_join_pool ?tracer ~join_parallelism (fun pool ->
+      run_cells ?tracer ~domains
         (List.map
            (fun (q : Query.t) () ->
-             run_one ~collect_stats ~timeout ?pool env algo
+             run_one ~collect_stats ~timeout ?pool ?tracer env algo
                (fun ctx -> algo.strategy.Strategy.run ctx q)
                q.Query.name)
            queries))
 
 let run_logical ?(collect_stats = true) ?(timeout = 30.0) ?(domains = 1)
-    ?(join_parallelism = 1) env algo trees =
-  with_join_pool ~join_parallelism (fun pool ->
-      run_cells ~domains
+    ?(join_parallelism = 1) ?tracer env algo trees =
+  with_join_pool ?tracer ~join_parallelism (fun pool ->
+      run_cells ?tracer ~domains
         (List.map
            (fun tree () ->
-             run_one ~collect_stats ~timeout ?pool env algo
+             run_one ~collect_stats ~timeout ?pool ?tracer env algo
                (fun ctx -> Driver.run algo.strategy ctx tree)
                (Logical.name tree))
            trees))
@@ -203,6 +218,17 @@ let metrics_of_results results =
         r.iterations)
     results;
   m
+
+(* Fold the tracer's per-phase times into a metrics registry: one
+   counter (span count) and one duration histogram per category that
+   actually recorded spans. *)
+let fold_span_times tracer m =
+  List.iter
+    (fun (s : Span.span) ->
+      let cat = Span.category_name s.Span.cat in
+      Metrics.incr m ("spans_" ^ cat);
+      Metrics.observe m ("span_" ^ cat ^ "_s") s.Span.dur)
+    (Span.spans tracer)
 
 let metrics_report labelled =
   Metrics.json_of_many

@@ -54,7 +54,8 @@ val result_digest : Qs_storage.Table.t -> string
     the chunked-scan sweep and differential tests). *)
 
 val run_spj : ?collect_stats:bool -> ?timeout:float -> ?domains:int ->
-  ?join_parallelism:int -> env -> algo -> Query.t list -> qresult list
+  ?join_parallelism:int -> ?tracer:Qs_util.Span.t -> env -> algo ->
+  Query.t list -> qresult list
 (** [timeout] (default 30 s) is the per-query monotonic-clock cap; a
     timed-out query contributes the full timeout to aggregate times, as
     in the paper.
@@ -64,10 +65,16 @@ val run_spj : ?collect_stats:bool -> ?timeout:float -> ?domains:int ->
     counters — only per-query wall-clock (and thus time histograms)
     varies. [join_parallelism] (default 1) additionally runs each hash
     join partitioned across its own pool; keep it at 1 when measuring
-    per-query latency comparatively. *)
+    per-query latency comparatively.
+
+    [tracer] records time-ordered spans for the timed pass (never the
+    warm pass): one [execute] span per query, one aggregate [estimate]
+    span per query, plus whatever the strategy, optimizer, executor and
+    pools emit. Results are unchanged — tracing is observation-only. *)
 
 val run_logical : ?collect_stats:bool -> ?timeout:float -> ?domains:int ->
-  ?join_parallelism:int -> env -> algo -> Logical.t list -> qresult list
+  ?join_parallelism:int -> ?tracer:Qs_util.Span.t -> env -> algo ->
+  Logical.t list -> qresult list
 
 val total_time : qresult list -> float
 
@@ -78,6 +85,10 @@ val metrics_of_results : qresult list -> Qs_obs.Metrics.t
     [queries], [timeouts], [iterations], [replans], [materializations];
     histograms [qerror] (per-iteration, est vs. actual), [query_time_s]
     and [mat_bytes] (only queries that materialized contribute). *)
+
+val fold_span_times : Qs_util.Span.t -> Qs_obs.Metrics.t -> unit
+(** Fold a tracer's spans into a registry: per category, a [spans_<cat>]
+    counter and a [span_<cat>_s] duration histogram. *)
 
 val metrics_report : (string * qresult list) list -> string
 (** Machine-readable per-strategy report:

@@ -1,0 +1,45 @@
+(* Chrome trace_event exporter (the JSON-array flavour): one complete
+   ("ph":"X") event per closed span plus one thread_name metadata event
+   per track, so Perfetto / chrome://tracing lays spans out on one row
+   per domain. Timestamps and durations are microseconds relative to
+   tracer creation — non-negative by construction in [Span]. *)
+
+module Span = Qs_util.Span
+
+let str s = "\"" ^ Metrics.escape s ^ "\""
+let us seconds = Printf.sprintf "%.3f" (seconds *. 1e6)
+
+let args_json args =
+  let fields =
+    List.map (fun (k, v) -> Printf.sprintf "%s: %s" (str k) (str v)) args
+  in
+  "{" ^ String.concat ", " fields ^ "}"
+
+let event (s : Span.span) =
+  Printf.sprintf
+    "{\"name\": %s, \"cat\": %s, \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \
+     \"ts\": %s, \"dur\": %s, \"args\": %s}"
+    (str s.Span.name)
+    (str (Span.category_name s.Span.cat))
+    s.Span.track (us s.Span.start) (us s.Span.dur)
+    (args_json (("id", string_of_int s.Span.id) :: s.Span.args))
+
+let thread_meta track =
+  Printf.sprintf
+    "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d, \
+     \"args\": {\"name\": \"domain-%d\"}}"
+    track track
+
+let to_json t =
+  let spans = Span.spans t in
+  let tracks =
+    List.sort_uniq Int.compare (List.map (fun s -> s.Span.track) spans)
+  in
+  let lines = List.map thread_meta tracks @ List.map event spans in
+  "[\n" ^ String.concat ",\n" lines ^ "\n]\n"
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json t))

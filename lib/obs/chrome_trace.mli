@@ -1,0 +1,9 @@
+(** Chrome [trace_event] export of a span tracer — the JSON-array format
+    Perfetto and chrome://tracing load directly. Each closed span
+    becomes a complete ("X") event with microsecond [ts]/[dur]; each
+    domain gets its own track via thread_name metadata events. *)
+
+val to_json : Qs_util.Span.t -> string
+
+val write : string -> Qs_util.Span.t -> unit
+(** [write path t] writes {!to_json} to [path]. *)

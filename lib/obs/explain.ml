@@ -28,16 +28,8 @@ let annotation ?trace ?(timings = true) (p : Physical.t) =
           in
           if not timings then base
           else
-            let self =
-              List.fold_left
-                (fun acc (c : Physical.t) ->
-                  match Trace.find tr c.Physical.id with
-                  | Some cn -> acc -. cn.Trace.elapsed
-                  | None -> acc)
-                n.Trace.elapsed (children p)
-            in
             Printf.sprintf "%s time=%s self=%s bytes=%s" base (ms n.Trace.elapsed)
-              (ms (Float.max 0.0 self))
+              (ms (Trace.self_time tr n))
               (bytes n.Trace.output_bytes))
 
 let volumes ?trace (p : Physical.t) =
@@ -87,18 +79,23 @@ let render ?trace ?(timings = true) plan =
 
 let summary ~trace plan =
   let nodes = ref 0 and max_q = ref 1.0 and sum_q = ref 0.0 in
+  let under = ref 0 in
   let rec go (p : Physical.t) =
     (match Trace.find trace p.Physical.id with
     | Some n ->
         incr nodes;
         let q = Trace.qerror n in
         if q > !max_q then max_q := q;
-        sum_q := !sum_q +. q
+        sum_q := !sum_q +. q;
+        if Qerror.underestimated ~est:n.Trace.est_rows ~actual:n.Trace.actual_rows
+        then incr under
     | None -> ());
     List.iter go (children p)
   in
   go plan;
   if !nodes = 0 then "0 nodes traced"
   else
-    Printf.sprintf "%d nodes, q-error max=%.2f mean=%.2f" !nodes !max_q
+    Printf.sprintf "%d nodes, q-error max=%.2f mean=%.2f, underest=%.0f%%" !nodes
+      !max_q
       (!sum_q /. float_of_int !nodes)
+      (100.0 *. float_of_int !under /. float_of_int !nodes)

@@ -11,5 +11,7 @@ val render : ?trace:Trace.t -> ?timings:bool -> Qs_plan.Physical.t -> string
 (** [timings] defaults to [true]. *)
 
 val summary : trace:Trace.t -> Qs_plan.Physical.t -> string
-(** One line: node count, max and mean Q-error over the plan's nodes —
-    the headline a workload report aggregates. *)
+(** One line: node count, max and mean Q-error over the plan's nodes,
+    and the fraction of nodes whose cardinality was {e under}estimated
+    (the dangerous direction, per {!Qerror.underestimated}) — the
+    headline a workload report aggregates. *)

@@ -37,3 +37,6 @@ val to_json : t -> string
 val json_of_many : (string * t) list -> string
 (** [{"<label>": <to_json>, ...}] — the per-strategy report emitted by
     the harness and consumed by [bench/main.exe]. *)
+
+val escape : string -> string
+(** JSON string-body escaping (shared by the other obs exporters). *)

@@ -1,0 +1,138 @@
+(* Deterministic text rendering of a span tracer: category breakdown,
+   per-domain utilization, pool queue-wait percentiles and the
+   re-optimization journal. With [timings:false] every wall-clock figure
+   is suppressed so the output depends only on the sequence of recorded
+   spans — that form is locked by a golden test. *)
+
+module Span = Qs_util.Span
+
+let ms v = Printf.sprintf "%.2fms" (v *. 1000.0)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+(* busy time on one track = measure of the union of its span intervals
+   (spans nest, so summing durations would double-count) *)
+let busy_time spans =
+  let intervals =
+    List.sort compare
+      (List.map (fun (s : Span.span) -> (s.Span.start, s.Span.start +. s.Span.dur)) spans)
+  in
+  let total, last_end =
+    List.fold_left
+      (fun (acc, last_end) (lo, hi) ->
+        let lo = Float.max lo last_end in
+        if hi > lo then (acc +. (hi -. lo), hi) else (acc, last_end))
+      (0.0, 0.0) intervals
+  in
+  ignore last_end;
+  total
+
+let summary ?(timings = true) ?trace t =
+  let spans = Span.spans t in
+  let buf = Buffer.create 1024 in
+  (* per-category breakdown *)
+  Buffer.add_string buf "spans by category:\n";
+  List.iter
+    (fun cat ->
+      let these = List.filter (fun (s : Span.span) -> s.Span.cat = cat) spans in
+      if these <> [] then
+        if timings then
+          let total =
+            List.fold_left (fun acc (s : Span.span) -> acc +. s.Span.dur) 0.0 these
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-12s %5d  total=%s\n" (Span.category_name cat)
+               (List.length these) (ms total))
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "  %-12s %5d\n" (Span.category_name cat)
+               (List.length these)))
+    Span.all_categories;
+  if spans = [] then Buffer.add_string buf "  (none)\n";
+  (* per-domain utilization *)
+  if timings && spans <> [] then begin
+    let wall =
+      List.fold_left
+        (fun acc (s : Span.span) -> Float.max acc (s.Span.start +. s.Span.dur))
+        0.0 spans
+    in
+    let tracks =
+      List.sort_uniq Int.compare (List.map (fun s -> s.Span.track) spans)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "domain utilization (wall=%s):\n" (ms wall));
+    List.iter
+      (fun track ->
+        let mine = List.filter (fun s -> s.Span.track = track) spans in
+        let busy = busy_time mine in
+        Buffer.add_string buf
+          (Printf.sprintf "  domain-%-3d busy=%s util=%.0f%%\n" track (ms busy)
+             (if wall > 0.0 then 100.0 *. busy /. wall else 0.0)))
+      tracks
+  end;
+  (* pool queue-wait percentiles *)
+  let waits =
+    List.filter (fun (s : Span.span) -> s.Span.cat = Span.Pool_wait) spans
+  in
+  if waits <> [] then
+    if timings then begin
+      let durs =
+        Array.of_list (List.sort compare (List.map (fun s -> s.Span.dur) waits))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "pool queue-wait (%d tasks): p50=%s p90=%s p99=%s\n"
+           (Array.length durs)
+           (ms (percentile durs 0.5))
+           (ms (percentile durs 0.9))
+           (ms (percentile durs 0.99)))
+    end
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "pool queue-wait: %d tasks\n" (List.length waits));
+  (* re-optimization journal *)
+  let steps =
+    List.filter (fun (s : Span.span) -> s.Span.cat = Span.Reopt_step) spans
+    |> List.sort (fun (a : Span.span) b -> Int.compare a.Span.id b.Span.id)
+  in
+  if steps <> [] then begin
+    Buffer.add_string buf "reopt journal:\n";
+    List.iteri
+      (fun i (s : Span.span) ->
+        let arg k = Option.value (List.assoc_opt k s.Span.args) ~default:"?" in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %2d. %-28s est=%s actual=%s score=%s replanned=%s remaining=%s%s\n"
+             (i + 1) s.Span.name (arg "est_rows") (arg "actual_rows")
+             (arg "score") (arg "replanned") (arg "remaining")
+             (if timings then " (" ^ ms s.Span.dur ^ ")" else "")))
+      steps
+  end;
+  (* operator self-times from the executor trace *)
+  (match trace with
+  | Some tr when timings && Trace.size tr > 0 ->
+      let nodes = ref [] in
+      Trace.iter tr (fun n -> nodes := n :: !nodes);
+      let by_self =
+        List.sort
+          (fun (a : Trace.node) b ->
+            match Float.compare (Trace.self_time tr b) (Trace.self_time tr a) with
+            | 0 -> Int.compare a.Trace.id b.Trace.id
+            | c -> c)
+          !nodes
+      in
+      let top = List.filteri (fun i _ -> i < 8) by_self in
+      Buffer.add_string buf "operator self-times (top 8):\n";
+      List.iter
+        (fun (n : Trace.node) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  node %-4d self=%s total=%s actual=%d\n" n.Trace.id
+               (ms (Trace.self_time tr n))
+               (ms n.Trace.elapsed) n.Trace.actual_rows))
+        top
+  | _ -> ());
+  Buffer.contents buf

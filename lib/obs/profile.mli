@@ -1,0 +1,13 @@
+(** Text profile of a span tracer: per-category span counts and time,
+    per-domain utilization (busy interval-union / wall), pool queue-wait
+    percentiles, the re-optimization journal (one line per [reopt-step]
+    span: selected subquery, score, est vs. actual rows, whether the
+    remaining plan was replanned), and — when an executor {!Trace} is
+    supplied — the top operator self-times via {!Trace.self_time}.
+
+    [timings:false] suppresses every wall-clock figure (durations,
+    utilization, percentiles, self-times), leaving output that is a pure
+    function of the recorded span sequence — golden-testable. *)
+
+val summary : ?timings:bool -> ?trace:Trace.t -> Qs_util.Span.t -> string
+(** [timings] defaults to [true]. *)

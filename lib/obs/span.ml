@@ -1,0 +1,1 @@
+include Qs_util.Span

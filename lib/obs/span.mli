@@ -1,0 +1,8 @@
+(** Re-export of {!Qs_util.Span}, so the observability library offers
+    the tracer next to its exporters ({!Chrome_trace}, {!Profile}). The
+    recorder itself lives in [Qs_util] because [Pool] and the optimizer
+    — below this library in the dependency order — emit spans too. *)
+
+include module type of struct
+  include Qs_util.Span
+end

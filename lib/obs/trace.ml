@@ -7,6 +7,7 @@ type node = {
   mutable rows_scanned : int;
   mutable rows_built : int;
   mutable rows_probed : int;
+  mutable children : int list;
 }
 
 type t = { nodes : (int, node) Hashtbl.t }
@@ -20,7 +21,7 @@ let node t id =
       let n =
         {
           id; est_rows = 0.0; actual_rows = 0; elapsed = 0.0; output_bytes = 0;
-          rows_scanned = 0; rows_built = 0; rows_probed = 0;
+          rows_scanned = 0; rows_built = 0; rows_probed = 0; children = [];
         }
       in
       Hashtbl.replace t.nodes id n;
@@ -33,6 +34,18 @@ let size t = Hashtbl.length t.nodes
 let qerror n = Qerror.value ~est:n.est_rows ~actual:n.actual_rows
 
 let iter t f = Hashtbl.iter (fun _ n -> f n) t.nodes
+
+(* [elapsed] is inclusive of children, so self time is what remains after
+   subtracting every recorded child; clock granularity can make the
+   subtraction go (slightly) negative, hence the clamp. *)
+let self_time t n =
+  let s =
+    List.fold_left
+      (fun acc cid ->
+        match find t cid with Some c -> acc -. c.elapsed | None -> acc)
+      n.elapsed n.children
+  in
+  Float.max 0.0 s
 
 let total_output_bytes t =
   Hashtbl.fold (fun _ n acc -> acc + n.output_bytes) t.nodes 0

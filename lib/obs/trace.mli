@@ -18,6 +18,9 @@ type node = {
   mutable rows_scanned : int;  (** leaf: rows read before filtering *)
   mutable rows_built : int;  (** hash join: build-side input rows *)
   mutable rows_probed : int;  (** join: probe/outer-side input rows *)
+  mutable children : int list;
+      (** trace-node ids of this operator's plan children, recorded by
+          the executor so self time can be computed without the plan *)
 }
 
 type t
@@ -36,5 +39,9 @@ val qerror : node -> float
 (** {!Qerror.value} of the node's estimate vs. its observation. *)
 
 val iter : t -> (node -> unit) -> unit
+
+val self_time : t -> node -> float
+(** [elapsed] minus the [elapsed] of every recorded child, clamped at 0
+    — the time the operator itself spent, excluding its inputs. *)
 
 val total_output_bytes : t -> int

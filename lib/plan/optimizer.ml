@@ -5,6 +5,7 @@ module Fragment = Qs_stats.Fragment
 module Estimator = Qs_stats.Estimator
 module Table_stats = Qs_stats.Table_stats
 module Column_stats = Qs_stats.Column_stats
+module Span = Qs_util.Span
 
 type result = {
   plan : Physical.t;
@@ -156,7 +157,11 @@ let best_of candidates =
 
 (* --- exact DP --------------------------------------------------------- *)
 
-let dp_plan ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
+let popcount m =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 m
+
+let dp_plan ?spans ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
   let inputs = Array.of_list frag.inputs in
   let n = Array.length inputs in
   let full = (1 lsl n) - 1 in
@@ -227,8 +232,8 @@ let dp_plan ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
             +. Cost_model.index_nl_join ~outer_rows:(card outer_mask)
                  ~inner_rows:inner_raw ~matches ~out_rows)
   in
-  for mask = 1 to full do
-    if not (singleton mask) then begin
+  let process mask =
+    begin
       let out_rows = card mask in
       let consider ~connected l r preds =
         ignore connected;
@@ -300,6 +305,22 @@ let dp_plan ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
         done
       end
     end
+  in
+  (* Level-wise enumeration (DPsize order): a subset only ever combines
+     two strictly smaller subsets, so grouping masks by popcount leaves
+     the DP unchanged — and gives the tracer one [dp-level] span per
+     level, the natural unit for the planned parallel-DP work. *)
+  let levels = Array.make (n + 1) [] in
+  for mask = full downto 1 do
+    let k = popcount mask in
+    if k >= 2 then levels.(k) <- mask :: levels.(k)
+  done;
+  for level = 2 to n do
+    if levels.(level) <> [] then
+      Span.span spans Span.Dp_level
+        ~args:[ ("subsets", string_of_int (List.length levels.(level))) ]
+        (Printf.sprintf "dp-level-%d" level)
+        (fun () -> List.iter process levels.(level))
   done;
   (* materialize the best plan bottom-up from the specs *)
   let rec build mask =
@@ -396,13 +417,21 @@ let greedy_plan ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
   done;
   snd (List.hd !planned)
 
-let optimize ?(allowed = [ Physical.Hash; Physical.Index_nl; Physical.Nl ]) catalog est
-    frag =
+let optimize ?(allowed = [ Physical.Hash; Physical.Index_nl; Physical.Nl ]) ?spans
+    catalog est frag =
   if frag.Fragment.inputs = [] then invalid_arg "Optimizer.optimize: empty fragment";
+  let n = List.length frag.Fragment.inputs in
   let plan =
-    if List.length frag.Fragment.inputs <= dp_input_limit then
-      dp_plan ~allowed catalog est frag
-    else greedy_plan ~allowed catalog est frag
+    if n <= dp_input_limit then
+      Span.span spans Span.Optimize
+        ~args:[ ("inputs", string_of_int n) ]
+        (Printf.sprintf "dp n=%d" n)
+        (fun () -> dp_plan ?spans ~allowed catalog est frag)
+    else
+      Span.span spans Span.Optimize
+        ~args:[ ("inputs", string_of_int n) ]
+        (Printf.sprintf "greedy n=%d" n)
+        (fun () -> greedy_plan ~allowed catalog est frag)
   in
   { plan; est_rows = plan.Physical.est_rows; est_cost = plan.Physical.est_cost }
 

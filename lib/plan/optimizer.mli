@@ -21,14 +21,19 @@ type result = {
   est_cost : float;
 }
 
-val optimize : ?allowed:Physical.join_method list -> Catalog.t -> Estimator.t ->
-  Fragment.t -> result
+val optimize : ?allowed:Physical.join_method list -> ?spans:Qs_util.Span.t ->
+  Catalog.t -> Estimator.t -> Fragment.t -> result
 (** Raises [Invalid_argument] on an empty fragment. [allowed] restricts
     the join methods considered (default: all three) — the USE baseline
     plans with hash joins only. Fragments with more
     than [dp_input_limit] inputs are planned greedily (cheapest-pair
     agglomeration) instead of by exact DP. Disconnected fragments get
-    Cartesian (nested-loop) joins between their components, planned last. *)
+    Cartesian (nested-loop) joins between their components, planned last.
+
+    [spans] records one [optimize] span per call and, for the DP path,
+    one nested [dp-level] span per popcount level of the subset
+    enumeration (the DP runs level-wise — DPsize order — which is
+    equivalent and is the unit a future parallel DP fans out). *)
 
 val dp_input_limit : int
 

@@ -23,6 +23,7 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t array;
   size : int;
+  tracer : Span.t option;
 }
 
 let size t = t.size
@@ -40,7 +41,7 @@ let rec worker t =
     worker t
   end
 
-let create ~domains =
+let create ?tracer ~domains () =
   let size = max 1 domains in
   let t =
     {
@@ -50,6 +51,7 @@ let create ~domains =
       stop = false;
       workers = [||];
       size;
+      tracer;
     }
   in
   t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
@@ -63,8 +65,8 @@ let shutdown t =
   Array.iter Domain.join t.workers;
   t.workers <- [||]
 
-let with_pool ~domains f =
-  let t = create ~domains in
+let with_pool ?tracer ~domains f =
+  let t = create ?tracer ~domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let map t f items =
@@ -75,9 +77,25 @@ let map t f items =
   else begin
     let results = Array.make n None in
     let remaining = Atomic.make n in
+    (* one timestamp for the whole batch: every job is enqueued before
+       any wakeup, so per-job enqueue times would differ only by the
+       Queue.add loop itself *)
+    let enqueued = match t.tracer with Some _ -> Timer.now () | None -> 0.0 in
     let job i () =
+      (match t.tracer with
+      | None -> ()
+      | Some _ ->
+          Span.add t.tracer Span.Pool_wait
+            ~args:[ ("item", string_of_int i) ]
+            "queue-wait" ~start:enqueued
+            ~dur:(Timer.elapsed ~since:enqueued));
       let r =
-        match f items.(i) with
+        match
+          Span.span t.tracer Span.Pool_task
+            ~args:[ ("item", string_of_int i) ]
+            "pool-task"
+            (fun () -> f items.(i))
+        with
         | v -> Ok v
         | exception e -> Error (e, Printexc.get_raw_backtrace ())
       in

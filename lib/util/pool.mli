@@ -10,10 +10,16 @@
 
 type t
 
-val create : domains:int -> t
-(** [create ~domains] spawns [max 1 domains - 1] worker domains.
+val create : ?tracer:Span.t -> domains:int -> unit -> t
+(** [create ~domains ()] spawns [max 1 domains - 1] worker domains.
     [domains <= 1] yields an inline pool that runs everything on the
-    calling domain. *)
+    calling domain.
+
+    With [tracer], every queued job records a [pool-wait] span (time
+    from enqueue to start of execution) and a [pool-task] span (the run
+    itself), both on the track of the domain that ran it. Inline
+    fast-path batches (pool of size 1, or a single item) bypass the
+    queue and record no spans. *)
 
 val size : t -> int
 (** Total parallelism, including the calling domain. Always [>= 1]. *)
@@ -27,6 +33,6 @@ val shutdown : t -> unit
 (** Signal workers to exit and join them. Idempotent. Outstanding
     [map] calls must have returned. *)
 
-val with_pool : domains:int -> (t -> 'a) -> 'a
+val with_pool : ?tracer:Span.t -> domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] with a fresh pool and always shuts
     it down, including on exceptions. *)

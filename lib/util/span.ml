@@ -1,0 +1,140 @@
+(* Span recording. One mutex guards the whole recorder: spans are only
+   emitted at operator/iteration granularity, so contention is dwarfed
+   by the work being measured. Per-domain open-span stacks give parent
+   links without cross-domain coordination: a span's parent is whatever
+   span the *same* domain had open when it started. *)
+
+type category =
+  | Optimize
+  | Dp_level
+  | Estimate
+  | Reopt_step
+  | Execute
+  | Operator
+  | Pool_task
+  | Pool_wait
+  | Analyze
+
+let category_name = function
+  | Optimize -> "optimize"
+  | Dp_level -> "dp-level"
+  | Estimate -> "estimate"
+  | Reopt_step -> "reopt-step"
+  | Execute -> "execute"
+  | Operator -> "operator"
+  | Pool_task -> "pool-task"
+  | Pool_wait -> "pool-wait"
+  | Analyze -> "analyze"
+
+let all_categories =
+  [
+    Optimize;
+    Dp_level;
+    Estimate;
+    Reopt_step;
+    Execute;
+    Operator;
+    Pool_task;
+    Pool_wait;
+    Analyze;
+  ]
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  cat : category;
+  track : int;
+  start : float;
+  dur : float;
+  args : (string * string) list;
+}
+
+type t = {
+  mutex : Mutex.t;
+  t0 : float;
+  mutable next_id : int;
+  mutable recorded : span list;  (* completion order, newest first *)
+  stacks : (int, int list) Hashtbl.t;  (* domain id -> open span ids *)
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    t0 = Timer.now ();
+    next_id = 0;
+    recorded = [];
+    stacks = Hashtbl.create 8;
+  }
+
+let origin t = t.t0
+let domain_id () = (Domain.self () :> int)
+
+let span ?(args = []) t cat name f =
+  match t with
+  | None -> f ()
+  | Some t ->
+      let dom = domain_id () in
+      let start = Float.max 0.0 (Timer.now () -. t.t0) in
+      Mutex.lock t.mutex;
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let stack =
+        match Hashtbl.find_opt t.stacks dom with Some s -> s | None -> []
+      in
+      let parent = match stack with [] -> -1 | p :: _ -> p in
+      Hashtbl.replace t.stacks dom (id :: stack);
+      Mutex.unlock t.mutex;
+      Fun.protect
+        ~finally:(fun () ->
+          let dur = Float.max 0.0 (Timer.now () -. t.t0 -. start) in
+          Mutex.lock t.mutex;
+          (match Hashtbl.find_opt t.stacks dom with
+          | Some (top :: rest) when top = id -> Hashtbl.replace t.stacks dom rest
+          | _ -> ());
+          t.recorded <-
+            { id; parent; name; cat; track = dom; start; dur; args }
+            :: t.recorded;
+          Mutex.unlock t.mutex)
+        f
+
+let add ?(args = []) ?track t cat name ~start ~dur =
+  match t with
+  | None -> ()
+  | Some t ->
+      let dom = domain_id () in
+      let track = match track with Some tr -> tr | None -> dom in
+      let start = Float.max 0.0 (start -. t.t0) in
+      let dur = Float.max 0.0 dur in
+      Mutex.lock t.mutex;
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let parent =
+        match Hashtbl.find_opt t.stacks dom with
+        | Some (p :: _) -> p
+        | _ -> -1
+      in
+      t.recorded <- { id; parent; name; cat; track; start; dur; args } :: t.recorded;
+      Mutex.unlock t.mutex
+
+let instant ?args t cat name =
+  match t with
+  | None -> ()
+  | Some _ -> add ?args t cat name ~start:(Timer.now ()) ~dur:0.0
+
+let count t =
+  Mutex.lock t.mutex;
+  let n = List.length t.recorded in
+  Mutex.unlock t.mutex;
+  n
+
+let spans t =
+  Mutex.lock t.mutex;
+  let all = t.recorded in
+  Mutex.unlock t.mutex;
+  List.sort
+    (fun a b ->
+      match Float.compare a.start b.start with
+      | 0 -> Int.compare a.id b.id
+      | c -> c)
+    all

@@ -83,10 +83,10 @@ let shop_catalog ?(n_orders = 2000) () =
   Catalog.build_indexes cat Catalog.Pk_fk;
   cat
 
-let shop_ctx ?n_orders () =
+let shop_ctx ?n_orders ?spans () =
   let cat = shop_catalog ?n_orders () in
   let registry = Stats_registry.create cat in
-  (cat, Strategy.make_ctx registry Estimator.default)
+  (cat, Strategy.make_ctx ?spans registry Estimator.default)
 
 (* the 4-way shop join with some filters; known non-empty *)
 let shop_query ?(name = "shopq") () =

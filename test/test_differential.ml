@@ -170,6 +170,35 @@ let test_parallel_join_corpus () =
           end)
         queries)
 
+(* Tracing must be observation-only: running the corpus with a span
+   tracer (and an execution trace) attached yields result digests
+   byte-identical to the untraced run, for both the plain executor and
+   the full QuerySplit loop. *)
+let test_traced_corpus_observation_only () =
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let tracer = Qs_util.Span.create () in
+  let _, ctx_traced = Fixtures.shop_ctx ~n_orders:400 ~spans:tracer () in
+  let qs = Qs_core.Querysplit.strategy Qs_core.Querysplit.default_config in
+  let queries = Fuzz.queries cat ~seed:20230617 ~n:200 () in
+  List.iter
+    (fun (q : Query.t) ->
+      let frag = Strategy.fragment_of_query ctx q in
+      if Naive.count frag <= max_result_rows then begin
+        let plan = (Optimizer.optimize cat Estimator.default frag).Optimizer.plan in
+        let plain, _ = Executor.run plan in
+        let trace = Qs_obs.Trace.create () in
+        let traced, _ = Executor.run ~trace ~spans:tracer plan in
+        if Runner.result_digest plain <> Runner.result_digest traced then
+          Alcotest.failf "%s: executor digest changes under tracing" q.Query.name;
+        let a = (qs.Strategy.run ctx q).Strategy.result in
+        let b = (qs.Strategy.run ctx_traced q).Strategy.result in
+        if Runner.result_digest a <> Runner.result_digest b then
+          Alcotest.failf "%s: querysplit digest changes under tracing" q.Query.name
+      end)
+    queries;
+  Alcotest.(check bool) "the tracer actually observed the runs" true
+    (Qs_util.Span.count tracer > 0)
+
 (* --- sharded storage --------------------------------------------------- *)
 
 module Schema = Qs_storage.Schema
@@ -268,6 +297,8 @@ let suite =
       test_parallel_harness_corpus;
     Alcotest.test_case "parallel hash join over fuzz corpus" `Slow
       test_parallel_join_corpus;
+    Alcotest.test_case "traced corpus digests = untraced" `Slow
+      test_traced_corpus_observation_only;
     Alcotest.test_case "chunked scan row-identical across chunk sizes x domains"
       `Quick test_chunked_scan_property;
     Alcotest.test_case "chunked parallel corpus = flat sequential" `Slow

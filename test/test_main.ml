@@ -25,6 +25,7 @@ let () =
       ("querysplit", Test_querysplit.suite);
       ("strategies", Test_strategies.suite);
       ("obs", Test_obs.suite);
+      ("span", Test_span.suite);
       ("differential", Test_differential.suite);
       ("driver", Test_driver.suite);
       ("similarity", Test_similarity.suite);

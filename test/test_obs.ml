@@ -263,7 +263,13 @@ let test_explain_golden () =
   in
   Alcotest.(check string) "explain analyze golden" golden
     (Explain.render ~trace ~timings:false join);
-  Alcotest.(check string) "summary" "3 nodes, q-error max=2.67 mean=1.56"
+  Alcotest.(check string) "summary" "3 nodes, q-error max=2.67 mean=1.56, underest=0%"
+    (Explain.summary ~trace join);
+  (* force the join's estimate under its observation: 1 of 3 nodes is now
+     underestimated per Qerror.underestimated *)
+  (Option.get (Trace.find trace join.Physical.id)).Trace.est_rows <- 1.0;
+  Alcotest.(check string) "summary with underestimates"
+    "3 nodes, q-error max=3.00 mean=1.67, underest=33%"
     (Explain.summary ~trace join);
   (* without a trace: plain EXPLAIN, estimates only *)
   Alcotest.(check string) "explain golden"
@@ -271,6 +277,91 @@ let test_explain_golden () =
     \  Scan d  (est=2)\n\
     \  Scan e  (est=4)\n"
     (Explain.render ~timings:false join)
+
+(* self time = elapsed minus recorded children, clamped at 0 — checked on
+   a hand-built 3-deep trace where every figure is exact *)
+let test_trace_self_time () =
+  let t = Trace.create () in
+  let set id elapsed children =
+    let n = Trace.node t id in
+    n.Trace.elapsed <- elapsed;
+    n.Trace.children <- children;
+    n
+  in
+  let root = set 1 1.0 [ 2; 3 ] in
+  let mid = set 2 0.3 [ 4 ] in
+  let sib = set 3 0.2 [] in
+  let leaf = set 4 0.25 [] in
+  feq "root self" 0.5 (Trace.self_time t root);
+  feq "mid self" 0.05 (Trace.self_time t mid);
+  feq "sibling self (no children)" 0.2 (Trace.self_time t sib);
+  feq "leaf self" 0.25 (Trace.self_time t leaf);
+  (* a child that (through clock skew) out-measures its parent clamps *)
+  leaf.Trace.elapsed <- 0.9;
+  feq "clamped at 0" 0.0 (Trace.self_time t mid);
+  (* unrecorded children are ignored, not counted as 0-cost *)
+  sib.Trace.children <- [ 99 ];
+  feq "missing child ignored" 0.2 (Trace.self_time t sib)
+
+(* on a real executed plan: children lists mirror the plan shape and
+   elapsed is inclusive, so self times are non-negative and bounded *)
+let test_trace_self_time_executed () =
+  let plan, trace, _, _ = traced_shop_plan () in
+  Alcotest.(check bool) "plan is at least 3 deep" true
+    (List.length (Physical.nodes plan) >= 3);
+  List.iter
+    (fun (p : Physical.t) ->
+      let n = Option.get (Trace.find trace p.Physical.id) in
+      let plan_children =
+        match p.Physical.node with
+        | Physical.Scan _ -> []
+        | Physical.Join { left; right; _ } ->
+            [ left.Physical.id; right.Physical.id ]
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "children of node %d" p.Physical.id)
+        plan_children n.Trace.children;
+      let self = Trace.self_time trace n in
+      Alcotest.(check bool)
+        (Printf.sprintf "0 <= self <= elapsed for node %d" p.Physical.id)
+        true
+        (self >= 0.0 && self <= n.Trace.elapsed +. 1e-12))
+    (Physical.nodes plan)
+
+(* satellite: Metrics.to_json must be byte-identical whatever order
+   per-domain registries are merged in (values picked binary-exact so
+   float addition is associative) *)
+let test_metrics_json_merge_order () =
+  let mk (c, vs) =
+    let m = Metrics.create () in
+    Metrics.incr m ~by:c "runs";
+    List.iter (Metrics.observe m "latency") vs;
+    m
+  in
+  let parts =
+    [ mk (1, [ 1.5; 2.25 ]); mk (2, [ 7.75 ]); mk (4, [ 10.0; 3.5 ]) ]
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun rest -> x :: rest)
+              (permutations (List.filter (fun y -> y != x) l)))
+          l
+  in
+  let json_of order =
+    let m = Metrics.create () in
+    List.iter (Metrics.merge ~into:m) order;
+    Metrics.to_json m
+  in
+  let reference = json_of parts in
+  List.iter
+    (fun order ->
+      Alcotest.(check string) "merge-order independent JSON" reference
+        (json_of order))
+    (permutations parts)
 
 let test_explain_never_executed () =
   let cat, ctx = Fixtures.shop_ctx ~n_orders:200 () in
@@ -300,5 +391,10 @@ let suite =
     Alcotest.test_case "trace covers all nodes" `Quick test_trace_covers_all_nodes;
     Alcotest.test_case "trace volumes" `Quick test_trace_volumes;
     Alcotest.test_case "explain analyze golden" `Quick test_explain_golden;
+    Alcotest.test_case "trace self time (hand-built)" `Quick test_trace_self_time;
+    Alcotest.test_case "trace self time (executed plan)" `Quick
+      test_trace_self_time_executed;
+    Alcotest.test_case "metrics json merge-order determinism" `Quick
+      test_metrics_json_merge_order;
     Alcotest.test_case "explain of unexecuted plan" `Quick test_explain_never_executed;
   ]

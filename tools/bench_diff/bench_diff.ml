@@ -1,0 +1,52 @@
+(* bench_diff: compare two metrics-JSON dumps written by
+   [bench --metrics-out] (or the committed BENCH_*.json artifacts) with
+   a relative threshold.
+
+     dune exec tools/bench_diff/bench_diff.exe -- old.json new.json
+     dune exec tools/bench_diff/bench_diff.exe -- --threshold 0.1 a.json b.json
+
+   Exit status: 0 = within threshold, 1 = regressions (or metrics gone
+   missing / workload size changed), 2 = usage or parse error. *)
+
+module Metrics_diff = Qs_obs.Metrics_diff
+
+let usage = "usage: bench_diff [--threshold REL] OLD.json NEW.json"
+
+let fail_usage msg =
+  prerr_endline msg;
+  prerr_endline usage;
+  exit 2
+
+let load path =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg -> fail_usage ("bench_diff: " ^ msg)
+  in
+  match Metrics_diff.parse text with
+  | Ok json -> json
+  | Error msg -> fail_usage (Printf.sprintf "bench_diff: %s: %s" path msg)
+
+let () =
+  let threshold = ref 0.2 in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> threshold := f
+        | _ -> fail_usage ("bench_diff: bad threshold " ^ v));
+        parse_args rest
+    | "--threshold" :: [] -> fail_usage "bench_diff: --threshold needs a value"
+    | f :: rest ->
+        files := !files @ [ f ];
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  match !files with
+  | [ old_path; new_path ] ->
+      let old_ = load old_path and new_ = load new_path in
+      let report = Metrics_diff.diff ~threshold:!threshold ~old_ ~new_ () in
+      print_string (Metrics_diff.render report);
+      if report.Metrics_diff.regressions <> [] || report.Metrics_diff.missing <> []
+      then exit 1
+  | _ -> fail_usage "bench_diff: expected exactly two files"

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Single entry point for the repo's source checks, run both by hand and
+# as part of `dune runtest` (see the rule in ./dune):
+#
+#   1. tools/lint_unsafe.sh   — no Obj casts, no direct Table .rows access
+#   2. span-bridging lint     — every Physical operator constructor has an
+#                               arm in Executor.span_label, so new operators
+#                               cannot silently vanish from traces
+#   3. dune build @fmt        — formatting, skipped when already running
+#                               under dune (INSIDE_DUNE is set): dune
+#                               cannot re-enter itself, and the runtest
+#                               rule depends on the fmt alias instead.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+sh tools/lint_unsafe.sh || status=1
+
+# --- span-bridging completeness ----------------------------------------
+# The operator constructors of the physical algebra, straight from the
+# type definition...
+constructors=$(
+  awk '/^and node =/,/^$/' lib/plan/physical.mli \
+    | grep -oE '^  \| [A-Z][A-Za-z_]*' | awk '{print $2}'
+)
+methods=$(
+  grep -oE 'type join_method = .*' lib/plan/physical.mli \
+    | grep -oE '[A-Z][A-Za-z_]*' | grep -v join_method || true
+)
+# ...must each appear in the span_label match of the executor.
+region=$(awk '/^let span_label/,/^$/' lib/exec/executor.ml)
+if [ -z "$region" ]; then
+  echo "lint: span_label not found in lib/exec/executor.ml" >&2
+  status=1
+fi
+for c in $constructors $methods; do
+  if ! printf '%s\n' "$region" | grep -q "Physical\.$c"; then
+    echo "lint: Physical.$c has no arm in Executor.span_label — operator spans would miss it" >&2
+    status=1
+  fi
+done
+
+# --- formatting --------------------------------------------------------
+if [ -z "${INSIDE_DUNE:-}" ]; then
+  dune build @fmt || {
+    echo "check: dune build @fmt failed — run 'dune fmt'" >&2
+    status=1
+  }
+fi
+
+exit $status
