@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --scale 0.2 --queries 40 --timeout 5 all
      dune exec bench/main.exe -- --domains 4 par_sweep   # parallel harness
      dune exec bench/main.exe -- --domains 4 --chunk-rows 16384 scan_sweep
+     dune exec bench/main.exe -- --domains 4 --dp-limit 14 dp_sweep
      dune exec bench/main.exe -- --trace-out trace.json fig11  # Chrome trace
      dune exec bench/main.exe -- --metrics-out BENCH.json      # bench_diff dump *)
 
@@ -32,6 +33,7 @@ let experiments : (string * (Experiments.setup -> unit)) list =
     ("metrics", Experiments.metrics);
     ("par_sweep", Experiments.par_sweep);
     ("scan_sweep", Experiments.scan_sweep);
+    ("dp_sweep", Experiments.dp_sweep);
   ]
 
 (* ---------------------------------------------------------------------- *)
@@ -131,6 +133,9 @@ let () =
         parse rest
     | "--chunk-rows" :: v :: rest ->
         Qs_storage.Table.set_default_chunk_rows (int_of_string v);
+        parse rest
+    | "--dp-limit" :: v :: rest ->
+        Qs_plan.Optimizer.set_dp_input_limit (int_of_string v);
         parse rest
     | "--trace-out" :: v :: rest ->
         trace_out := Some v;

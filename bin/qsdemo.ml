@@ -85,6 +85,16 @@ let chunk_rows_arg =
    at the requested size *)
 let apply_chunk_rows n = if n > 0 then Table.set_default_chunk_rows n
 
+let dp_limit_arg =
+  Arg.(value & opt int 0
+       & info [ "dp-limit" ]
+           ~doc:
+             "Maximum optimizer inputs enumerated by dynamic programming \
+              (0 = keep the default, 13). Fragments with more inputs fall \
+              back to the greedy planner.")
+
+let apply_dp_limit n = if n > 0 then Qs_plan.Optimizer.set_dp_input_limit n
+
 let stats_arg =
   Arg.(value & opt bool true
        & info [ "collect-stats" ] ~doc:"ANALYZE materialized temps (the §6.4 switch).")
@@ -126,8 +136,9 @@ let build_cinema ~scale ~seed ~index =
   cat
 
 let run_cmd workload scale seed n timeout index algo collect_stats domains
-    join_parallelism explain profile chunk_rows =
+    join_parallelism explain profile chunk_rows dp_limit =
   apply_chunk_rows chunk_rows;
+  apply_dp_limit dp_limit;
   let tracer = if profile then Some (Span.create ()) else None in
   let print_profile () =
     match tracer with
@@ -193,8 +204,9 @@ let run_cmd workload scale seed n timeout index algo collect_stats domains
       Printf.printf "total: %s\n" (Qs_harness.Report.seconds (Runner.total_time rs));
       print_profile ()
 
-let plan_cmd scale seed qidx chunk_rows =
+let plan_cmd scale seed qidx chunk_rows dp_limit =
   apply_chunk_rows chunk_rows;
+  apply_dp_limit dp_limit;
   let cat = build_cinema ~scale ~seed ~index:Catalog.Pk_fk in
   let env = Runner.make_env ~seed cat in
   let queries = Qs_workload.Cinema.queries cat ~seed:(seed + 1) ~n:(qidx + 1) in
@@ -262,13 +274,15 @@ let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ seed_arg $ queries_arg $ timeout_arg
     $ index_arg $ algo_arg $ stats_arg $ domains_arg $ join_par_arg $ explain_arg
-    $ profile_arg $ chunk_rows_arg)
+    $ profile_arg $ chunk_rows_arg $ dp_limit_arg)
 
 let query_arg =
   Arg.(value & opt int 0 & info [ "query"; "q" ] ~doc:"Query index to inspect.")
 
 let plan_term =
-  Term.(const plan_cmd $ scale_arg $ seed_arg $ query_arg $ chunk_rows_arg)
+  Term.(
+    const plan_cmd $ scale_arg $ seed_arg $ query_arg $ chunk_rows_arg
+    $ dp_limit_arg)
 
 let sql_text_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The SQL text.")

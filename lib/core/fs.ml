@@ -29,7 +29,9 @@ let run ctx (q : Query.t) =
   let candidates =
     List.map
       (fun est ->
-        (Optimizer.optimize ?spans:ctx.Strategy.spans cat est frag).Optimizer.plan)
+        (Optimizer.optimize ?spans:ctx.Strategy.spans ?pool:ctx.Strategy.pool
+           ?memo:ctx.Strategy.dp_memo cat est frag)
+          .Optimizer.plan)
       scenarios
   in
   let worst_case plan =

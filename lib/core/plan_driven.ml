@@ -181,7 +181,8 @@ let run policy ?selector ctx (q : Query.t) =
   Strategy.guard ctx @@ fun () ->
   let cat = Strategy.catalog ctx in
   let optimize frag =
-    (Optimizer.optimize ?spans:ctx.Strategy.spans cat ctx.Strategy.estimator frag)
+    (Optimizer.optimize ?spans:ctx.Strategy.spans ?pool:ctx.Strategy.pool
+       ?memo:ctx.Strategy.dp_memo cat ctx.Strategy.estimator frag)
       .Optimizer.plan
   in
   let fresh_temp = Temp.namer () in
@@ -246,6 +247,9 @@ let run policy ?selector ctx (q : Query.t) =
               Temp.to_input ~name ~provenance:(Fragment.key subtree_frag)
                 ~provides ~collect_stats:collect temp_tbl)
         in
+        (match ctx.Strategy.dp_memo with
+        | Some m -> Qs_plan.Dp_memo.bump m ~aliases:provides
+        | None -> ());
         frag := Fragment.substitute !frag ~temp:temp_input;
         let triggered =
           observed && qerror ~est:node.Physical.est_rows ~actual > policy.threshold

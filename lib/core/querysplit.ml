@@ -34,8 +34,9 @@ let optimize_cached ~enabled cache ctx frag =
   | true, Some r -> r
   | _ ->
       let r =
-        Optimizer.optimize ?spans:ctx.Strategy.spans (Strategy.catalog ctx)
-          ctx.Strategy.estimator frag
+        Optimizer.optimize ?spans:ctx.Strategy.spans ?pool:ctx.Strategy.pool
+          ?memo:ctx.Strategy.dp_memo (Strategy.catalog ctx) ctx.Strategy.estimator
+          frag
       in
       if enabled then Hashtbl.replace cache key r;
       r
@@ -46,8 +47,9 @@ let global_deep_order ctx (q : Query.t) (frags : Fragment.t list) =
   let rng = Rng.create ctx.Strategy.seed in
   let global = Strategy.fragment_of_query ctx q in
   let plan =
-    (Optimizer.optimize ?spans:ctx.Strategy.spans (Strategy.catalog ctx)
-       ctx.Strategy.estimator global)
+    (Optimizer.optimize ?spans:ctx.Strategy.spans ?pool:ctx.Strategy.pool
+       ?memo:ctx.Strategy.dp_memo (Strategy.catalog ctx) ctx.Strategy.estimator
+       global)
       .plan
   in
   let unordered = ref (List.mapi (fun i f -> (i, f)) frags) in
@@ -192,6 +194,11 @@ let run config ctx (q : Query.t) =
             Temp.to_input ~name ~provenance:(Fragment.key chosen.frag) ~provides
               ~collect_stats:ctx.Strategy.collect_stats temp_tbl)
       in
+      (* the temp's aliases now carry new statistics: memoized DP entries
+         over them must never be replayed *)
+      (match ctx.Strategy.dp_memo with
+      | Some m -> Qs_plan.Dp_memo.bump m ~aliases:provides
+      | None -> ());
       (* substitute into overlapping subqueries; drop the fully-covered *)
       let overlapped = ref false in
       let survivors =
@@ -258,8 +265,9 @@ let subquery_plans ctx q config =
     (fun sq ->
       let frag = Strategy.fragment_of_query ctx sq in
       let r =
-        Optimizer.optimize ?spans:ctx.Strategy.spans (Strategy.catalog ctx)
-          ctx.Strategy.estimator frag
+        Optimizer.optimize ?spans:ctx.Strategy.spans ?pool:ctx.Strategy.pool
+          ?memo:ctx.Strategy.dp_memo (Strategy.catalog ctx) ctx.Strategy.estimator
+          frag
       in
       (sq, r.Optimizer.est_cost, r.Optimizer.est_rows))
     subqueries

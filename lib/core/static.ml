@@ -12,8 +12,8 @@ let run_with ~name ?allowed ~estimator_of ctx (q : Query.t) =
   let frag = Strategy.fragment_of_query ctx q in
   let est = estimator_of ctx in
   let res =
-    Optimizer.optimize ?allowed ?spans:ctx.Strategy.spans (Strategy.catalog ctx)
-      est frag
+    Optimizer.optimize ?allowed ?spans:ctx.Strategy.spans ?pool:ctx.Strategy.pool
+      ?memo:ctx.Strategy.dp_memo (Strategy.catalog ctx) est frag
   in
   let table, _ =
     Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace

@@ -40,6 +40,7 @@ type ctx = {
   trace : Qs_obs.Trace.t option;
   spans : Qs_util.Span.t option;
   pool : Pool.t option;
+  dp_memo : Qs_plan.Dp_memo.t option;
 }
 
 type t = {
@@ -48,10 +49,10 @@ type t = {
 }
 
 let make_ctx ?(collect_stats = true) ?(deadline = None) ?(seed = 42) ?trace ?spans
-    ?pool registry estimator =
+    ?pool ?dp_memo registry estimator =
   {
     registry; estimator; collect_stats; deadline = ref deadline; seed;
-    pseudo = Hashtbl.create 8; trace; spans; pool;
+    pseudo = Hashtbl.create 8; trace; spans; pool; dp_memo;
   }
 
 let catalog ctx = Stats_registry.catalog ctx.registry
@@ -72,6 +73,7 @@ let pseudo_input ctx ~alias ~table filters =
     provenance =
       Printf.sprintf "pseudo:%s=%s[%s]" alias table
         (String.concat " & " (List.sort compare (List.map Expr.to_string filters)));
+    stats_epoch = 0;
     memo = Hashtbl.create 4;
     scratch = Qs_util.Scratch.create ();
   }

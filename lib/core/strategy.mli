@@ -57,7 +57,13 @@ type ctx = {
           recorded as time-ordered spans *)
   pool : Qs_util.Pool.t option;
       (** when set (size > 1), executor hash joins run partitioned across
-          the pool's domains; plans and results are unchanged *)
+          the pool's domains, and the optimizer's DP levels fan out over
+          the same pool; plans and results are unchanged *)
+  dp_memo : Qs_plan.Dp_memo.t option;
+      (** when set, every optimizer call threads this cross-step DP memo:
+          after a re-optimization step, only subsets whose cardinality
+          inputs changed are re-enumerated. Plans are unchanged. Intended
+          lifetime is one query (the harness creates one per query). *)
 }
 
 type t = {
@@ -67,7 +73,7 @@ type t = {
 
 val make_ctx : ?collect_stats:bool -> ?deadline:float option -> ?seed:int ->
   ?trace:Qs_obs.Trace.t -> ?spans:Qs_util.Span.t -> ?pool:Qs_util.Pool.t ->
-  Stats_registry.t -> Estimator.t -> ctx
+  ?dp_memo:Qs_plan.Dp_memo.t -> Stats_registry.t -> Estimator.t -> ctx
 
 val catalog : ctx -> Catalog.t
 

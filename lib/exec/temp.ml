@@ -17,6 +17,6 @@ let materialize ~name ~keep tbl =
 let stats_of ~collect tbl =
   if collect then Analyze.of_table tbl else Analyze.rowcount_of_table tbl
 
-let to_input ~name ~provenance ~provides ~collect_stats tbl =
-  Fragment.temp_input ~id:name ~provenance tbl ~provides
+let to_input ?stats_epoch ~name ~provenance ~provides ~collect_stats tbl =
+  Fragment.temp_input ?stats_epoch ~id:name ~provenance tbl ~provides
     ~stats:(stats_of ~collect:collect_stats tbl)

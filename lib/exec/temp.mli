@@ -19,7 +19,9 @@ val materialize : name:string -> keep:Expr.colref list -> Table.t -> Table.t
 val stats_of : collect:bool -> Table.t -> Table_stats.t
 (** ANALYZE when [collect], row count only otherwise. *)
 
-val to_input : name:string -> provenance:string -> provides:string list ->
-  collect_stats:bool -> Table.t -> Fragment.input
+val to_input : ?stats_epoch:int -> name:string -> provenance:string ->
+  provides:string list -> collect_stats:bool -> Table.t -> Fragment.input
 (** Wrap a materialized table as a fragment input (no indexes — temp
-    tables have none, the Figure 2 effect). *)
+    tables have none, the Figure 2 effect). [stats_epoch] (default 0)
+    distinguishes re-materializations sharing a provenance in DP-memo
+    keys. *)

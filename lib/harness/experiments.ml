@@ -690,6 +690,130 @@ let scan_sweep s =
   Printf.printf "filter+aggregate digests byte-identical: %s\n"
     (if !all_identical then "yes" else "NO")
 
+(* ---------------------------------------------------------------------- *)
+(* Parallel optimizer: DP wall-clock vs join count vs domains, plus memo   *)
+(* ---------------------------------------------------------------------- *)
+
+(* A PK-FK chain of [n_rels] relations: r0 <- r1 <- ... — the worst case
+   for the DP (one connected component, every level populated) with a
+   data size small enough that optimize time dominates. *)
+let chain_catalog s n_rels =
+  let module Value = Qs_storage.Value in
+  let module Schema = Qs_storage.Schema in
+  let module Table = Qs_storage.Table in
+  let cat = Catalog.create () in
+  let rows = max 100 (int_of_float (400.0 *. s.scale)) in
+  for i = 0 to n_rels - 1 do
+    let name = Printf.sprintf "r%d" i in
+    let tbl =
+      Table.create ~name
+        ~schema:(Schema.make name [ ("id", Value.TInt); ("fk", Value.TInt) ])
+        (Array.init rows (fun j ->
+             [| Value.Int (j + 1); Value.Int (1 + (j * 7 mod rows)) |]))
+    in
+    Catalog.add_table cat ~pk:"id" tbl;
+    if i > 0 then
+      Catalog.add_fk cat ~from_table:name ~from_column:"fk"
+        ~to_table:(Printf.sprintf "r%d" (i - 1))
+        ~to_column:"id"
+  done;
+  Catalog.build_indexes cat Catalog.Pk_fk;
+  cat
+
+let chain_query n_rels =
+  let module Expr = Qs_query.Expr in
+  let alias i = Printf.sprintf "r%d" i in
+  Query.make
+    ~name:(Printf.sprintf "chain%d" n_rels)
+    (List.init n_rels (fun i -> { Query.alias = alias i; table = alias i }))
+    (List.init (n_rels - 1) (fun i ->
+         Expr.Cmp
+           (Expr.Eq, Expr.col (alias (i + 1)) "fk", Expr.col (alias i) "id")))
+
+let dp_sweep s =
+  Report.section
+    "Parallel optimizer: DP wall-clock vs join count vs domains, plus memo";
+  let par_domains = max 2 s.domains in
+  let identical = ref true in
+  let time_best ?pool ?memo cat frag =
+    (* best of 3 absorbs first-call warmup (estimator scratch fills) *)
+    let best = ref Float.infinity and plan = ref "" in
+    for _ = 1 to 3 do
+      let t0 = Qs_util.Timer.now () in
+      let r = Optimizer.optimize ?pool ?memo cat Estimator.default frag in
+      let dt = Qs_util.Timer.elapsed ~since:t0 in
+      if dt < !best then best := dt;
+      plan := Qs_plan.Physical.to_string r.Optimizer.plan
+    done;
+    (!best, !plan)
+  in
+  let rows =
+    List.map
+      (fun n_rels ->
+        let cat = chain_catalog s n_rels in
+        let registry = Qs_stats.Stats_registry.create cat in
+        let frag = Qs_stats.Fragment.of_query registry (chain_query n_rels) in
+        let seq_t, seq_p = time_best cat frag in
+        let par_t, par_p =
+          Qs_util.Pool.with_pool ~domains:par_domains (fun p ->
+              time_best ~pool:p cat frag)
+        in
+        (* memo replay: populate once, then time the all-hits call *)
+        let memo = Qs_plan.Dp_memo.create () in
+        ignore (Optimizer.optimize ~memo cat Estimator.default frag);
+        let memo_t, memo_p = time_best ~memo cat frag in
+        if seq_p <> par_p || seq_p <> memo_p then identical := false;
+        [
+          string_of_int n_rels;
+          Report.seconds seq_t;
+          Report.seconds par_t;
+          Printf.sprintf "%.2fx" (seq_t /. Float.max 1e-9 par_t);
+          Report.seconds memo_t;
+          string_of_int (Qs_plan.Dp_memo.hits memo);
+        ])
+      [ 6; 9; 12 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "chain-join optimize time, %d domains" par_domains)
+    ~headers:
+      [ "joins"; "seq"; Printf.sprintf "par(%d)" par_domains; "speedup";
+        "memo replay"; "memo hits" ]
+    rows;
+  Printf.printf "plans byte-identical across domains and memo: %s\n"
+    (if !identical then "yes" else "NO");
+  (* memo hit-rates of the re-optimizing strategies over the JOB-like
+     workload: every query gets a fresh memo, so hits come purely from
+     re-optimization steps inside a query *)
+  let env, queries = cinema_env s in
+  let queries = List.filteri (fun i _ -> i mod 3 = 0) queries in
+  let rate_rows =
+    List.map
+      (fun algo ->
+        let rs =
+          Runner.run_spj ?tracer:s.tracer ~domains:s.domains ~timeout:s.timeout
+            env algo queries
+        in
+        let hits = List.fold_left (fun a r -> a + r.Runner.dp_memo_hits) 0 rs in
+        let misses =
+          List.fold_left (fun a r -> a + r.Runner.dp_memo_misses) 0 rs
+        in
+        [
+          algo.Runner.label;
+          string_of_int hits;
+          string_of_int misses;
+          (if hits + misses = 0 then "-"
+           else pct hits (hits + misses));
+        ])
+      Algos.reopt_roster
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "cross-step DP-memo hit rate over %d JOB-like queries"
+         (List.length queries))
+    ~headers:[ "algorithm"; "hits"; "misses"; "hit rate" ]
+    rate_rows
+
 let all s =
   table1 s;
   table3 s;
@@ -706,4 +830,5 @@ let all s =
   ablation s;
   metrics s;
   par_sweep s;
-  scan_sweep s
+  scan_sweep s;
+  dp_sweep s

@@ -90,4 +90,13 @@ val scan_sweep : setup -> unit
     sizes, verifying the parallel results are digest-identical to the
     sequential ones. *)
 
+val dp_sweep : setup -> unit
+(** Beyond the paper: optimizer-focused sweep. A PK-FK chain join at 6,
+    9 and 12 relations is optimized sequentially, with a [max 2 domains]
+    pool, and replayed through a warm cross-step DP memo — reporting
+    best-of-3 wall-clock, parallel speedup and memo hits, and asserting
+    all three plans are byte-identical. A second table reports the
+    cross-step memo hit rate of every re-optimizing strategy over a
+    slice of the JOB-like workload. *)
+
 val all : setup -> unit

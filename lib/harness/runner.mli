@@ -47,6 +47,11 @@ type qresult = {
       (** canonical multiset digest of the result table — row- and
           column-order independent, so sequential and parallel runs can
           be compared byte-for-byte *)
+  dp_memo_hits : int;
+      (** cross-step DP-memo subset hits over the timed pass (every
+          query gets a fresh memo; re-optimizing strategies score hits
+          from their second optimize call on) *)
+  dp_memo_misses : int;
 }
 
 val result_digest : Qs_storage.Table.t -> string
@@ -67,6 +72,13 @@ val run_spj : ?collect_stats:bool -> ?timeout:float -> ?domains:int ->
     join partitioned across its own pool; keep it at 1 when measuring
     per-query latency comparatively.
 
+    Straggler heuristic: with [domains > 1] and [join_parallelism <= 1],
+    a query whose estimated plan cost (default estimator, untimed)
+    dominates the remaining queue combined — [cost * (domains - 1) >
+    total - cost] — automatically gets the cell pool as its join/DP
+    pool, and its [execute] span carries [parallel-join=auto]. Results
+    and plans are unchanged.
+
     [tracer] records time-ordered spans for the timed pass (never the
     warm pass): one [execute] span per query, one aggregate [estimate]
     span per query, plus whatever the strategy, optimizer, executor and
@@ -82,9 +94,10 @@ val qresult_row : qresult -> string list
 
 val metrics_of_results : qresult list -> Qs_obs.Metrics.t
 (** Aggregate one strategy's results into a metrics registry: counters
-    [queries], [timeouts], [iterations], [replans], [materializations];
-    histograms [qerror] (per-iteration, est vs. actual), [query_time_s]
-    and [mat_bytes] (only queries that materialized contribute). *)
+    [queries], [timeouts], [iterations], [replans], [materializations],
+    [dp_memo_hits], [dp_memo_misses]; histograms [qerror]
+    (per-iteration, est vs. actual), [query_time_s] and [mat_bytes]
+    (only queries that materialized contribute). *)
 
 val fold_span_times : Qs_util.Span.t -> Qs_obs.Metrics.t -> unit
 (** Fold a tracer's spans into a registry: per category, a [spans_<cat>]

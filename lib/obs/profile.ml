@@ -94,6 +94,85 @@ let summary ?(timings = true) ?trace t =
     else
       Buffer.add_string buf
         (Printf.sprintf "pool queue-wait: %d tasks\n" (List.length waits));
+  (* DP throughput: [dp-level] spans carrying per-level candidate
+     counters (spans without them — e.g. hand-built traces — render
+     nothing). Counts are deterministic; rates only appear with
+     timings. *)
+  let dp_levels =
+    List.filter
+      (fun (s : Span.span) ->
+        s.Span.cat = Span.Dp_level && List.mem_assoc "emitted" s.Span.args)
+      spans
+  in
+  if dp_levels <> [] then begin
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (s : Span.span) ->
+        let arg k =
+          match List.assoc_opt k s.Span.args with
+          | Some v -> ( try int_of_string v with _ -> 0)
+          | None -> 0
+        in
+        let subsets, emitted, pruned, hits, dur =
+          Option.value (Hashtbl.find_opt tbl s.Span.name) ~default:(0, 0, 0, 0, 0.0)
+        in
+        Hashtbl.replace tbl s.Span.name
+          ( subsets + arg "subsets",
+            emitted + arg "emitted",
+            pruned + arg "pruned",
+            hits + arg "memo-hits",
+            dur +. s.Span.dur ))
+      dp_levels;
+    let level_of name =
+      match String.rindex_opt name '-' with
+      | Some i -> (
+          try int_of_string (String.sub name (i + 1) (String.length name - i - 1))
+          with _ -> 0)
+      | None -> 0
+    in
+    let rows =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) ->
+             compare (level_of a, a) (level_of b, b))
+    in
+    Buffer.add_string buf "dp levels:\n";
+    List.iter
+      (fun (name, (subsets, emitted, pruned, hits, dur)) ->
+        let counts =
+          Printf.sprintf "  %-12s subsets=%d emitted=%d pruned=%d memo-hits=%d"
+            name subsets emitted pruned hits
+        in
+        if timings then
+          let cands = emitted + pruned in
+          Buffer.add_string buf
+            (Printf.sprintf "%s plans/s=%.3g\n" counts
+               (if dur > 0.0 then float_of_int cands /. dur else 0.0))
+        else Buffer.add_string buf (counts ^ "\n"))
+      rows
+  end;
+  (* DP-memo hit rate from the per-optimize [dp-memo] markers *)
+  let memo_marks =
+    List.filter (fun (s : Span.span) -> s.Span.cat = Span.Dp_memo) spans
+  in
+  if memo_marks <> [] then begin
+    let hits, misses =
+      List.fold_left
+        (fun (h, m) (s : Span.span) ->
+          let arg k =
+            match List.assoc_opt k s.Span.args with
+            | Some v -> ( try int_of_string v with _ -> 0)
+            | None -> 0
+          in
+          (h + arg "hits", m + arg "misses"))
+        (0, 0) memo_marks
+    in
+    let total = hits + misses in
+    Buffer.add_string buf
+      (Printf.sprintf "dp memo: %d calls, hits=%d misses=%d hit-rate=%.0f%%\n"
+         (List.length memo_marks) hits misses
+         (if total > 0 then 100.0 *. float_of_int hits /. float_of_int total
+          else 0.0))
+  end;
   (* re-optimization journal *)
   let steps =
     List.filter (fun (s : Span.span) -> s.Span.cat = Span.Reopt_step) spans

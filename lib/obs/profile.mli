@@ -1,9 +1,13 @@
 (** Text profile of a span tracer: per-category span counts and time,
     per-domain utilization (busy interval-union / wall), pool queue-wait
-    percentiles, the re-optimization journal (one line per [reopt-step]
-    span: selected subquery, score, est vs. actual rows, whether the
-    remaining plan was replanned), and — when an executor {!Trace} is
-    supplied — the top operator self-times via {!Trace.self_time}.
+    percentiles, DP throughput (per [dp-level] name: subsets, emitted /
+    pruned candidates, memo hits, and plans/s when timings are on — only
+    for spans carrying those counters), the DP-memo hit rate (from
+    [dp-memo] markers), the re-optimization journal (one line per
+    [reopt-step] span: selected subquery, score, est vs. actual rows,
+    whether the remaining plan was replanned), and — when an executor
+    {!Trace} is supplied — the top operator self-times via
+    {!Trace.self_time}.
 
     [timings:false] suppresses every wall-clock figure (durations,
     utilization, percentiles, self-times), leaving output that is a pure

@@ -1,0 +1,69 @@
+(* Cross-step DP memoization. One memo lives for the duration of one
+   query (all of its re-optimization steps); the optimizer consults it
+   per subset of the join DP. Entries are keyed by a canonical string the
+   optimizer derives from the subset's input provenances, their stats
+   epochs, the memo's per-alias epochs, the predicates internal to the
+   subset, the estimator and the permitted join methods — so a hit is a
+   proof that the identical deterministic enumeration already ran, and
+   replaying the stored winner is byte-identical to re-enumerating.
+
+   The mutex follows the Scratch / Stats_registry pattern: harness cells
+   never share a memo today (one per query), but strategies may consult
+   it from pool workers, and the counters must merge race-free. *)
+
+type spec = {
+  card : float;  (** the estimator's cardinality for the subset *)
+  cost : float;  (** best cumulative cost over the subset *)
+  method_ : Physical.join_method;
+  left_aliases : string list;
+      (** sorted aliases of the winning partition's Physical-left side
+          (hash build / NL outer); reconstructed into a mask on replay *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  tbl : (string, spec) Hashtbl.t;
+  alias_epochs : (string, int) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    tbl = Hashtbl.create 256;
+    alias_epochs = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let bump t ~aliases =
+  with_lock t (fun () ->
+      List.iter
+        (fun a ->
+          Hashtbl.replace t.alias_epochs a
+            (1 + Option.value (Hashtbl.find_opt t.alias_epochs a) ~default:0))
+        aliases)
+
+let alias_epoch t alias =
+  with_lock t (fun () ->
+      Option.value (Hashtbl.find_opt t.alias_epochs alias) ~default:0)
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some _ as r ->
+          t.hits <- t.hits + 1;
+          r
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let store t key spec = with_lock t (fun () -> Hashtbl.replace t.tbl key spec)
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+let size t = with_lock t (fun () -> Hashtbl.length t.tbl)

@@ -1,0 +1,52 @@
+(** Cross-step DP memoization for {!Optimizer}.
+
+    Re-optimizing strategies call the optimizer once per step on nearly
+    the same join graph: after a subquery is executed and substituted,
+    only the subsets overlapping the new temp have different cardinality
+    inputs. A memo created per query and threaded through every optimize
+    call lets unchanged subsets replay their previously chosen best
+    subplan (cardinality, cost, join method and partition) instead of
+    re-running the 3^n partition sweep.
+
+    Invalidation is epoch-based, mirroring the paper's ANALYZE points:
+    base inputs carry {!Qs_stats.Stats_registry.epoch} stamps
+    (re-ANALYZE), and {!bump} advances per-alias epochs when a temp
+    covering those aliases is registered. Both stamps are part of every
+    key the optimizer derives, so stale entries can never be returned —
+    they are simply never looked up again.
+
+    Mutex-guarded; safe to consult from pool workers. *)
+
+type spec = {
+  card : float;  (** the estimator's cardinality for the subset *)
+  cost : float;  (** best cumulative cost over the subset *)
+  method_ : Physical.join_method;
+  left_aliases : string list;
+      (** sorted aliases of the winning partition's Physical-left side
+          (hash build / NL outer) *)
+}
+
+type t
+
+val create : unit -> t
+(** A fresh memo; intended lifetime is one query (all re-opt steps). *)
+
+val bump : t -> aliases:string list -> unit
+(** Advance the epoch of each alias — called when a temp covering these
+    aliases is registered, so every memoized subset touching them
+    misses from now on. *)
+
+val alias_epoch : t -> string -> int
+(** Current epoch of an alias (0 until first {!bump}). The optimizer
+    folds this into subset keys. *)
+
+val find : t -> string -> spec option
+(** Lookup; counts a hit or a miss. *)
+
+val store : t -> string -> spec -> unit
+
+val hits : t -> int
+val misses : t -> int
+
+val size : t -> int
+(** Number of memoized subsets. *)

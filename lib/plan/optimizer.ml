@@ -6,6 +6,8 @@ module Estimator = Qs_stats.Estimator
 module Table_stats = Qs_stats.Table_stats
 module Column_stats = Qs_stats.Column_stats
 module Span = Qs_util.Span
+module Timer = Qs_util.Timer
+module Pool = Qs_util.Pool
 
 type result = {
   plan : Physical.t;
@@ -13,7 +15,14 @@ type result = {
   est_cost : float;
 }
 
-let dp_input_limit = 13
+(* Above this input count the exact DP (3^n partition sweep) gives way to
+   the greedy fallback. Configurable ([--dp-limit] on bench and qsdemo):
+   with the pooled DP the exact path stays affordable well past the
+   historical hard-coded 13. Atomic because harness cells on separate
+   domains read it concurrently. *)
+let dp_limit = Atomic.make 13
+let dp_input_limit () = Atomic.get dp_limit
+let set_dp_input_limit n = Atomic.set dp_limit (max 1 n)
 
 let estimate_subset (est : Estimator.t) frag subset =
   est.card (Fragment.restrict frag subset)
@@ -161,7 +170,33 @@ let popcount m =
   let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
   go 0 m
 
-let dp_plan ?spans ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
+(* k nearly-equal contiguous chunks, order-preserving; at most [k] and
+   never more than [List.length lst] chunks. *)
+let chunk_list k lst =
+  let len = List.length lst in
+  let k = max 1 (min k len) in
+  let base = len / k and extra = len mod k in
+  let rec take n lst acc =
+    if n = 0 then (List.rev acc, lst)
+    else
+      match lst with
+      | [] -> (List.rev acc, [])
+      | x :: tl -> take (n - 1) tl (x :: acc)
+  in
+  let rec go i lst =
+    if i >= k then []
+    else
+      let sz = base + if i < extra then 1 else 0 in
+      let c, rest = take sz lst [] in
+      c :: go (i + 1) rest
+  in
+  go 0 lst
+
+(* Fan a level out only when the partition sweep dwarfs the dispatch
+   overhead; below this many subsets the sequential loop wins. *)
+let par_level_threshold = 16
+
+let dp_plan ?spans ?pool ?memo ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
   let inputs = Array.of_list frag.inputs in
   let n = Array.length inputs in
   let full = (1 lsl n) - 1 in
@@ -189,14 +224,82 @@ let dp_plan ?spans ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
         else None)
       pred_masks
   in
-  let card_memo = Hashtbl.create 256 in
+  (* Flat views of the predicates for the partition sweep. [cross] above
+     materializes a list per partition — fine for [build], which runs once
+     per chosen node, but the sweep visits ~3^n partitions and a list (plus
+     closure) per partition floods the minor heap; under a domain pool the
+     resulting stop-the-world minor collections serialize the workers. The
+     sweep therefore scans these arrays in place, allocating nothing.
+     Order matters for byte-identical plans: [pmask_arr]/[sides_arr] keep
+     [pred_masks] order, which is the order [cross] yields. *)
+  let pmask_arr = Array.of_list (List.map snd pred_masks) in
+  let sides_arr =
+    Array.of_list (List.map (fun (p, _) -> Expr.join_sides p) pred_masks)
+  in
+  let n_preds = Array.length pmask_arr in
+  (* does predicate [i] connect partition [l]|[r] (touch both sides, leak
+     outside neither)? *)
+  let applies i l r =
+    let m = pmask_arr.(i) in
+    m land l <> 0 && m land r <> 0 && m land lnot (l lor r) = 0
+  in
+  let rec crossing i l r = i < n_preds && (applies i l r || crossing (i + 1) l r) in
+  let rec crossing_equi i l r =
+    i < n_preds
+    && ((applies i l r && sides_arr.(i) <> None) || crossing_equi (i + 1) l r)
+  in
+  (* [usable_index] on the flat views: first predicate in [pred_masks]
+     order that connects the partition, is an equality, and keys an indexed
+     column of [inner] — same pick as [usable_index catalog inner (cross l r)],
+     without building the list. Only the inner key is needed for costing. *)
+  let usable_inner_key (inner : Fragment.input) l r =
+    if inner.Fragment.is_temp then None
+    else
+      match inner.Fragment.base_table with
+      | None -> None
+      | Some base ->
+          let rec go i =
+            if i >= n_preds then None
+            else
+              let next () = go (i + 1) in
+              if not (applies i l r) then next ()
+              else
+                match sides_arr.(i) with
+                | None -> next ()
+                | Some (a, b) ->
+                    let key =
+                      if List.mem a.Expr.rel inner.Fragment.provides then Some a
+                      else if List.mem b.Expr.rel inner.Fragment.provides then Some b
+                      else None
+                    in
+                    (match key with
+                    | None -> next ()
+                    | Some inner_key -> (
+                        match
+                          Catalog.find_index catalog ~table:base
+                            ~column:inner_key.Expr.name
+                        with
+                        | Some _ -> Some inner_key
+                        | None -> next ()))
+          in
+          go 0
+  in
+  (* Cardinalities live in a flat array (nan = unknown) so pool workers
+     can read them without synchronization. Every value a worker might
+     read is computed on the calling domain first — singletons below,
+     each level's masks in a pre-pass before that level's sweep — because
+     the estimator mutates per-input scratch Hashtbls ([input.memo]) that
+     are not safe to share across domains. The lazy branch only runs
+     sequentially (or as a defensive fallback). *)
+  let card_arr = Array.make (full + 1) Float.nan in
   let card mask =
-    match Hashtbl.find_opt card_memo mask with
-    | Some c -> c
-    | None ->
-        let c = estimate_subset est frag (subset_inputs inputs mask) in
-        Hashtbl.replace card_memo mask c;
-        c
+    let c = card_arr.(mask) in
+    if Float.is_nan c then begin
+      let c = estimate_subset est frag (subset_inputs inputs mask) in
+      card_arr.(mask) <- c;
+      c
+    end
+    else c
   in
   let permitted m = List.mem m allowed in
   (* The DP keeps, per subset, only the best cost plus a compact spec of
@@ -211,57 +314,61 @@ let dp_plan ?spans ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
     let raw = float_of_int (Table_stats.n_rows input.Fragment.stats) in
     best_cost.(bit i) <-
       Cost_model.scan ~rows:raw ~n_filters:(List.length input.Fragment.filters);
-    best_spec.(bit i) <- Some (Physical.Nl, 0) (* placeholder; scans detected by mask size *)
+    best_spec.(bit i) <- Some (Physical.Nl, 0) (* placeholder; scans detected by mask size *);
+    ignore (card (bit i))
   done;
   let singleton mask = mask land (mask - 1) = 0 in
-  let index_join_cost preds ~outer_mask ~inner_mask ~out_rows =
+  let index_join_cost ~outer_mask ~inner_mask ~out_rows =
     (* inner must be a single base input with a usable index *)
-    if not (singleton inner_mask) then None
+    if not (singleton inner_mask) then Float.nan
     else
       let inner = inputs.(bit_index inner_mask) in
-      match usable_index catalog inner preds with
-      | None -> None
-      | Some (_, _, inner_key, _) ->
+      match usable_inner_key inner outer_mask inner_mask with
+      | None -> Float.nan
+      | Some inner_key ->
           let matches =
             index_matches inner inner_key
               ~outer_rows:(card outer_mask)
           in
           let inner_raw = float_of_int (Table_stats.n_rows inner.Fragment.stats) in
-          Some
-            (best_cost.(outer_mask)
-            +. Cost_model.index_nl_join ~outer_rows:(card outer_mask)
-                 ~inner_rows:inner_raw ~matches ~out_rows)
+          best_cost.(outer_mask)
+          +. Cost_model.index_nl_join ~outer_rows:(card outer_mask)
+               ~inner_rows:inner_raw ~matches ~out_rows
   in
-  let process mask =
+  (* [process] only writes [best_cost.(mask)] / [best_spec.(mask)] and
+     reads strictly smaller masks, so distinct masks of one level can run
+     on distinct pool workers. [em]/[pr] count candidates that improved
+     the subset's best vs. candidates dominated at evaluation time. *)
+  let process ~em ~pr mask =
     begin
       let out_rows = card mask in
-      let consider ~connected l r preds =
-        ignore connected;
+      (* [try_spec] takes the spec fields apart so the winning pair is only
+         allocated on an actual improvement, not per candidate *)
+      let consider ~equi l r =
         let lr = card l and rr = card r in
-        let equi = List.exists (fun p -> Expr.join_sides p <> None) preds in
-        let try_spec cost spec =
+        let try_spec cost method_ lmask =
           if cost < best_cost.(mask) then begin
             best_cost.(mask) <- cost;
-            best_spec.(mask) <- Some spec
+            best_spec.(mask) <- Some (method_, lmask);
+            incr em
           end
+          else incr pr
         in
         if equi && permitted Physical.Hash then begin
           try_spec
             (best_cost.(l) +. best_cost.(r)
             +. Cost_model.hash_join ~build_rows:lr ~probe_rows:rr ~out_rows)
-            (Physical.Hash, l);
+            Physical.Hash l;
           try_spec
             (best_cost.(l) +. best_cost.(r)
             +. Cost_model.hash_join ~build_rows:rr ~probe_rows:lr ~out_rows)
-            (Physical.Hash, r)
+            Physical.Hash r
         end;
         if equi && permitted Physical.Index_nl then begin
-          (match index_join_cost preds ~outer_mask:l ~inner_mask:r ~out_rows with
-          | Some cost -> try_spec cost (Physical.Index_nl, l)
-          | None -> ());
-          match index_join_cost preds ~outer_mask:r ~inner_mask:l ~out_rows with
-          | Some cost -> try_spec cost (Physical.Index_nl, r)
-          | None -> ()
+          let cl = index_join_cost ~outer_mask:l ~inner_mask:r ~out_rows in
+          if not (Float.is_nan cl) then try_spec cl Physical.Index_nl l;
+          let cr = index_join_cost ~outer_mask:r ~inner_mask:l ~out_rows in
+          if not (Float.is_nan cr) then try_spec cr Physical.Index_nl r
         end;
         (* NL is also the fallback of last resort, exactly as in
            [join_candidates]: without it, [allowed = [Index_nl]] and no
@@ -273,11 +380,11 @@ let dp_plan ?spans ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
           try_spec
             (best_cost.(l) +. best_cost.(r)
             +. Cost_model.nl_join ~outer_rows:lr ~inner_rows:rr ~out_rows)
-            (Physical.Nl, l);
+            Physical.Nl l;
           try_spec
             (best_cost.(l) +. best_cost.(r)
             +. Cost_model.nl_join ~outer_rows:rr ~inner_rows:lr ~out_rows)
-            (Physical.Nl, r)
+            Physical.Nl r
         end
       in
       let any_connected = ref false in
@@ -285,13 +392,11 @@ let dp_plan ?spans ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
       while !sub > 0 do
         let l = !sub and r = mask lxor !sub in
         if l < r && best_cost.(l) < Float.infinity && best_cost.(r) < Float.infinity
-        then begin
-          let preds = cross l r in
-          if preds <> [] then begin
+        then
+          if crossing 0 l r then begin
             any_connected := true;
-            consider ~connected:true l r preds
-          end
-        end;
+            consider ~equi:(crossing_equi 0 l r) l r
+          end;
         sub := (!sub - 1) land mask
       done;
       if not !any_connected then begin
@@ -300,7 +405,7 @@ let dp_plan ?spans ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
         while !sub > 0 do
           let l = !sub and r = mask lxor !sub in
           if l < r && best_cost.(l) < Float.infinity && best_cost.(r) < Float.infinity
-          then consider ~connected:false l r [];
+          then consider ~equi:false l r;
           sub := (!sub - 1) land mask
         done
       end
@@ -315,13 +420,167 @@ let dp_plan ?spans ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
     let k = popcount mask in
     if k >= 2 then levels.(k) <- mask :: levels.(k)
   done;
+  (* --- cross-step memo pre-pass ---------------------------------------
+     A key captures everything the enumeration of a subset depends on:
+     the estimator, the permitted methods, each input's provenance and
+     epochs (registry stats epoch + the memo's per-alias epoch, bumped on
+     temp registration), and the predicates internal to the subset. A hit
+     therefore proves the identical deterministic sweep already ran, and
+     seeding its winner is byte-identical to re-running [process]. *)
+  let keys = Array.make (full + 1) "" in
+  let hit = Array.make (full + 1) false in
+  let memo_h0, memo_m0 =
+    match memo with Some m -> (Dp_memo.hits m, Dp_memo.misses m) | None -> (0, 0)
+  in
+  (match memo with
+  | None -> ()
+  | Some memo ->
+      let mname = function
+        | Physical.Hash -> "h"
+        | Physical.Index_nl -> "i"
+        | Physical.Nl -> "n"
+      in
+      let prefix =
+        est.Estimator.name ^ ":" ^ String.concat "" (List.map mname allowed) ^ ";"
+      in
+      let input_keys =
+        Array.map
+          (fun (i : Fragment.input) ->
+            let alias_epoch =
+              List.fold_left
+                (fun acc a -> max acc (Dp_memo.alias_epoch memo a))
+                0 i.Fragment.provides
+            in
+            Printf.sprintf "%s#%d@%d" i.Fragment.provenance i.Fragment.stats_epoch
+              alias_epoch)
+          inputs
+      in
+      let pred_strs = List.map (fun (p, m) -> (Expr.to_string p, m)) pred_masks in
+      let key_of mask =
+        let parts = ref [] in
+        for i = n - 1 downto 0 do
+          if mask land bit i <> 0 then parts := input_keys.(i) :: !parts
+        done;
+        let preds =
+          List.filter_map
+            (fun (s, m) -> if m <> 0 && m land mask = m then Some s else None)
+            pred_strs
+        in
+        prefix
+        ^ String.concat "|" (List.sort compare !parts)
+        ^ "||"
+        ^ String.concat "&" (List.sort compare preds)
+      in
+      (* reconstruct the winning partition's left mask from its aliases;
+         an input is on the left iff its aliases are (all members move
+         together, so the first suffices) *)
+      let lmask_of_aliases left_aliases mask =
+        let lm = ref 0 in
+        for i = 0 to n - 1 do
+          if mask land bit i <> 0 then
+            match inputs.(i).Fragment.provides with
+            | a :: _ when List.mem a left_aliases -> lm := !lm lor bit i
+            | _ -> ()
+        done;
+        !lm
+      in
+      for level = 2 to n do
+        List.iter
+          (fun mask ->
+            keys.(mask) <- key_of mask;
+            match Dp_memo.find memo keys.(mask) with
+            | Some (spec : Dp_memo.spec) ->
+                let lmask = lmask_of_aliases spec.Dp_memo.left_aliases mask in
+                if lmask <> 0 && lmask <> mask then begin
+                  best_cost.(mask) <- spec.Dp_memo.cost;
+                  best_spec.(mask) <- Some (spec.Dp_memo.method_, lmask);
+                  card_arr.(mask) <- spec.Dp_memo.card;
+                  hit.(mask) <- true
+                end
+            | None -> ())
+          levels.(level)
+      done);
+  let sweep masks =
+    let em = ref 0 and pr = ref 0 in
+    List.iter (process ~em ~pr) masks;
+    (!em, !pr)
+  in
   for level = 2 to n do
-    if levels.(level) <> [] then
-      Span.span spans Span.Dp_level
-        ~args:[ ("subsets", string_of_int (List.length levels.(level))) ]
-        (Printf.sprintf "dp-level-%d" level)
-        (fun () -> List.iter process levels.(level))
+    match levels.(level) with
+    | [] -> ()
+    | lmasks ->
+        let t0 = Timer.now () in
+        let n_subsets = List.length lmasks in
+        (* cardinalities on the calling domain only: the estimator's
+           per-input memo tables are not safe to share across workers *)
+        List.iter (fun m -> ignore (card m)) lmasks;
+        let misses = List.filter (fun m -> not hit.(m)) lmasks in
+        let n_miss = List.length misses in
+        let par =
+          match pool with
+          | Some p
+            when Pool.size p > 1
+                 && n_miss >= par_level_threshold
+                 && n_miss >= 2 * Pool.size p ->
+              Some p
+          | _ -> None
+        in
+        let em, pr =
+          match par with
+          | Some p ->
+              List.fold_left
+                (fun (ea, pa) (e, pr') -> (ea + e, pa + pr'))
+                (0, 0)
+                (Pool.map p sweep (chunk_list (4 * Pool.size p) misses))
+          | None -> sweep misses
+        in
+        Span.add spans Span.Dp_level
+          ~args:
+            [
+              ("subsets", string_of_int n_subsets);
+              ("emitted", string_of_int em);
+              ("pruned", string_of_int pr);
+              ("memo-hits", string_of_int (n_subsets - n_miss));
+              ( "workers",
+                string_of_int (match par with Some p -> Pool.size p | None -> 1) );
+            ]
+          (Printf.sprintf "dp-level-%d" level)
+          ~start:t0
+          ~dur:(Timer.now () -. t0)
   done;
+  (match memo with
+  | None -> ()
+  | Some memo ->
+      for level = 2 to n do
+        List.iter
+          (fun mask ->
+            if not hit.(mask) then
+              match best_spec.(mask) with
+              | Some (method_, lmask) ->
+                  let left_aliases =
+                    List.sort compare
+                      (List.concat_map
+                         (fun (i : Fragment.input) -> i.Fragment.provides)
+                         (subset_inputs inputs lmask))
+                  in
+                  Dp_memo.store memo keys.(mask)
+                    {
+                      Dp_memo.card = card_arr.(mask);
+                      cost = best_cost.(mask);
+                      method_;
+                      left_aliases;
+                    }
+              | None -> ())
+          levels.(level)
+      done;
+      Span.instant spans Span.Dp_memo
+        ~args:
+          [
+            ("hits", string_of_int (Dp_memo.hits memo - memo_h0));
+            ("misses", string_of_int (Dp_memo.misses memo - memo_m0));
+            ("size", string_of_int (Dp_memo.size memo));
+          ]
+        "dp-memo");
   (* materialize the best plan bottom-up from the specs *)
   let rec build mask =
     if singleton mask then
@@ -418,15 +677,15 @@ let greedy_plan ~allowed catalog (est : Estimator.t) (frag : Fragment.t) =
   snd (List.hd !planned)
 
 let optimize ?(allowed = [ Physical.Hash; Physical.Index_nl; Physical.Nl ]) ?spans
-    catalog est frag =
+    ?pool ?memo catalog est frag =
   if frag.Fragment.inputs = [] then invalid_arg "Optimizer.optimize: empty fragment";
   let n = List.length frag.Fragment.inputs in
   let plan =
-    if n <= dp_input_limit then
+    if n <= dp_input_limit () then
       Span.span spans Span.Optimize
         ~args:[ ("inputs", string_of_int n) ]
         (Printf.sprintf "dp n=%d" n)
-        (fun () -> dp_plan ?spans ~allowed catalog est frag)
+        (fun () -> dp_plan ?spans ?pool ?memo ~allowed catalog est frag)
     else
       Span.span spans Span.Optimize
         ~args:[ ("inputs", string_of_int n) ]

@@ -22,20 +22,43 @@ type result = {
 }
 
 val optimize : ?allowed:Physical.join_method list -> ?spans:Qs_util.Span.t ->
+  ?pool:Qs_util.Pool.t -> ?memo:Dp_memo.t ->
   Catalog.t -> Estimator.t -> Fragment.t -> result
 (** Raises [Invalid_argument] on an empty fragment. [allowed] restricts
     the join methods considered (default: all three) — the USE baseline
     plans with hash joins only. Fragments with more
-    than [dp_input_limit] inputs are planned greedily (cheapest-pair
+    than [dp_input_limit ()] inputs are planned greedily (cheapest-pair
     agglomeration) instead of by exact DP. Disconnected fragments get
     Cartesian (nested-loop) joins between their components, planned last.
 
+    [pool] parallelizes the DP level-by-level: within a popcount level
+    the subset masks are partitioned into contiguous chunks across the
+    pool's domains (each worker fills best-plan entries for its own
+    masks against the immutable lower levels), so the chosen plan is
+    byte-identical to the sequential enumeration. Cardinality estimation
+    stays on the calling domain. The greedy path ignores [pool].
+
+    [memo] is a cross-step DP memo ({!Dp_memo}): subsets whose key —
+    input provenances, stats / alias epochs, internal predicates,
+    estimator, permitted methods — already has an entry replay the
+    memoized winner instead of re-enumerating; every freshly solved
+    subset is stored. Because a key change forces a miss, plans with a
+    memo are identical to plans without one.
+
     [spans] records one [optimize] span per call and, for the DP path,
     one nested [dp-level] span per popcount level of the subset
-    enumeration (the DP runs level-wise — DPsize order — which is
-    equivalent and is the unit a future parallel DP fans out). *)
+    enumeration carrying per-level candidate counts ([subsets],
+    [emitted], [pruned], [memo-hits], [workers]), plus a [dp-memo]
+    instant marker with the call's memo hit / miss counts when [memo]
+    is given. *)
 
-val dp_input_limit : int
+val dp_input_limit : unit -> int
+(** Current DP width limit (number of inputs); fragments wider than this
+    are planned greedily. Defaults to 13. *)
+
+val set_dp_input_limit : int -> unit
+(** Set the DP width limit (clamped to [>= 1]). Exposed as [--dp-limit]
+    on bench and qsdemo. *)
 
 val cost_plan : Catalog.t -> Estimator.t -> Fragment.t -> Physical.t -> float
 (** Re-derive the cumulative cost of a *fixed* plan shape under a

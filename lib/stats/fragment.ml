@@ -15,6 +15,7 @@ type input = {
   is_temp : bool;
   base_table : string option;
   provenance : string;
+  stats_epoch : int;
   memo : (string, float) Hashtbl.t;
   scratch : Scratch.t;
 }
@@ -46,14 +47,15 @@ let base_input registry ~alias ~table filters =
     is_temp = false;
     base_table = Some table;
     provenance = base_provenance ~alias ~table filters;
+    stats_epoch = Stats_registry.epoch registry table;
     memo = Hashtbl.create 4;
     scratch = Scratch.create ();
   }
 
-let temp_input ~id ~provenance table ~provides ~stats =
+let temp_input ?(stats_epoch = 0) ~id ~provenance table ~provides ~stats =
   {
     id; table; provides; filters = []; stats; is_temp = true; base_table = None;
-    provenance; memo = Hashtbl.create 4; scratch = Scratch.create ();
+    provenance; stats_epoch; memo = Hashtbl.create 4; scratch = Scratch.create ();
   }
 
 let of_query registry (q : Query.t) =

@@ -26,6 +26,12 @@ type input = {
       (** logical identity: for a base input, alias/table/filters; for a
           temp, the {!key} of the fragment that was materialized into it.
           Lets logically-equal fragments share one oracle memo entry. *)
+  stats_epoch : int;
+      (** statistics generation of the input: base inputs carry the
+          registry's per-table epoch (bumped by
+          {!Stats_registry.invalidate}, i.e. re-ANALYZE), temps the epoch
+          given at construction. Part of DP-memo keys — same provenance
+          at a newer epoch must not reuse memoized subplans. *)
   memo : (string, float) Hashtbl.t;
       (** scratch cache for estimator-derived per-input quantities
           (post-filter rows, per-column effective ndv); keyed by a label
@@ -47,10 +53,11 @@ val base_input : Stats_registry.t -> alias:string -> table:string -> Expr.pred l
 (** An input scanning a base table under a query alias: the schema and the
     cached table statistics are requalified to the alias. *)
 
-val temp_input : id:string -> provenance:string -> Table.t -> provides:string list ->
-  stats:Table_stats.t -> input
+val temp_input : ?stats_epoch:int -> id:string -> provenance:string -> Table.t ->
+  provides:string list -> stats:Table_stats.t -> input
 (** An input scanning a materialized temporary. Its schema must already
-    carry the original alias qualifiers. *)
+    carry the original alias qualifiers. [stats_epoch] (default 0)
+    distinguishes re-materializations sharing a provenance. *)
 
 val requalify_stats : string -> Table_stats.t -> Table_stats.t
 (** Re-key every column's stats under a new relation qualifier (used when

@@ -4,10 +4,16 @@ type t = {
   catalog : Catalog.t;
   mutex : Mutex.t;
   cache : (string, Table_stats.t) Hashtbl.t;
+  epochs : (string, int) Hashtbl.t;
 }
 
 let create catalog =
-  { catalog; mutex = Mutex.create (); cache = Hashtbl.create 16 }
+  {
+    catalog;
+    mutex = Mutex.create ();
+    cache = Hashtbl.create 16;
+    epochs = Hashtbl.create 16;
+  }
 
 let catalog t = t.catalog
 
@@ -28,4 +34,12 @@ let stats t name =
           Hashtbl.replace t.cache name s;
           s)
 
-let invalidate t name = with_lock t (fun () -> Hashtbl.remove t.cache name)
+let epoch t name =
+  with_lock t (fun () ->
+      Option.value (Hashtbl.find_opt t.epochs name) ~default:0)
+
+let invalidate t name =
+  with_lock t (fun () ->
+      Hashtbl.remove t.cache name;
+      Hashtbl.replace t.epochs name
+        (1 + Option.value (Hashtbl.find_opt t.epochs name) ~default:0))

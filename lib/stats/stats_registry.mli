@@ -11,5 +11,12 @@ val stats : t -> string -> Table_stats.t
 (** Stats of the named base table, computed on first request. Column stats
     are keyed by the table's own name. *)
 
+val epoch : t -> string -> int
+(** Statistics epoch of the named base table: 0 until the first
+    {!invalidate}, bumped by one on each. Inputs built from this registry
+    are stamped with it, so plan memos keyed on the stamp miss whenever
+    the table has been re-ANALYZEd since. *)
+
 val invalidate : t -> string -> unit
-(** Drop the cached entry (tests / simulated stale-statistics scenarios). *)
+(** Drop the cached entry and bump the table's epoch (tests / simulated
+    stale-statistics scenarios / re-ANALYZE after data change). *)

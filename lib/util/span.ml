@@ -14,6 +14,7 @@ type category =
   | Pool_task
   | Pool_wait
   | Analyze
+  | Dp_memo
 
 let category_name = function
   | Optimize -> "optimize"
@@ -25,6 +26,7 @@ let category_name = function
   | Pool_task -> "pool-task"
   | Pool_wait -> "pool-wait"
   | Analyze -> "analyze"
+  | Dp_memo -> "dp-memo"
 
 let all_categories =
   [
@@ -37,6 +39,7 @@ let all_categories =
     Pool_task;
     Pool_wait;
     Analyze;
+    Dp_memo;
   ]
 
 type span = {

@@ -29,6 +29,9 @@ type category =
   | Pool_task  (** a pool job running on a worker domain *)
   | Pool_wait  (** time a pool job spent queued before running *)
   | Analyze  (** statistics collection on materialized temps *)
+  | Dp_memo
+      (** one cross-step DP-memo consultation: the marker's args carry
+          the subset hit / miss counts of one optimizer call *)
 
 val category_name : category -> string
 (** Stable kebab-case name ([optimize], [dp-level], [reopt-step], ...). *)

@@ -82,6 +82,7 @@ let test_filter_input () =
       is_temp = false;
       base_table = Some "a";
       provenance = "a";
+      stats_epoch = 0;
       memo = Hashtbl.create 1;
       scratch = Qs_util.Scratch.create ();
     }
@@ -125,6 +126,7 @@ let test_deadline_timeout () =
       is_temp = false;
       base_table = Some base;
       provenance = t.Table.name;
+      stats_epoch = 0;
       memo = Hashtbl.create 1;
       scratch = Qs_util.Scratch.create ();
     }
@@ -189,6 +191,7 @@ let fragment_input ?(filters = []) (t : Table.t) =
     is_temp = false;
     base_table = Some t.Table.name;
     provenance = t.Table.name;
+    stats_epoch = 0;
     memo = Hashtbl.create 1;
     scratch = Qs_util.Scratch.create ();
   }

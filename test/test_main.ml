@@ -27,6 +27,7 @@ let () =
       ("obs", Test_obs.suite);
       ("span", Test_span.suite);
       ("differential", Test_differential.suite);
+      ("parallel_dp", Test_parallel_dp.suite);
       ("driver", Test_driver.suite);
       ("similarity", Test_similarity.suite);
       ("workloads", Test_workloads.suite);

@@ -1,0 +1,252 @@
+(* Parallel DP enumeration and the cross-step DP memo: both are pure
+   optimizations — every test here is a determinism proof, asserting that
+   pooled enumeration and memo replay pick plans byte-identical to the
+   sequential, memo-free optimizer. *)
+
+module Catalog = Qs_storage.Catalog
+module Table = Qs_storage.Table
+module Schema = Qs_storage.Schema
+module Value = Qs_storage.Value
+module Query = Qs_query.Query
+module Expr = Qs_query.Expr
+module Estimator = Qs_stats.Estimator
+module Fragment = Qs_stats.Fragment
+module Stats_registry = Qs_stats.Stats_registry
+module Optimizer = Qs_plan.Optimizer
+module Physical = Qs_plan.Physical
+module Dp_memo = Qs_plan.Dp_memo
+module Strategy = Qs_core.Strategy
+module Runner = Qs_harness.Runner
+module Algos = Qs_harness.Algos
+module Fuzz = Qs_workload.Fuzz
+module Pool = Qs_util.Pool
+module Span = Qs_util.Span
+
+let plan_of ?pool ?memo cat frag =
+  Physical.to_string (Optimizer.optimize ?pool ?memo cat Estimator.default frag).Optimizer.plan
+
+(* A PK-FK chain r0 <- r1 <- ... <- r{n-1}: single connected component, so
+   every DP level is fully populated — the widest levels comfortably clear
+   the optimizer's parallel fan-out threshold. *)
+let chain_catalog n_rels =
+  let cat = Catalog.create () in
+  for i = 0 to n_rels - 1 do
+    let name = Printf.sprintf "r%d" i in
+    let tbl =
+      Table.create ~name
+        ~schema:(Schema.make name [ ("id", Value.TInt); ("fk", Value.TInt) ])
+        (Array.init 200 (fun j ->
+             [| Value.Int (j + 1); Value.Int (1 + (j * 7 mod 200)) |]))
+    in
+    Catalog.add_table cat ~pk:"id" tbl;
+    if i > 0 then
+      Catalog.add_fk cat ~from_table:name ~from_column:"fk"
+        ~to_table:(Printf.sprintf "r%d" (i - 1))
+        ~to_column:"id"
+  done;
+  Catalog.build_indexes cat Catalog.Pk_fk;
+  cat
+
+let chain_query n_rels =
+  let alias i = Printf.sprintf "r%d" i in
+  Query.make
+    ~name:(Printf.sprintf "chain%d" n_rels)
+    (List.init n_rels (fun i -> { Query.alias = alias i; table = alias i }))
+    (List.init (n_rels - 1) (fun i ->
+         Expr.Cmp
+           (Expr.Eq, Expr.col (alias (i + 1)) "fk", Expr.col (alias i) "id")))
+
+let chain_frag n_rels =
+  let cat = chain_catalog n_rels in
+  let registry = Stats_registry.create cat in
+  (cat, registry, Fragment.of_query registry (chain_query n_rels))
+
+(* 200 seeded random queries: the parallel optimizer must pick the same
+   plan as the sequential one at every pool width, including width 1 (the
+   pool's inline path). *)
+let test_parallel_corpus () =
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let queries = Fuzz.queries cat ~seed:20230617 ~n:200 () in
+  let frags = List.map (Strategy.fragment_of_query ctx) queries in
+  let expected = List.map (plan_of cat) frags in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          List.iter2
+            (fun frag exp ->
+              Alcotest.(check string)
+                (Printf.sprintf "domains=%d" domains)
+                exp (plan_of ~pool cat frag))
+            frags expected))
+    [ 1; 2; 4 ]
+
+(* a 10-relation chain drives level widths up to C(10,5) = 252 subsets, so
+   the pooled sweep genuinely fans out (threshold is 16 misses) *)
+let test_parallel_chain () =
+  let cat, _, frag = chain_frag 10 in
+  let expected = plan_of cat frag in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          Alcotest.(check string)
+            (Printf.sprintf "chain domains=%d" domains)
+            expected (plan_of ~pool cat frag)))
+    [ 2; 4 ]
+
+(* memo property over the corpus: first call populates, second call
+   replays — both must match the memo-free plan, and the replay must
+   actually hit *)
+let test_memo_property_corpus () =
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let queries = Fuzz.queries cat ~seed:7 ~n:60 () in
+  let hits_total = ref 0 in
+  List.iter
+    (fun q ->
+      let frag = Strategy.fragment_of_query ctx q in
+      let expected = plan_of cat frag in
+      let memo = Dp_memo.create () in
+      Alcotest.(check string)
+        (q.Query.name ^ " populate") expected (plan_of ~memo cat frag);
+      let h0 = Dp_memo.hits memo in
+      Alcotest.(check string)
+        (q.Query.name ^ " replay") expected (plan_of ~memo cat frag);
+      hits_total := !hits_total + (Dp_memo.hits memo - h0))
+    queries;
+  if !hits_total = 0 then Alcotest.fail "memo replay never hit"
+
+(* registering a temp over some aliases must invalidate every memoized
+   subset touching them — and only change which work is redone, never the
+   chosen plan *)
+let test_memo_bump_invalidates () =
+  let cat, _, frag = chain_frag 6 in
+  let expected = plan_of cat frag in
+  let memo = Dp_memo.create () in
+  Alcotest.(check string) "populate" expected (plan_of ~memo cat frag);
+  let h0 = Dp_memo.hits memo in
+  Alcotest.(check string) "replay" expected (plan_of ~memo cat frag);
+  if Dp_memo.hits memo <= h0 then Alcotest.fail "replay should hit";
+  Dp_memo.bump memo ~aliases:[ "r3" ];
+  let m1 = Dp_memo.misses memo in
+  Alcotest.(check string) "after bump" expected (plan_of ~memo cat frag);
+  if Dp_memo.misses memo <= m1 then
+    Alcotest.fail "bump must force subsets containing r3 to miss";
+  Alcotest.(check int) "alias epoch advanced" 1 (Dp_memo.alias_epoch memo "r3")
+
+(* re-ANALYZE (Stats_registry.invalidate) bumps the per-table epoch; base
+   inputs built afterwards carry it, so memo keys derived from the old
+   epoch are never looked up again *)
+let test_memo_registry_invalidate () =
+  let cat, registry, frag = chain_frag 6 in
+  let epoch_of f alias =
+    let i = List.find (fun i -> i.Fragment.id = alias) f.Fragment.inputs in
+    i.Fragment.stats_epoch
+  in
+  Alcotest.(check int) "fresh epoch" 0 (epoch_of frag "r2");
+  let memo = Dp_memo.create () in
+  let expected = plan_of cat frag in
+  Alcotest.(check string) "populate" expected (plan_of ~memo cat frag);
+  Stats_registry.invalidate registry "r2";
+  let frag' = Fragment.of_query registry (chain_query 6) in
+  Alcotest.(check int) "bumped epoch" 1 (epoch_of frag' "r2");
+  let m0 = Dp_memo.misses memo in
+  Alcotest.(check string) "after invalidate" expected (plan_of ~memo cat frag');
+  if Dp_memo.misses memo <= m0 then
+    Alcotest.fail "re-ANALYZE must force subsets containing r2 to miss"
+
+(* end-to-end: QuerySplit with a cross-step memo returns the same result
+   tables as without, and the memo earns hits across re-opt steps *)
+let test_memo_strategy_equivalence () =
+  let cat, _ = Fixtures.shop_ctx ~n_orders:400 () in
+  let registry = Stats_registry.create cat in
+  let queries = Fuzz.queries cat ~seed:31 ~n:30 () in
+  let hits_total = ref 0 in
+  List.iter
+    (fun q ->
+      let ctx_off = Strategy.make_ctx registry Estimator.default in
+      let plain = (Algos.querysplit.Runner.strategy.Strategy.run ctx_off q).Strategy.result in
+      let memo = Dp_memo.create () in
+      let ctx_on = Strategy.make_ctx ~dp_memo:memo registry Estimator.default in
+      let memoed = (Algos.querysplit.Runner.strategy.Strategy.run ctx_on q).Strategy.result in
+      if not (Fixtures.tables_equal plain memoed) then
+        Alcotest.failf "%s: memo-on result diverges" q.Query.name;
+      hits_total := !hits_total + Dp_memo.hits memo)
+    queries;
+  if !hits_total = 0 then
+    Alcotest.fail "QuerySplit never hit the cross-step memo"
+
+(* the DP input limit is runtime-configurable; above it the optimizer
+   falls back to the greedy planner (visible in the optimize span name) *)
+let test_dp_limit_greedy_fallback () =
+  let cat, ctx = Fixtures.shop_ctx () in
+  let frag = Strategy.fragment_of_query ctx (Fixtures.shop_query ()) in
+  let saved = Optimizer.dp_input_limit () in
+  Fun.protect
+    ~finally:(fun () -> Optimizer.set_dp_input_limit saved)
+    (fun () ->
+      Optimizer.set_dp_input_limit 3;
+      Alcotest.(check int) "limit set" 3 (Optimizer.dp_input_limit ());
+      let tr = Span.create () in
+      let r = Optimizer.optimize ~spans:tr cat Estimator.default frag in
+      if not (Physical.to_string r.Optimizer.plan <> "") then
+        Alcotest.fail "greedy fallback produced no plan";
+      let names =
+        List.filter_map
+          (fun (s : Span.span) ->
+            if s.Span.cat = Span.Optimize then Some s.Span.name else None)
+          (Span.spans tr)
+      in
+      Alcotest.(check (list string)) "greedy span" [ "greedy n=4" ] names)
+
+(* straggler heuristic: a query whose estimated cost dominates the queue
+   gets the cell pool as its join/DP pool — flagged on its execute span,
+   with digests identical to the sequential run *)
+let test_straggler_autoparallel () =
+  let cat, _ = Fixtures.shop_ctx ~n_orders:400 () in
+  let env = Runner.make_env cat in
+  let small name table =
+    Query.make ~name [ { Query.alias = "t"; table } ] []
+  in
+  let queries =
+    [ Fixtures.shop_query (); small "just_cust" "customers"; small "just_prod" "products" ]
+  in
+  let seq = Runner.run_spj ~timeout:20.0 env Algos.default queries in
+  let tr = Span.create () in
+  let par =
+    Runner.run_spj ~timeout:20.0 ~domains:2 ~tracer:tr env Algos.default queries
+  in
+  List.iter2
+    (fun (a : Runner.qresult) (b : Runner.qresult) ->
+      Alcotest.(check string) ("digest " ^ a.Runner.query) a.Runner.digest
+        b.Runner.digest)
+    seq par;
+  let flagged =
+    List.filter
+      (fun (s : Span.span) ->
+        s.Span.cat = Span.Execute
+        && List.assoc_opt "parallel-join" s.Span.args = Some "auto")
+      (Span.spans tr)
+  in
+  match flagged with
+  | [ s ] ->
+      Alcotest.(check string) "straggler is the join query" "query:shopq"
+        s.Span.name
+  | [] -> Alcotest.fail "no execute span carried parallel-join=auto"
+  | _ -> Alcotest.fail "straggler flag should single out the dominant query"
+
+let suite =
+  [
+    Alcotest.test_case "parallel corpus 200q domains {1,2,4}" `Slow
+      test_parallel_corpus;
+    Alcotest.test_case "parallel 10-relation chain" `Quick test_parallel_chain;
+    Alcotest.test_case "memo property corpus" `Slow test_memo_property_corpus;
+    Alcotest.test_case "memo bump invalidates aliases" `Quick
+      test_memo_bump_invalidates;
+    Alcotest.test_case "memo registry invalidate" `Quick
+      test_memo_registry_invalidate;
+    Alcotest.test_case "memo-on QuerySplit equivalence" `Slow
+      test_memo_strategy_equivalence;
+    Alcotest.test_case "dp limit greedy fallback" `Quick
+      test_dp_limit_greedy_fallback;
+    Alcotest.test_case "straggler auto-parallel" `Quick
+      test_straggler_autoparallel;
+  ]

@@ -19,6 +19,7 @@ let input name =
     is_temp = false;
     base_table = Some name;
     provenance = name;
+    stats_epoch = 0;
     memo = Hashtbl.create 1;
     scratch = Qs_util.Scratch.create ();
   }

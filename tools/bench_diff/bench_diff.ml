@@ -4,13 +4,35 @@
 
      dune exec tools/bench_diff/bench_diff.exe -- old.json new.json
      dune exec tools/bench_diff/bench_diff.exe -- --threshold 0.1 a.json b.json
+     dune exec tools/bench_diff/bench_diff.exe -- --counters-only a.json b.json
+
+   [--counters-only] drops every histogram before diffing, comparing only
+   the deterministic counters (queries, timeouts, replans,
+   materializations, memo hits...) — the machine-independent subset, used
+   by tools/check.sh to gate committed BENCH_*.json baselines without
+   tripping on wall-clock noise.
 
    Exit status: 0 = within threshold, 1 = regressions (or metrics gone
    missing / workload size changed), 2 = usage or parse error. *)
 
 module Metrics_diff = Qs_obs.Metrics_diff
 
-let usage = "usage: bench_diff [--threshold REL] OLD.json NEW.json"
+let usage = "usage: bench_diff [--threshold REL] [--counters-only] OLD.json NEW.json"
+
+(* keep only each strategy's "counters" member, so histogram drift (means
+   of times/bytes/q-error, which vary by machine and by sampled workload)
+   never fails the deterministic gate *)
+let counters_only = function
+  | Metrics_diff.Obj strategies ->
+      Metrics_diff.Obj
+        (List.map
+           (fun (label, entry) ->
+             match entry with
+             | Metrics_diff.Obj members ->
+                 (label, Metrics_diff.Obj (List.filter (fun (k, _) -> k = "counters") members))
+             | other -> (label, other))
+           strategies)
+  | other -> other
 
 let fail_usage msg =
   prerr_endline msg;
@@ -28,6 +50,7 @@ let load path =
 
 let () =
   let threshold = ref 0.2 in
+  let counters = ref false in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -37,6 +60,9 @@ let () =
         | _ -> fail_usage ("bench_diff: bad threshold " ^ v));
         parse_args rest
     | "--threshold" :: [] -> fail_usage "bench_diff: --threshold needs a value"
+    | "--counters-only" :: rest ->
+        counters := true;
+        parse_args rest
     | f :: rest ->
         files := !files @ [ f ];
         parse_args rest
@@ -45,6 +71,10 @@ let () =
   match !files with
   | [ old_path; new_path ] ->
       let old_ = load old_path and new_ = load new_path in
+      let old_, new_ =
+        if !counters then (counters_only old_, counters_only new_)
+        else (old_, new_)
+      in
       let report = Metrics_diff.diff ~threshold:!threshold ~old_ ~new_ () in
       print_string (Metrics_diff.render report);
       if report.Metrics_diff.regressions <> [] || report.Metrics_diff.missing <> []

@@ -42,6 +42,23 @@ for c in $constructors $methods; do
   fi
 done
 
+# --- bench baseline drift ----------------------------------------------
+# The committed BENCH_*.json dumps must stay within threshold on their
+# deterministic counters (queries, replans, materializations, memo hits);
+# histogram means carry machine-dependent wall-clock and are not gated.
+# The exe is a declared dep of the runtest rule; when running by hand it
+# lives under _build.
+bench_diff=tools/bench_diff/bench_diff.exe
+[ -x "$bench_diff" ] || bench_diff=_build/default/tools/bench_diff/bench_diff.exe
+if [ -x "$bench_diff" ] && [ -f BENCH_pr4.json ] && [ -f BENCH_pr5.json ]; then
+  "$bench_diff" --counters-only --threshold 0.5 BENCH_pr4.json BENCH_pr5.json || {
+    echo "check: BENCH_pr5.json counter-regresses against BENCH_pr4.json" >&2
+    status=1
+  }
+else
+  echo "check: bench_diff not built — skipping baseline diff" >&2
+fi
+
 # --- formatting --------------------------------------------------------
 if [ -z "${INSIDE_DUNE:-}" ]; then
   dune build @fmt || {
