@@ -11,7 +11,12 @@
      dune exec bench/main.exe -- --domains 4 --chunk-rows 16384 scan_sweep
      dune exec bench/main.exe -- --domains 4 --dp-limit 14 dp_sweep
      dune exec bench/main.exe -- --trace-out trace.json fig11  # Chrome trace
-     dune exec bench/main.exe -- --metrics-out BENCH.json      # bench_diff dump *)
+     dune exec bench/main.exe -- --metrics-out BENCH.json      # bench_diff dump
+     dune exec bench/main.exe -- serve_sweep --metrics-out BENCH.json
+     # committed-baseline regeneration (see tools/check.sh): one run
+     # writing both flavours — the roster-only file and roster+serve
+     dune exec bench/main.exe -- --queries 12 \
+       --baseline-out BENCH_pr5.json --metrics-out BENCH_pr6.json *)
 
 module Experiments = Qs_harness.Experiments
 
@@ -34,6 +39,7 @@ let experiments : (string * (Experiments.setup -> unit)) list =
     ("par_sweep", Experiments.par_sweep);
     ("scan_sweep", Experiments.scan_sweep);
     ("dp_sweep", Experiments.dp_sweep);
+    ("serve_sweep", Experiments.serve_sweep);
   ]
 
 (* ---------------------------------------------------------------------- *)
@@ -114,6 +120,7 @@ let () =
   let want_micro = ref false in
   let trace_out = ref None in
   let metrics_out = ref None in
+  let baseline_out = ref None in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -143,6 +150,9 @@ let () =
     | "--metrics-out" :: v :: rest ->
         metrics_out := Some v;
         parse rest
+    | "--baseline-out" :: v :: rest ->
+        baseline_out := Some v;
+        parse rest
     | "micro" :: rest ->
         want_micro := true;
         parse rest
@@ -162,7 +172,10 @@ let () =
     setup := { !setup with Experiments.tracer = Some (Qs_util.Span.create ()) };
   (* no arguments: run everything, micro-benchmarks included — unless the
      invocation is a pure --metrics-out dump *)
-  let default_run = !chosen = [] && (not !want_micro) && !metrics_out = None in
+  let default_run =
+    !chosen = [] && (not !want_micro) && !metrics_out = None
+    && !baseline_out = None
+  in
   if default_run then want_micro := true;
   let names = if default_run then List.map fst experiments else !chosen in
   let s = !setup in
@@ -180,14 +193,21 @@ let () =
         (Qs_util.Timer.elapsed ~since:t0))
     names;
   if !want_micro then micro ();
-  (match !metrics_out with
-  | None -> ()
-  | Some path ->
-      let json = Experiments.metrics_json s in
-      Out_channel.with_open_text path (fun oc ->
-          output_string oc json;
-          output_char oc '\n');
-      Printf.printf "wrote metrics JSON to %s\n%!" path);
+  let write path json =
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc json;
+        output_char oc '\n');
+    Printf.printf "wrote metrics JSON to %s\n%!" path
+  in
+  (match (!metrics_out, !baseline_out) with
+  | None, None -> ()
+  | Some path, None -> write path (Experiments.metrics_json s)
+  | metrics, Some base_path ->
+      (* both flavours from one harness run, so a full bench_diff between
+         the two written files is meaningful *)
+      let base_json, full_json = Experiments.metrics_json_pair s in
+      write base_path base_json;
+      Option.iter (fun path -> write path full_json) metrics);
   match (!trace_out, s.Experiments.tracer) with
   | Some path, Some tr ->
       Qs_obs.Chrome_trace.write path tr;

@@ -5,6 +5,8 @@
      dune exec bin/qsdemo.exe -- run --workload dsb --algo pop --index pk
      dune exec bin/qsdemo.exe -- run --explain -n 3        # EXPLAIN ANALYZE
      dune exec bin/qsdemo.exe -- run --profile -n 4        # span profile + journal
+     dune exec bin/qsdemo.exe -- run --serve -n 20 --domains 2  # serving front end
+     dune exec bin/qsdemo.exe -- run --serve --policy fifo -n 20
      dune exec bin/qsdemo.exe -- plan --workload cinema --query 3 *)
 
 module Catalog = Qs_storage.Catalog
@@ -23,6 +25,8 @@ module Trace = Qs_obs.Trace
 module Explain = Qs_obs.Explain
 module Profile = Qs_obs.Profile
 module Span = Qs_util.Span
+module Server = Qs_serve.Server
+module Scheduler = Qs_serve.Scheduler
 
 open Cmdliner
 
@@ -109,6 +113,30 @@ let profile_arg =
               (one line per reopt step: selected subquery, score, \
               estimated vs. observed cardinality, replan decision).")
 
+let serve_arg =
+  Arg.(value & flag
+       & info [ "serve" ]
+           ~doc:
+             "Route the queries through the concurrent serving front end \
+              (bounded admission queue, cost-aware scheduling with aging, \
+              shared epoch-stamped plan cache) instead of the plain runner. \
+              Pool width and concurrency follow --domains. Cinema workload \
+              only.")
+
+let policy_arg =
+  let policy_conv =
+    let parse s =
+      match Scheduler.policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg ("unknown policy " ^ s ^ " (fifo | cost-aware)"))
+    in
+    let print ppf p = Format.pp_print_string ppf (Scheduler.policy_name p) in
+    Arg.conv (parse, print)
+  in
+  Arg.(value & opt policy_conv Scheduler.Cost_aware
+       & info [ "policy" ]
+           ~doc:"Serving scheduler policy (--serve only): fifo or cost-aware.")
+
 let explain_arg =
   Arg.(value & flag
        & info [ "explain" ]
@@ -135,8 +163,67 @@ let build_cinema ~scale ~seed ~index =
   Catalog.build_indexes cat index;
   cat
 
+(* Serve the cinema queries through the concurrent front end: two
+   interleaved sessions over one shared pool, per-query turnaround
+   reported alongside the server's own counters. *)
+let serve_demo ~scale ~seed ~n ~index ~domains ~policy tracer =
+  let cat = build_cinema ~scale ~seed ~index in
+  let env = Runner.make_env ~seed cat in
+  let queries = Qs_workload.Cinema.queries cat ~seed:(seed + 1) ~n in
+  Qs_util.Pool.with_pool ?tracer ~domains:(max 1 domains) (fun pool ->
+      let config =
+        { Server.default_config with
+          Server.policy;
+          concurrency = max 1 domains;
+        }
+      in
+      let server =
+        Server.create ~config ?spans:tracer ~pool env.Runner.registry
+          Estimator.default
+      in
+      Printf.printf
+        "serving %d cinema queries over 2 sessions (%s scheduling, pool width \
+         %d)\n"
+        (List.length queries)
+        (Scheduler.policy_name policy)
+        (Qs_util.Pool.size pool);
+      let tickets =
+        List.mapi
+          (fun i q ->
+            Server.submit server ~session:(Printf.sprintf "s%d" (i mod 2)) q)
+          queries
+      in
+      let rs = List.map (Server.await server) tickets in
+      Server.drain server;
+      List.iter
+        (fun (r : Server.result) ->
+          let status =
+            match r.Server.status with
+            | Server.Completed -> ""
+            | Server.Deadline_exceeded -> " DEADLINE"
+            | Server.Cancelled -> " CANCELLED"
+            | Server.Failed msg -> " FAILED: " ^ msg
+          in
+          Printf.printf
+            "  %-14s %s  wait %8.4fs  exec %8.4fs  rows=%-6d%s%s\n"
+            r.Server.query r.Server.session r.Server.queue_wait
+            r.Server.exec_time r.Server.row_count
+            (if r.Server.cache_hit then "  cached-plan" else "")
+            status)
+        rs;
+      let m = Server.metrics server in
+      Printf.printf
+        "completed %d/%d; plan cache %d hits / %d misses; %d scheduling \
+         rounds; peak queue %d\n"
+        (Qs_obs.Metrics.counter m "completed")
+        (Qs_obs.Metrics.counter m "submitted")
+        (Qs_obs.Metrics.counter m "plan_cache_hits")
+        (Qs_obs.Metrics.counter m "plan_cache_misses")
+        (Qs_obs.Metrics.counter m "rounds")
+        (Server.peak_queue server))
+
 let run_cmd workload scale seed n timeout index algo collect_stats domains
-    join_parallelism explain profile chunk_rows dp_limit =
+    join_parallelism explain profile serve policy chunk_rows dp_limit =
   apply_chunk_rows chunk_rows;
   apply_dp_limit dp_limit;
   let tracer = if profile then Some (Span.create ()) else None in
@@ -148,6 +235,12 @@ let run_cmd workload scale seed n timeout index algo collect_stats domains
         print_string (Profile.summary tr)
   in
   match workload with
+  | `Cinema when serve ->
+      serve_demo ~scale ~seed ~n ~index ~domains ~policy tracer;
+      print_profile ()
+  | (`Star | `Dsb) when serve ->
+      prerr_endline "--serve is only supported for the cinema (SPJ) workload";
+      exit 1
   | `Cinema when explain ->
       let cat = build_cinema ~scale ~seed ~index in
       let env = Runner.make_env ~seed cat in
@@ -274,7 +367,7 @@ let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ seed_arg $ queries_arg $ timeout_arg
     $ index_arg $ algo_arg $ stats_arg $ domains_arg $ join_par_arg $ explain_arg
-    $ profile_arg $ chunk_rows_arg $ dp_limit_arg)
+    $ profile_arg $ serve_arg $ policy_arg $ chunk_rows_arg $ dp_limit_arg)
 
 let query_arg =
   Arg.(value & opt int 0 & info [ "query"; "q" ] ~doc:"Query index to inspect.")

@@ -142,7 +142,7 @@ let run config ctx (q : Query.t) =
         (List.hd ranked) (List.tl ranked)
     in
     let table, _ =
-      Executor.run ?deadline:!(ctx.Strategy.deadline) ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
+      Executor.run ?deadline:!(ctx.Strategy.deadline) ?cancel:ctx.Strategy.cancel ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
         ?spans:ctx.Strategy.spans plan_res.Optimizer.plan
     in
     (* the re-optimization journal: one [reopt-step] span per iteration *)
@@ -240,8 +240,9 @@ let run config ctx (q : Query.t) =
           replanned = true;
         }
         :: !iterations;
-      (* the executor may only notice the deadline inside long joins; make
-         sure iteration boundaries observe it too *)
+      (* the executor may only notice the deadline (or a cancellation)
+         inside long joins; make sure iteration boundaries observe both *)
+      Qs_util.Cancel.check ctx.Strategy.cancel;
       match !(ctx.Strategy.deadline) with
       | Some d when Timer.now () > d -> raise Executor.Timeout
       | _ -> ()

@@ -41,6 +41,7 @@ type ctx = {
   spans : Qs_util.Span.t option;
   pool : Pool.t option;
   dp_memo : Qs_plan.Dp_memo.t option;
+  cancel : Qs_util.Cancel.t option;
 }
 
 type t = {
@@ -49,10 +50,10 @@ type t = {
 }
 
 let make_ctx ?(collect_stats = true) ?(deadline = None) ?(seed = 42) ?trace ?spans
-    ?pool ?dp_memo registry estimator =
+    ?pool ?dp_memo ?cancel registry estimator =
   {
     registry; estimator; collect_stats; deadline = ref deadline; seed;
-    pseudo = Hashtbl.create 8; trace; spans; pool; dp_memo;
+    pseudo = Hashtbl.create 8; trace; spans; pool; dp_memo; cancel;
   }
 
 let catalog ctx = Stats_registry.catalog ctx.registry

@@ -64,6 +64,13 @@ type ctx = {
           after a re-optimization step, only subsets whose cardinality
           inputs changed are re-enumerated. Plans are unchanged. Intended
           lifetime is one query (the harness creates one per query). *)
+  cancel : Qs_util.Cancel.t option;
+      (** when set, executor batch boundaries and re-optimization
+          iteration boundaries poll this token and unwind with
+          [Qs_util.Cancel.Cancelled] when it fires — cooperative
+          cancellation for the serving front end. Unlike a deadline, a
+          cancellation is {e not} converted into a [timed_out] outcome
+          by {!guard}: it propagates to the caller. *)
 }
 
 type t = {
@@ -73,7 +80,8 @@ type t = {
 
 val make_ctx : ?collect_stats:bool -> ?deadline:float option -> ?seed:int ->
   ?trace:Qs_obs.Trace.t -> ?spans:Qs_util.Span.t -> ?pool:Qs_util.Pool.t ->
-  ?dp_memo:Qs_plan.Dp_memo.t -> Stats_registry.t -> Estimator.t -> ctx
+  ?dp_memo:Qs_plan.Dp_memo.t -> ?cancel:Qs_util.Cancel.t ->
+  Stats_registry.t -> Estimator.t -> ctx
 
 val catalog : ctx -> Catalog.t
 

@@ -7,6 +7,7 @@ module Fragment = Qs_stats.Fragment
 module Expr = Qs_query.Expr
 module Trace = Qs_obs.Trace
 module Scratch = Qs_util.Scratch
+module Cancel = Qs_util.Cancel
 module Timer = Qs_util.Timer
 module Pool = Qs_util.Pool
 module Span = Qs_util.Span
@@ -21,6 +22,13 @@ let check_deadline = function
   | Some d when Timer.now () > d -> raise Timeout
   | _ -> ()
 
+(* Deadline and cancellation share the same polling points: [tick]
+   raises [Cancel.Cancelled] or [Timeout] at batch boundaries, so a
+   served query unwinds within one batch of either signal. *)
+let tick deadline cancel () =
+  Cancel.check cancel;
+  check_deadline deadline
+
 (* Deadline checks are amortized over batches of rows. *)
 let batch = 16384
 
@@ -29,11 +37,12 @@ let table_slot : Table.t Scratch.slot = Scratch.slot ()
 let filters_key filters =
   String.concat " & " (List.sort compare (List.map Expr.to_string filters))
 
-let filter_chunk ?deadline schema filters rows =
+let filter_chunk ?deadline ?cancel schema filters rows =
+  let tick = tick deadline cancel in
   let out = ref [] in
   Array.iteri
     (fun i row ->
-      if i mod batch = 0 then check_deadline deadline;
+      if i mod batch = 0 then tick ();
       if List.for_all (Expr.eval schema row) filters then out := row :: !out)
     rows;
   Array.of_list (List.rev !out)
@@ -41,13 +50,15 @@ let filter_chunk ?deadline schema filters rows =
 (* Chunked scan+filter. With [pool], chunks are filtered in parallel;
    Pool.map returns per-chunk outputs in chunk order, so the surviving
    rows come back in exactly the sequential scan's row order. *)
-let filter_table ?deadline ?pool (tbl : Table.t) filters =
+let filter_table ?deadline ?cancel ?pool (tbl : Table.t) filters =
   match filters with
   | [] -> tbl
   | filters ->
       let schema = tbl.Table.schema in
       let nc = Table.n_chunks tbl in
-      let job ci = filter_chunk ?deadline schema filters (Table.chunk tbl ci) in
+      let job ci =
+        filter_chunk ?deadline ?cancel schema filters (Table.chunk tbl ci)
+      in
       let chunks =
         match pool with
         | Some pool when Pool.size pool > 1 && nc > 1 ->
@@ -56,7 +67,7 @@ let filter_table ?deadline ?pool (tbl : Table.t) filters =
       in
       Table.of_chunks ~name:tbl.Table.name ~schema chunks
 
-let filter_input ?deadline ?pool (input : Fragment.input) =
+let filter_input ?deadline ?cancel ?pool (input : Fragment.input) =
   let tbl = input.Fragment.table in
   match input.Fragment.filters with
   | [] -> tbl
@@ -65,10 +76,12 @@ let filter_input ?deadline ?pool (input : Fragment.input) =
          input record — re-optimization re-scans the same inputs many
          times. The cache key carries the predicate list: an input
          re-planned with different pushed-down filters must not reuse
-         rows filtered under the old ones. *)
+         rows filtered under the old ones. A cancelled scan unwinds out
+         of [find_or_add] before publishing, leaving the slot empty —
+         the next query refilters from scratch. *)
       Scratch.find_or_add input.Fragment.scratch table_slot
         ("filtered:" ^ filters_key filters)
-        (fun () -> filter_table ?deadline ?pool tbl filters)
+        (fun () -> filter_table ?deadline ?cancel ?pool tbl filters)
 
 (* Join-key extraction: positions of the equi-join columns on each side,
    plus the residual predicates evaluated on the concatenated row. *)
@@ -97,8 +110,9 @@ let has_null = List.exists Value.is_null
    sequential path). Table order is restored within each partition so
    per-key match order — and thus the output multiset — is deterministic
    regardless of which domain runs which bucket. *)
-let partitioned_hash_join ?deadline ~limit ~pool ~(build : Table.t)
+let partitioned_hash_join ?deadline ?cancel ~limit ~pool ~(build : Table.t)
     ~(probe : Table.t) preds =
+  let tick = tick deadline cancel in
   let out_schema = Schema.concat probe.Table.schema build.Table.schema in
   let build_cols, residual = split_join_preds build.Table.schema preds in
   let bpos = key_positions build.Table.schema (List.map fst build_cols) in
@@ -108,7 +122,7 @@ let partitioned_hash_join ?deadline ~limit ~pool ~(build : Table.t)
     let parts = Array.make k [] in
     Table.iteri
       (fun i row ->
-        if i mod batch = 0 then check_deadline deadline;
+        if i mod batch = 0 then tick ();
         let key = key_of_row row pos in
         if not (has_null key) then begin
           let p = Hashtbl.hash key mod k in
@@ -126,7 +140,7 @@ let partitioned_hash_join ?deadline ~limit ~pool ~(build : Table.t)
     in
     List.iteri
       (fun i row ->
-        if i mod batch = 0 then check_deadline deadline;
+        if i mod batch = 0 then tick ();
         let key = key_of_row row bpos in
         Hashtbl.replace index key
           (row :: Option.value (Hashtbl.find_opt index key) ~default:[]))
@@ -134,7 +148,7 @@ let partitioned_hash_join ?deadline ~limit ~pool ~(build : Table.t)
     let out = ref [] in
     List.iteri
       (fun i prow ->
-        if i mod batch = 0 then check_deadline deadline;
+        if i mod batch = 0 then tick ();
         let key = key_of_row prow ppos in
         match Hashtbl.find_opt index key with
         | None -> ()
@@ -142,7 +156,7 @@ let partitioned_hash_join ?deadline ~limit ~pool ~(build : Table.t)
             List.iter
               (fun brow ->
                 let n = 1 + Atomic.fetch_and_add emitted 1 in
-                if n mod batch = 0 then check_deadline deadline;
+                if n mod batch = 0 then tick ();
                 let row = Array.append prow brow in
                 if List.for_all (Expr.eval out_schema row) residual then begin
                   out := row :: !out;
@@ -156,12 +170,13 @@ let partitioned_hash_join ?deadline ~limit ~pool ~(build : Table.t)
   Table.create ~name:"join" ~schema:out_schema
     (Array.concat (List.map Array.of_list parts))
 
-let hash_join ?deadline ?(limit = max_int) ?pool ~(build : Table.t)
+let hash_join ?deadline ?cancel ?(limit = max_int) ?pool ~(build : Table.t)
     ~(probe : Table.t) preds =
   match pool with
   | Some pool when Pool.size pool > 1 ->
-      partitioned_hash_join ?deadline ~limit ~pool ~build ~probe preds
+      partitioned_hash_join ?deadline ?cancel ~limit ~pool ~build ~probe preds
   | _ ->
+  let tick = tick deadline cancel in
   let out_schema = Schema.concat probe.Table.schema build.Table.schema in
   (* orient keys wrt the build side *)
   let build_cols, residual = split_join_preds build.Table.schema preds in
@@ -172,7 +187,7 @@ let hash_join ?deadline ?(limit = max_int) ?pool ~(build : Table.t)
   in
   Table.iteri
     (fun i row ->
-      if i mod batch = 0 then check_deadline deadline;
+      if i mod batch = 0 then tick ();
       let k = key_of_row row bpos in
       if not (has_null k) then
         Hashtbl.replace index k (row :: Option.value (Hashtbl.find_opt index k) ~default:[]))
@@ -181,7 +196,7 @@ let hash_join ?deadline ?(limit = max_int) ?pool ~(build : Table.t)
   let emitted = ref 0 in
   Table.iteri
     (fun i prow ->
-      if i mod batch = 0 then check_deadline deadline;
+      if i mod batch = 0 then tick ();
       let k = key_of_row prow ppos in
       if not (has_null k) then
         match Hashtbl.find_opt index k with
@@ -190,7 +205,7 @@ let hash_join ?deadline ?(limit = max_int) ?pool ~(build : Table.t)
             List.iter
               (fun brow ->
                 incr emitted;
-                if !emitted mod batch = 0 then check_deadline deadline;
+                if !emitted mod batch = 0 then tick ();
                 let row = Array.append prow brow in
                 if List.for_all (Expr.eval out_schema row) residual then begin
                   out := row :: !out;
@@ -200,7 +215,9 @@ let hash_join ?deadline ?(limit = max_int) ?pool ~(build : Table.t)
     probe;
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
-let hash_join_count ?deadline ~(build : Table.t) ~(probe : Table.t) preds =
+let hash_join_count ?deadline ?cancel ~(build : Table.t) ~(probe : Table.t)
+    preds =
+  let tick = tick deadline cancel in
   let out_schema = Schema.concat probe.Table.schema build.Table.schema in
   let build_cols, residual = split_join_preds build.Table.schema preds in
   let bpos = key_positions build.Table.schema (List.map fst build_cols) in
@@ -210,7 +227,7 @@ let hash_join_count ?deadline ~(build : Table.t) ~(probe : Table.t) preds =
   in
   Table.iteri
     (fun i row ->
-      if i mod batch = 0 then check_deadline deadline;
+      if i mod batch = 0 then tick ();
       let k = key_of_row row bpos in
       if not (has_null k) then
         Hashtbl.replace index k (row :: Option.value (Hashtbl.find_opt index k) ~default:[]))
@@ -222,7 +239,7 @@ let hash_join_count ?deadline ~(build : Table.t) ~(probe : Table.t) preds =
   let steps = ref 0 in
   Table.iteri
     (fun i prow ->
-      if i mod batch = 0 then check_deadline deadline;
+      if i mod batch = 0 then tick ();
       let k = key_of_row prow ppos in
       if not (has_null k) then
         if residual = [] then
@@ -234,15 +251,17 @@ let hash_join_count ?deadline ~(build : Table.t) ~(probe : Table.t) preds =
               List.iter
                 (fun brow ->
                   incr steps;
-                  if !steps mod batch = 0 then check_deadline deadline;
+                  if !steps mod batch = 0 then tick ();
                   let row = Array.append prow brow in
                   if List.for_all (Expr.eval out_schema row) residual then incr total)
                 matches)
     probe;
   !total
 
-let index_nl_join ?deadline ?(limit = max_int) ?matched_rows ~(outer : Table.t)
-    ~(inner_input : Fragment.input) ~(index : Index.t) ~(outer_key : Expr.colref) preds =
+let index_nl_join ?deadline ?cancel ?(limit = max_int) ?matched_rows
+    ~(outer : Table.t) ~(inner_input : Fragment.input) ~(index : Index.t)
+    ~(outer_key : Expr.colref) preds =
+  let tick = tick deadline cancel in
   let inner_tbl = inner_input.Fragment.table in
   let out_schema = Schema.concat outer.Table.schema inner_tbl.Table.schema in
   let okpos =
@@ -257,7 +276,7 @@ let index_nl_join ?deadline ?(limit = max_int) ?matched_rows ~(outer : Table.t)
   Table.iter
     (fun orow ->
       incr probes;
-      if !probes mod 1024 = 0 then check_deadline deadline;
+      if !probes mod 1024 = 0 then tick ();
       let key = orow.(okpos) in
       if not (Value.is_null key) then
         List.iter
@@ -277,7 +296,9 @@ let index_nl_join ?deadline ?(limit = max_int) ?matched_rows ~(outer : Table.t)
   Option.iter (fun r -> r := !matched) matched_rows;
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
-let nl_join ?deadline ?(limit = max_int) ~(outer : Table.t) ~(inner : Table.t) preds =
+let nl_join ?deadline ?cancel ?(limit = max_int) ~(outer : Table.t)
+    ~(inner : Table.t) preds =
+  let tick = tick deadline cancel in
   let out_schema = Schema.concat outer.Table.schema inner.Table.schema in
   let out = ref [] in
   let steps = ref 0 in
@@ -287,7 +308,7 @@ let nl_join ?deadline ?(limit = max_int) ~(outer : Table.t) ~(inner : Table.t) p
       Table.iter
         (fun irow ->
           incr steps;
-          if !steps mod batch = 0 then check_deadline deadline;
+          if !steps mod batch = 0 then tick ();
           let row = Array.append orow irow in
           if List.for_all (Expr.eval out_schema row) preds then begin
             out := row :: !out;
@@ -309,7 +330,8 @@ let span_label (p : Physical.t) =
   | Physical.Join { method_ = Physical.Index_nl; _ } -> "index-nl-join"
   | Physical.Join { method_ = Physical.Nl; _ } -> "nl-join"
 
-let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace ?spans plan =
+let run ?deadline ?cancel ?(row_limit = default_row_limit) ?pool ?trace ?spans
+    plan =
   let stats : stats = Hashtbl.create 16 in
   (* Tracing is the only consumer of wall-clock / byte figures; keep the
      untraced path free of clock reads and byte-size walks. *)
@@ -351,7 +373,7 @@ let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace ?spans plan =
     let t0 = now () in
     match p.Physical.node with
     | Physical.Scan input ->
-        let result = filter_input ?deadline ?pool input in
+        let result = filter_input ?deadline ?cancel ?pool input in
         record p ~t0 ~scanned:(Table.n_rows input.Fragment.table) result;
         result
     | Physical.Join j -> (
@@ -360,7 +382,7 @@ let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace ?spans plan =
             let build = go j.Physical.left in
             let probe = go j.Physical.right in
             let result =
-              hash_join ?deadline ~limit:row_limit ?pool ~build ~probe
+              hash_join ?deadline ?cancel ~limit:row_limit ?pool ~build ~probe
                 j.Physical.preds
             in
             record p ~t0 ~built:(Table.n_rows build) ~probed:(Table.n_rows probe)
@@ -386,8 +408,9 @@ let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace ?spans plan =
             in
             let matched = ref 0 in
             let result =
-              index_nl_join ?deadline ~limit:row_limit ~matched_rows:matched ~outer
-                ~inner_input ~index ~outer_key residual
+              index_nl_join ?deadline ?cancel ~limit:row_limit
+                ~matched_rows:matched ~outer ~inner_input ~index ~outer_key
+                residual
             in
             (* The inner scan is consumed through the index, never via [go];
                record it explicitly so every node id of the plan is present
@@ -413,7 +436,8 @@ let run ?deadline ?(row_limit = default_row_limit) ?pool ?trace ?spans plan =
             let outer = go j.Physical.left in
             let inner = go j.Physical.right in
             let result =
-              nl_join ?deadline ~limit:row_limit ~outer ~inner j.Physical.preds
+              nl_join ?deadline ?cancel ~limit:row_limit ~outer ~inner
+                j.Physical.preds
             in
             record p ~t0 ~probed:(Table.n_rows outer) result;
             result)

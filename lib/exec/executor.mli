@@ -7,7 +7,9 @@
 
     Execution checks an optional deadline between row batches and raises
     {!Timeout}; the paper's 1000-second per-query timeout is modelled this
-    way. *)
+    way. An optional {!Qs_util.Cancel} token is polled at the same batch
+    boundaries and raises [Cancel.Cancelled] — the serving front end's
+    cooperative cancellation. *)
 
 module Physical = Qs_plan.Physical
 module Table = Qs_storage.Table
@@ -31,9 +33,9 @@ val span_label : Physical.t -> string
     [hash-join], [index-nl-join], [nl-join]). One arm per [Physical]
     operator constructor — tools/check.sh lints for completeness. *)
 
-val run : ?deadline:float -> ?row_limit:int -> ?pool:Qs_util.Pool.t ->
-  ?trace:Qs_obs.Trace.t -> ?spans:Qs_util.Span.t -> Physical.t ->
-  Table.t * stats
+val run : ?deadline:float -> ?cancel:Qs_util.Cancel.t -> ?row_limit:int ->
+  ?pool:Qs_util.Pool.t -> ?trace:Qs_obs.Trace.t -> ?spans:Qs_util.Span.t ->
+  Physical.t -> Table.t * stats
 (** Evaluate the plan bottom-up. The output schema is the concatenation of
     the leaf schemas (alias-qualified); apply {!project} for the query's
     final projection.
@@ -57,28 +59,29 @@ val project : ?name:string -> Table.t -> Expr.colref list -> Table.t
 (** Keep only the named columns (in the given order, duplicates removed);
     an empty list keeps everything. *)
 
-val filter_table : ?deadline:float -> ?pool:Qs_util.Pool.t -> Table.t ->
-  Expr.pred list -> Table.t
+val filter_table : ?deadline:float -> ?cancel:Qs_util.Cancel.t ->
+  ?pool:Qs_util.Pool.t -> Table.t -> Expr.pred list -> Table.t
 (** Chunked scan+filter of one table. With [pool] (size > 1) chunks are
     scanned in parallel; per-chunk outputs are merged in chunk order, so
     the result is row-for-row identical to the sequential scan. *)
 
-val filter_input : ?deadline:float -> ?pool:Qs_util.Pool.t ->
-  Fragment.input -> Table.t
+val filter_input : ?deadline:float -> ?cancel:Qs_util.Cancel.t ->
+  ?pool:Qs_util.Pool.t -> Fragment.input -> Table.t
 (** Scan one input applying its filters (the executor's leaf operator,
     exposed for the naive counter and tests). The result is cached on the
     input's scratch, keyed by the filter predicates. *)
 
-val hash_join : ?deadline:float -> ?limit:int -> ?pool:Qs_util.Pool.t ->
-  build:Table.t -> probe:Table.t -> Expr.pred list -> Table.t
+val hash_join : ?deadline:float -> ?cancel:Qs_util.Cancel.t -> ?limit:int ->
+  ?pool:Qs_util.Pool.t -> build:Table.t -> probe:Table.t -> Expr.pred list ->
+  Table.t
 (** One hash join over materialized inputs: equality conjuncts become the
     hash key, the rest are residual filters (exposed for the naive
     counter and tests). With [pool], build and probe are hash-partitioned
     into one bucket per pool slot and the buckets join in parallel; the
     output multiset is identical to the sequential join. *)
 
-val hash_join_count : ?deadline:float -> build:Table.t -> probe:Table.t ->
-  Expr.pred list -> int
+val hash_join_count : ?deadline:float -> ?cancel:Qs_util.Cancel.t ->
+  build:Table.t -> probe:Table.t -> Expr.pred list -> int
 (** Cardinality of [hash_join] without materializing its output — the
     oracle's way of counting explosive final joins in O(1) memory. *)
 

@@ -512,10 +512,11 @@ let metrics_results s =
           env algo queries ))
     Algos.fig11_roster
 
-let json_of_labelled s labelled =
+let json_of_labelled ?(extra = []) s labelled =
   let regs =
     List.map (fun (l, rs) -> (l, Runner.metrics_of_results rs)) labelled
   in
+  let regs = regs @ extra in
   (* with a tracer attached, per-phase span times ride along as one more
      pseudo-strategy entry so they land in the same machine-readable dump *)
   let regs =
@@ -527,8 +528,6 @@ let json_of_labelled s labelled =
         regs @ [ ("phases", m) ]
   in
   Qs_obs.Metrics.json_of_many regs
-
-let metrics_json s = json_of_labelled s (metrics_results s)
 
 let metrics s =
   Report.section "Metrics: per-strategy execution metrics over the JOB-like workload";
@@ -814,6 +813,277 @@ let dp_sweep s =
     ~headers:[ "algorithm"; "hits"; "misses"; "hit rate" ]
     rate_rows
 
+(* ---------------------------------------------------------------------- *)
+(* Serving front end: throughput and tail latency under concurrent load    *)
+(* ---------------------------------------------------------------------- *)
+
+module Server = Qs_serve.Server
+module Scheduler = Qs_serve.Scheduler
+
+(* Cost-ranked JOB-like corpus (cheapest first). The bottom 60% is the
+   "light" interactive class of the mixed-cost serving workload, the top
+   decile the "heavy" analytical class. *)
+let costed_corpus env queries =
+  let ctx = Strategy.make_ctx env.Runner.registry Estimator.default in
+  List.map
+    (fun q ->
+      let frag = Strategy.fragment_of_query ctx q in
+      let r = Optimizer.optimize env.Runner.catalog Estimator.default frag in
+      (q, r.Optimizer.est_cost))
+    queries
+  |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+
+(* The two serving classes. Lights: the bottom 60% of the corpus by
+   estimated cost — the short interactive tail. Heavies: the top-decile
+   statements widened by dropping the selections on their first
+   relation (joins and the other relations' filters kept), so the
+   analytical class is 1-2 orders of magnitude more expensive in actual
+   execution time — not just in the estimate — while remaining plain
+   digest-checkable SPJ statements. The straggler threshold sits at the
+   cheapest heavy: exactly the heavy class gets the pooled join/DP
+   paths. *)
+type serve_classes = {
+  lights : Query.t array;
+  heavies : (Query.t * float) array;  (** statement, estimated cost *)
+  straggler : float;
+}
+
+let serve_classes env costed =
+  let ctx = Strategy.make_ctx env.Runner.registry Estimator.default in
+  let arr = Array.of_list costed in
+  let n = Array.length arr in
+  let heavy0 = n - max 1 (n / 10) in
+  let heavies =
+    Array.init (n - heavy0) (fun i ->
+        let q = fst arr.(heavy0 + i) in
+        let kept_filters =
+          match Query.aliases q with
+          | [] | [ _ ] -> []
+          | _ :: rest -> List.concat_map (Query.filters q) rest
+        in
+        let full =
+          Query.make
+            ~name:(q.Query.name ^ "_full")
+            ~output:q.Query.output q.Query.rels
+            (Query.join_preds q @ kept_filters)
+        in
+        let frag = Strategy.fragment_of_query ctx full in
+        let r = Optimizer.optimize env.Runner.catalog Estimator.default frag in
+        (full, r.Optimizer.est_cost))
+  in
+  {
+    lights = Array.init (max 1 (n * 3 / 5)) (fun i -> fst arr.(i));
+    heavies;
+    straggler = Array.fold_left (fun acc (_, c) -> min acc c) infinity heavies;
+  }
+
+(* Arrival order adversarial for FIFO: a burst of heavy queries is
+   admitted first (one per ~125 submissions of load), the short
+   interactive tail behind it. Cost-aware scheduling lets the tail
+   bypass the burst; FIFO makes the tail queue behind it, so every
+   percentile carries the burst's makespan. The burst is capped at 16
+   so the soak load measures sustained light throughput rather than
+   hours of heavies. *)
+let serve_workload ~load classes =
+  let n_heavy = max 1 (min (load / 125) 16) in
+  List.init load (fun i ->
+      if i < n_heavy then fst classes.heavies.(i mod Array.length classes.heavies)
+      else classes.lights.(i mod Array.length classes.lights))
+
+(* Reference digests from plain single-session execution of each
+   distinct statement: serving-mode results must be byte-identical. *)
+let expected_digests env costed =
+  let module Executor = Qs_exec.Executor in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ((q : Query.t), _) ->
+      if not (Hashtbl.mem tbl q.Query.name) then begin
+        let ctx = Strategy.make_ctx env.Runner.registry Estimator.default in
+        let frag = Strategy.fragment_of_query ctx q in
+        let r = Optimizer.optimize env.Runner.catalog Estimator.default frag in
+        let t, _ = Executor.run r.Optimizer.plan in
+        let t = Executor.project ~name:q.Query.name t q.Query.output in
+        Hashtbl.replace tbl q.Query.name (Qs_storage.Table.digest t)
+      end)
+    costed;
+  tbl
+
+let serve_run s ~domains ~policy ~load env classes =
+  let stream = serve_workload ~load classes in
+  let straggler_cost = classes.straggler in
+  Qs_util.Pool.with_pool ?tracer:s.tracer ~domains (fun pool ->
+      (* The queue holds the whole stream when feasible so measured
+         latency reflects the scheduling policy, not admission
+         backpressure (which delays both policies identically); the
+         soak load still saturates the 2048 bound and exercises
+         backpressure. Aging is set past the run length: the sweep
+         contrasts pure shortest-first against FIFO, while the small
+         aging windows (and their starvation bound) are covered by
+         [serve_metrics_entry] and the scheduler tests. *)
+      let config =
+        {
+          Server.default_config with
+          Server.concurrency = max 1 domains;
+          queue_limit = min load 2048;
+          policy;
+          aging_rounds = 2 * load;
+          straggler_cost;
+        }
+      in
+      let server =
+        Server.create ~config ?spans:s.tracer ~pool env.Runner.registry
+          Estimator.default
+      in
+      let t0 = Qs_util.Timer.now () in
+      List.iteri
+        (fun i q ->
+          ignore
+            (Server.submit server ~session:("s" ^ string_of_int (i mod 4)) q))
+        stream;
+      Server.drain server;
+      let wall = Qs_util.Timer.elapsed ~since:t0 in
+      (Server.results server, wall))
+
+let latency_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+let serve_digests_ok expect results =
+  List.for_all
+    (fun (r : Server.result) ->
+      match (r.Server.status, r.Server.digest) with
+      | Server.Completed, Some d -> (
+          match Hashtbl.find_opt expect r.Server.query with
+          | Some d' -> d = d'
+          | None -> false)
+      | _ -> false)
+    results
+
+let serve_sweep s =
+  Report.section
+    "Serving: concurrent front end, throughput and tail latency per policy";
+  let env, queries = cinema_env s in
+  let costed = costed_corpus env queries in
+  let classes = serve_classes env costed in
+  let expect =
+    expected_digests env (costed @ Array.to_list classes.heavies)
+  in
+  let ms v = Printf.sprintf "%.2f" (1000.0 *. v) in
+  let p99s = Hashtbl.create 8 in
+  let row ~load ~domains ~policy =
+    let results, wall = serve_run s ~domains ~policy ~load env classes in
+    let lats =
+      List.map (fun (r : Server.result) -> r.Server.queue_wait +. r.Server.exec_time) results
+      |> Array.of_list
+    in
+    Array.sort Float.compare lats;
+    (if Sys.getenv_opt "QS_SERVE_DEBUG" <> None then
+       let worst =
+         List.sort
+           (fun (a : Server.result) b ->
+             Float.compare
+               (b.Server.queue_wait +. b.Server.exec_time)
+               (a.Server.queue_wait +. a.Server.exec_time))
+           results
+       in
+       List.iteri
+         (fun i (r : Server.result) ->
+           if i < 15 then
+             Printf.printf "    worst#%d %s cost=%.0f wait=%.3f exec=%.4f\n" i
+               r.Server.query r.Server.est_cost r.Server.queue_wait
+               r.Server.exec_time)
+         worst);
+    let p99 = latency_percentile lats 0.99 in
+    Hashtbl.replace p99s (load, domains, Scheduler.policy_name policy) p99;
+    [
+      string_of_int load;
+      string_of_int domains;
+      Scheduler.policy_name policy;
+      Report.seconds wall;
+      Printf.sprintf "%.0f" (float_of_int load /. wall);
+      ms (latency_percentile lats 0.5);
+      ms (latency_percentile lats 0.95);
+      ms p99;
+      (if List.length results = load && serve_digests_ok expect results then
+         "ok"
+       else "MISMATCH");
+    ]
+  in
+  let widths = [ 1; max 2 s.domains ] in
+  let rows =
+    List.concat_map
+      (fun load ->
+        List.concat_map
+          (fun domains ->
+            List.map
+              (fun policy -> row ~load ~domains ~policy)
+              [ Scheduler.Fifo; Scheduler.Cost_aware ])
+          widths)
+      [ 100; 1000 ]
+  in
+  (* a deeper soak at the widest point, cost-aware only *)
+  let soak = row ~load:10_000 ~domains:(max 2 s.domains) ~policy:Scheduler.Cost_aware in
+  Report.table
+    ~title:
+      "mixed-cost serving (heavy burst first; digests vs single-session runs)"
+    ~headers:
+      [ "load"; "width"; "policy"; "wall"; "qps"; "p50 ms"; "p95 ms"; "p99 ms"; "digests" ]
+    (rows @ [ soak ]);
+  let w = max 2 s.domains in
+  match
+    ( Hashtbl.find_opt p99s (1000, w, "fifo"),
+      Hashtbl.find_opt p99s (1000, w, "cost-aware") )
+  with
+  | Some f, Some c ->
+      Printf.printf
+        "p99 at load 1000, width %d: fifo %sms vs cost-aware %sms — %s\n" w
+        (ms f) (ms c)
+        (if c < f then "cost-aware wins" else "FIFO wins (unexpected)")
+  | _ -> ()
+
+(* The deterministic serving entry of the metrics dump: every statement
+   of the corpus twice across two sessions on a width-2 pool, so the
+   second round is all plan-cache hits. Counters (submitted, completed,
+   cache hits/misses, per-session query counts) are exact for a fixed
+   corpus; only the histograms carry wall-clock. *)
+let serve_metrics_entry s =
+  let env, queries = cinema_env s in
+  let costed = costed_corpus env queries in
+  Qs_util.Pool.with_pool ~domains:2 (fun pool ->
+      let config =
+        {
+          Server.default_config with
+          Server.concurrency = 2;
+          policy = Scheduler.Cost_aware;
+          aging_rounds = 32;
+        }
+      in
+      let server =
+        Server.create ~config ~pool env.Runner.registry Estimator.default
+      in
+      List.iteri
+        (fun i (q, _) ->
+          ignore
+            (Server.submit server ~session:("s" ^ string_of_int (i mod 2)) q))
+        (costed @ costed);
+      Server.drain server;
+      Server.metrics server)
+
+(* [fst]: fig11-roster-only dump (the PR-5-era baseline content);
+   [snd]: the same run plus the ["serve"] entry. Both come from ONE
+   harness run, so a full (histograms included) bench_diff between the
+   two committed baselines is meaningful. *)
+let metrics_json_pair s =
+  let labelled = metrics_results s in
+  ( json_of_labelled s labelled,
+    json_of_labelled ~extra:[ ("serve", serve_metrics_entry s) ] s labelled )
+
+let metrics_json s =
+  json_of_labelled
+    ~extra:[ ("serve", serve_metrics_entry s) ]
+    s (metrics_results s)
+
 let all s =
   table1 s;
   table3 s;
@@ -831,4 +1101,5 @@ let all s =
   metrics s;
   par_sweep s;
   scan_sweep s;
-  dp_sweep s
+  dp_sweep s;
+  serve_sweep s

@@ -66,10 +66,20 @@ val ablation : setup -> unit
 
 val metrics_json : setup -> string
 (** Machine-readable per-strategy metrics over the JOB-like workload
-    (fig. 11 roster): the [Metrics.json_of_many] dump the bench tool
-    writes with [--metrics-out] and [tools/bench_diff] compares. When
+    (fig. 11 roster) plus one ["serve"] entry with the serving front
+    end's deterministic counters (see {!serve_sweep}): the
+    [Metrics.json_of_many] dump the bench tool writes with
+    [--metrics-out] and [tools/bench_diff] compares. When
     [setup.tracer] is set, a synthetic ["phases"] entry carries the
     per-category span counts and time histograms. *)
+
+val metrics_json_pair : setup -> string * string
+(** Both baseline flavours from ONE harness run: [fst] is the
+    fig11-roster-only dump (the PR-5-era baseline content, written by
+    [bench --baseline-out]), [snd] additionally carries the ["serve"]
+    entry (written by [--metrics-out]). Generating them together makes
+    a full — histograms included — [bench_diff] between the two
+    committed files meaningful. *)
 
 val metrics : setup -> unit
 (** Beyond the paper: the observability layer's per-strategy metrics
@@ -98,5 +108,15 @@ val dp_sweep : setup -> unit
     all three plans are byte-identical. A second table reports the
     cross-step memo hit rate of every re-optimizing strategy over a
     slice of the JOB-like workload. *)
+
+val serve_sweep : setup -> unit
+(** Beyond the paper: the concurrent serving front end under load.
+    Submits mixed-cost streams (a heavy analytical burst admitted ahead
+    of a short interactive tail) of 10^2–10^4 queries at two pool
+    widths under FIFO and cost-aware scheduling, reporting throughput
+    and p50/p95/p99 turnaround latency per configuration, and checking
+    every served result digest against plain single-session execution.
+    Cost-aware scheduling is expected to beat FIFO on p99 for this
+    workload. *)
 
 val all : setup -> unit

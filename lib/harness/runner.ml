@@ -66,27 +66,10 @@ type qresult = {
   dp_memo_misses : int;
 }
 
-(* Canonical multiset digest of a result table: rows rendered with
-   columns in sorted-id order, then sorted — invariant under row and
-   column order, so sequential and parallel runs of the same strategy
-   can be compared byte-for-byte. *)
-let result_digest (tbl : Table.t) =
-  let order =
-    Array.to_list tbl.Table.schema
-    |> List.mapi (fun i c -> (Schema.column_id c, i))
-    |> List.sort compare
-  in
-  let rows =
-    Table.fold
-      (fun acc row ->
-        String.concat "\x00"
-          (List.map (fun (_, i) -> Value.to_string row.(i)) order)
-        :: acc)
-      [] tbl
-    |> List.sort compare
-  in
-  let header = String.concat "\x00" (List.map fst order) in
-  Digest.to_hex (Digest.string (String.concat "\x01" (header :: rows)))
+(* Canonical multiset digest of a result table; the implementation lives
+   in [Table.digest] so the serving layer (which cannot depend on the
+   harness) shares the exact same bytes. *)
+let result_digest = Table.digest
 
 (* Wrap an estimator so the time spent estimating is accounted separately
    from engine time; the deadline is pushed forward by the same amount so

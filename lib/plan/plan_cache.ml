@@ -1,0 +1,92 @@
+module Stats_registry = Qs_stats.Stats_registry
+
+(* [Computing] marks an in-flight computation; waiters park on [cond]
+   and re-check after every state change. The computation itself runs
+   outside the lock (it is an optimizer call — potentially milliseconds)
+   so concurrent lookups of *other* keys proceed unhindered. *)
+type 'a entry = Computing | Done of 'a
+
+type 'a t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let rec find_or_compute t ~key f =
+  let decision =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some (Done v) ->
+            t.hits <- t.hits + 1;
+            `Hit v
+        | Some Computing ->
+            (* coalesce: wait for the in-flight computation, then loop.
+               The computer (or its failure cleanup) broadcasts [cond]. *)
+            while
+              match Hashtbl.find_opt t.tbl key with
+              | Some Computing -> true
+              | _ -> false
+            do
+              Condition.wait t.cond t.mutex
+            done;
+            `Retry
+        | None ->
+            Hashtbl.replace t.tbl key Computing;
+            `Compute)
+  in
+  match decision with
+  | `Hit v -> (v, true)
+  | `Retry -> (
+      (* the entry is now Done (count it as a coalesced hit) or gone
+         (computation failed — race to become the new computer) *)
+      match with_lock t (fun () -> Hashtbl.find_opt t.tbl key) with
+      | Some (Done v) ->
+          with_lock t (fun () -> t.hits <- t.hits + 1);
+          (v, true)
+      | _ -> find_or_compute t ~key f)
+  | `Compute -> (
+      match f () with
+      | v ->
+          with_lock t (fun () ->
+              Hashtbl.replace t.tbl key (Done v);
+              t.misses <- t.misses + 1;
+              Condition.broadcast t.cond);
+          (v, false)
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          with_lock t (fun () ->
+              Hashtbl.remove t.tbl key;
+              Condition.broadcast t.cond);
+          Printexc.raise_with_backtrace e bt)
+
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+
+let size t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ e n -> match e with Done _ -> n + 1 | _ -> n) t.tbl 0)
+
+let clear t = with_lock t (fun () -> Hashtbl.reset t.tbl)
+
+let stamp ~registry ~tables key =
+  let stamps =
+    List.sort_uniq compare tables
+    |> List.map (fun tbl ->
+           Printf.sprintf "%s#%d" tbl (Stats_registry.epoch registry tbl))
+  in
+  String.concat "|" (key :: stamps)

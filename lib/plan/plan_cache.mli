@@ -1,0 +1,55 @@
+(** Cross-session shared statement/plan cache.
+
+    Maps a canonical statement key to a cached value (in the serving
+    front end: the optimizer's result for that statement), with
+    request coalescing: when several sessions ask for the same missing
+    key concurrently, exactly one computes it while the others block
+    until the value lands, so the hit/miss counters are deterministic —
+    over any run, [misses] equals the number of distinct keys computed
+    and [hits = lookups - misses].
+
+    Invalidation is by key construction, following [Dp_memo]'s epoch
+    discipline: {!stamp} embeds each referenced base table's
+    [Stats_registry] epoch into the key, so an [ANALYZE] /
+    [Stats_registry.invalidate] bump means stale entries are simply
+    never looked up again (no eager eviction, no lock ordering with the
+    registry). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
+(** [find_or_compute t ~key f] returns the cached value for [key] (and
+    whether the lookup was a hit), computing it with [f] on a miss.
+    Coalesced waits count as hits. [f] runs outside the cache lock;
+    concurrent requests for the same missing key wait for the single
+    in-flight computation instead of duplicating it. If [f] raises, the
+    exception propagates to its caller, nothing is cached, and one of
+    the waiters (if any) retries the computation.
+
+    Must not be called from a pool worker job that another
+    [find_or_compute] caller is waiting on — waiters block on a
+    condition variable, not by helping the pool. The serving front end
+    resolves plans at admission time, on session threads, so this never
+    arises there. *)
+
+val hits : 'a t -> int
+(** Lookups answered from the cache, including coalesced waits. *)
+
+val misses : 'a t -> int
+(** Lookups that ran the computation (distinct keys, minus failures). *)
+
+val size : 'a t -> int
+(** Cached entries currently resident. *)
+
+val clear : 'a t -> unit
+(** Drop all entries (counters keep accumulating). *)
+
+val stamp :
+  registry:Qs_stats.Stats_registry.t -> tables:string list -> string -> string
+(** [stamp ~registry ~tables key] appends each table's current stats
+    epoch ([table#epoch], sorted by table name) to [key]. Keys built
+    this way go stale automatically when [Stats_registry.invalidate]
+    bumps an epoch: the next lookup constructs a different key and
+    misses. *)

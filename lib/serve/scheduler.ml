@@ -1,0 +1,41 @@
+type policy = Fifo | Cost_aware
+
+let policy_name = function Fifo -> "fifo" | Cost_aware -> "cost-aware"
+
+let policy_of_string = function
+  | "fifo" -> Some Fifo
+  | "cost-aware" | "cost_aware" -> Some Cost_aware
+  | _ -> None
+
+type 'a entry = {
+  id : int;
+  cost : float;
+  mutable bypassed : int;
+  payload : 'a;
+}
+
+let entry ~id ~cost payload = { id; cost; bypassed = 0; payload }
+
+let min_by better = function
+  | [] -> None
+  | e :: rest ->
+      Some (List.fold_left (fun a b -> if better b a then b else a) e rest)
+
+let pick policy ~aging_rounds queue =
+  let chosen =
+    match policy with
+    | Fifo -> min_by (fun a b -> a.id < b.id) queue
+    | Cost_aware -> (
+        let aged = List.filter (fun e -> e.bypassed >= aging_rounds) queue in
+        match min_by (fun a b -> a.id < b.id) aged with
+        | Some _ as oldest -> oldest
+        | None ->
+            min_by
+              (fun a b -> a.cost < b.cost || (a.cost = b.cost && a.id < b.id))
+              queue)
+  in
+  (match chosen with
+  | None -> ()
+  | Some c ->
+      List.iter (fun e -> if e.id <> c.id then e.bypassed <- e.bypassed + 1) queue);
+  chosen

@@ -1,0 +1,40 @@
+(** Admission-queue scheduling policies for the serving front end.
+
+    The scheduler is deliberately pure bookkeeping over a small queue —
+    every concurrency concern (locks, dispatch, backpressure) lives in
+    {!Server}. That makes the policy itself unit-testable: feed it a
+    queue, observe the pick order.
+
+    A {e scheduling round} is one dispatch decision. Every entry still
+    queued after a round was {e bypassed} once. Under [Cost_aware], an
+    entry bypassed [aging_rounds] times is promoted to the aged class,
+    which is served FIFO ahead of everything else — so an entry can be
+    bypassed at most [aging_rounds] times by cheaper work plus once for
+    each entry that aged before it: starvation-free with a provable
+    bound (tested in [test_serve.ml]). *)
+
+type policy = Fifo | Cost_aware
+
+val policy_name : policy -> string
+(** ["fifo"] / ["cost-aware"]. *)
+
+val policy_of_string : string -> policy option
+
+type 'a entry = {
+  id : int;  (** admission order: smaller = older *)
+  cost : float;  (** optimizer's estimated plan cost *)
+  mutable bypassed : int;  (** rounds this entry was passed over *)
+  payload : 'a;
+}
+
+val entry : id:int -> cost:float -> 'a -> 'a entry
+
+val pick : policy -> aging_rounds:int -> 'a entry list -> 'a entry option
+(** Choose the next entry to dispatch, and charge one bypass to every
+    entry not chosen.
+
+    [Fifo]: smallest [id].
+
+    [Cost_aware]: smallest [id] among entries with
+    [bypassed >= aging_rounds] (the aged class) if any, else smallest
+    [(cost, id)]. Deterministic: ties break on [id]. *)

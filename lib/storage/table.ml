@@ -157,6 +157,28 @@ let reschema ~name ~schema t =
          (Schema.arity schema) (Schema.arity t.schema));
   { t with name; schema }
 
+(* Canonical multiset digest: rows rendered with columns in sorted-id
+   order, then sorted — invariant under row and column order, so
+   sequential, pooled and served runs of the same query compare
+   byte-for-byte. *)
+let digest t =
+  let order =
+    Array.to_list t.schema
+    |> List.mapi (fun i c -> (Schema.column_id c, i))
+    |> List.sort compare
+  in
+  let rows =
+    fold
+      (fun acc row ->
+        String.concat "\x00"
+          (List.map (fun (_, i) -> Value.to_string row.(i)) order)
+        :: acc)
+      [] t
+    |> List.sort compare
+  in
+  let header = String.concat "\x00" (List.map fst order) in
+  Digest.to_hex (Digest.string (String.concat "\x01" (header :: rows)))
+
 let pp_sample ?(limit = 10) fmt t =
   Format.fprintf fmt "table %s (%d rows): %a@." t.name (n_rows t) Schema.pp t.schema;
   let shown = min limit (n_rows t) in

@@ -97,5 +97,12 @@ val reschema : name:string -> schema:Schema.t -> t -> t
 (** New table sharing chunks under a same-arity replacement schema
     (column flattening). *)
 
+val digest : t -> string
+(** Canonical multiset digest (hex MD5): rows rendered with columns in
+    sorted-id order, then sorted, so the digest is invariant under row
+    and column order. Two tables holding the same multiset of rows over
+    the same column ids digest identically regardless of how they were
+    produced (sequential, pooled, or served execution). *)
+
 val pp_sample : ?limit:int -> Format.formatter -> t -> unit
 (** Debug/demo printer: schema plus the first [limit] rows (default 10). *)

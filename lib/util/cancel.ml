@@ -1,0 +1,11 @@
+exception Cancelled
+
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+let cancel t = Atomic.set t true
+let cancelled t = Atomic.get t
+
+let check = function
+  | Some t when Atomic.get t -> raise Cancelled
+  | _ -> ()

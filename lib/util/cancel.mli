@@ -1,0 +1,30 @@
+(** Cooperative cancellation tokens.
+
+    A token is a shared flag a client (or the serving front end) sets to
+    ask a running query to stop. The execution layer polls it at the
+    same chunk/batch boundaries where deadlines are checked; a set token
+    raises {!Cancelled} on the *executing* domain, unwinding through the
+    strategy loop without poisoning any shared state (caches are filled
+    under [Fun.protect] / find-or-add discipline, so an unwound
+    computation simply leaves them unfilled).
+
+    Tokens are a single atomic flag: setting one is safe from any
+    domain, polling is one atomic load. *)
+
+exception Cancelled
+(** Raised by {!check} (and thus by the executor / strategies) on the
+    domain running a cancelled query. *)
+
+type t
+
+val create : unit -> t
+
+val cancel : t -> unit
+(** Set the flag. Idempotent; safe from any domain. *)
+
+val cancelled : t -> bool
+
+val check : t option -> unit
+(** [check (Some t)] raises {!Cancelled} if [t] is set; [check None]
+    is free. The execution layer calls this next to every deadline
+    check. *)

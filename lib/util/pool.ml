@@ -164,3 +164,48 @@ let map t f items =
     Array.to_list
       (Array.map (function Some (Ok v) -> v | _ -> assert false) results)
   end
+
+(* Fire-and-forget jobs for the serving front end. Unlike [map] there is
+   no result slot: the job owns its outcome (the server records it in a
+   per-query cell) and must not raise — a stray exception would kill a
+   shared worker domain, so it is contained here. Completion broadcasts
+   [changed] under the mutex, which is what wakes [help_until] callers
+   whose predicate reads state the job just flipped (same no-lost-wakeup
+   argument as in [map]). *)
+let submit t job =
+  let wrapped () =
+    (try job ()
+     with e ->
+       prerr_endline
+         ("Pool.submit: job raised (contained): " ^ Printexc.to_string e));
+    Mutex.lock t.mutex;
+    Condition.broadcast t.changed;
+    Mutex.unlock t.mutex
+  in
+  Mutex.lock t.mutex;
+  Queue.add wrapped t.queue;
+  Condition.broadcast t.changed;
+  Mutex.unlock t.mutex
+
+let help_until t pred =
+  while not (pred ()) do
+    Mutex.lock t.mutex;
+    let next =
+      if Queue.is_empty t.queue then begin
+        (* re-check under the mutex: any completion that made [pred]
+           true broadcasts under this mutex, so either we see it now or
+           we are parked before its broadcast — no lost wakeup *)
+        if not (pred ()) then Condition.wait t.changed t.mutex;
+        None
+      end
+      else Some (Queue.pop t.queue)
+    in
+    Mutex.unlock t.mutex;
+    match next with Some j -> j () | None -> ()
+  done
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n

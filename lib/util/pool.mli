@@ -29,6 +29,28 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     pool, and returns the results in item order. [f] must be safe to
     run concurrently with itself. *)
 
+val submit : t -> (unit -> unit) -> unit
+(** [submit t job] enqueues a fire-and-forget job. Unlike {!map} the
+    caller does not wait and no result is returned: the job must record
+    its own outcome and must not raise (a stray exception is contained
+    and printed to stderr rather than killing a shared worker). Job
+    completion wakes every {!help_until} caller so predicates over
+    state the job mutated are re-checked promptly. Jobs always go
+    through the queue, even on a size-1 pool — drain them with
+    {!help_until}. *)
+
+val help_until : t -> (unit -> bool) -> unit
+(** [help_until t pred] runs queued jobs on the calling domain until
+    [pred ()] is true, blocking (interruptibly by job completions and
+    submissions) when the queue is empty. This is how a caller waits on
+    state produced by {!submit} jobs without deadlocking a size-1 pool:
+    the caller itself executes the work it is waiting for. [pred] must
+    be safe to call while holding the pool's internal mutex — read
+    atomics, don't call back into the pool. *)
+
+val pending : t -> int
+(** Number of queued (not yet started) jobs. *)
+
 val shutdown : t -> unit
 (** Signal workers to exit and join them. Idempotent. Outstanding
     [map] calls must have returned. *)

@@ -15,6 +15,7 @@ type category =
   | Pool_wait
   | Analyze
   | Dp_memo
+  | Serve
 
 let category_name = function
   | Optimize -> "optimize"
@@ -27,6 +28,7 @@ let category_name = function
   | Pool_wait -> "pool-wait"
   | Analyze -> "analyze"
   | Dp_memo -> "dp-memo"
+  | Serve -> "serve"
 
 let all_categories =
   [
@@ -40,6 +42,7 @@ let all_categories =
     Pool_wait;
     Analyze;
     Dp_memo;
+    Serve;
   ]
 
 type span = {

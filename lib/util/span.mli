@@ -32,6 +32,9 @@ type category =
   | Dp_memo
       (** one cross-step DP-memo consultation: the marker's args carry
           the subset hit / miss counts of one optimizer call *)
+  | Serve
+      (** serving-front-end events: queue wait, scheduling decisions,
+          deadline margin — emitted by [Qs_serve] *)
 
 val category_name : category -> string
 (** Stable kebab-case name ([optimize], [dp-level], [reopt-step], ...). *)

@@ -28,6 +28,7 @@ let () =
       ("span", Test_span.suite);
       ("differential", Test_differential.suite);
       ("parallel_dp", Test_parallel_dp.suite);
+      ("serve", Test_serve.suite);
       ("driver", Test_driver.suite);
       ("similarity", Test_similarity.suite);
       ("workloads", Test_workloads.suite);

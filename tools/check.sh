@@ -45,7 +45,12 @@ done
 # --- bench baseline drift ----------------------------------------------
 # The committed BENCH_*.json dumps must stay within threshold on their
 # deterministic counters (queries, replans, materializations, memo hits);
-# histogram means carry machine-dependent wall-clock and are not gated.
+# histogram means carry machine-dependent wall-clock, so cross-machine
+# baselines (pr4 → pr5) are gated counters-only. pr5 → pr6 were written
+# by ONE harness run (`bench --queries 12 --baseline-out BENCH_pr5.json
+# --metrics-out BENCH_pr6.json` — the 12-query setting matches pr4), so
+# their shared entries are byte-identical and the full diff — histograms
+# included — is back on.
 # The exe is a declared dep of the runtest rule; when running by hand it
 # lives under _build.
 bench_diff=tools/bench_diff/bench_diff.exe
@@ -57,6 +62,12 @@ if [ -x "$bench_diff" ] && [ -f BENCH_pr4.json ] && [ -f BENCH_pr5.json ]; then
   }
 else
   echo "check: bench_diff not built — skipping baseline diff" >&2
+fi
+if [ -x "$bench_diff" ] && [ -f BENCH_pr5.json ] && [ -f BENCH_pr6.json ]; then
+  "$bench_diff" BENCH_pr5.json BENCH_pr6.json || {
+    echo "check: BENCH_pr6.json regresses against BENCH_pr5.json" >&2
+    status=1
+  }
 fi
 
 # --- formatting --------------------------------------------------------
