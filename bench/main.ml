@@ -13,10 +13,15 @@
      dune exec bench/main.exe -- --trace-out trace.json fig11  # Chrome trace
      dune exec bench/main.exe -- --metrics-out BENCH.json      # bench_diff dump
      dune exec bench/main.exe -- serve_sweep --metrics-out BENCH.json
-     # committed-baseline regeneration (see tools/check.sh): one run
-     # writing both flavours — the roster-only file and roster+serve
+     dune exec bench/main.exe -- --spill-dir /tmp/qs --buffer-chunks 8 io_sweep
+     # committed-baseline regeneration (see tools/check.sh): ONE run
+     # writing every flavour — roster-only, roster+serve, and
+     # roster+serve+io — so their shared entries are byte-identical
+     # (BENCH_pr4.json is a copy of the regenerated BENCH_pr5.json)
      dune exec bench/main.exe -- --queries 12 \
-       --baseline-out BENCH_pr5.json --metrics-out BENCH_pr6.json *)
+       --baseline-out BENCH_pr5.json --serve-out BENCH_pr6.json \
+       --metrics-out BENCH_pr7.json
+     cp BENCH_pr5.json BENCH_pr4.json *)
 
 module Experiments = Qs_harness.Experiments
 
@@ -38,6 +43,7 @@ let experiments : (string * (Experiments.setup -> unit)) list =
     ("metrics", Experiments.metrics);
     ("par_sweep", Experiments.par_sweep);
     ("scan_sweep", Experiments.scan_sweep);
+    ("io_sweep", Experiments.io_sweep);
     ("dp_sweep", Experiments.dp_sweep);
     ("serve_sweep", Experiments.serve_sweep);
   ]
@@ -121,6 +127,9 @@ let () =
   let trace_out = ref None in
   let metrics_out = ref None in
   let baseline_out = ref None in
+  let serve_out = ref None in
+  let spill_dir = ref None in
+  let buffer_chunks = ref 64 in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -153,6 +162,15 @@ let () =
     | "--baseline-out" :: v :: rest ->
         baseline_out := Some v;
         parse rest
+    | "--serve-out" :: v :: rest ->
+        serve_out := Some v;
+        parse rest
+    | "--spill-dir" :: v :: rest ->
+        spill_dir := Some v;
+        parse rest
+    | "--buffer-chunks" :: v :: rest ->
+        buffer_chunks := int_of_string v;
+        parse rest
     | "micro" :: rest ->
         want_micro := true;
         parse rest
@@ -170,11 +188,30 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !trace_out <> None then
     setup := { !setup with Experiments.tracer = Some (Qs_util.Span.create ()) };
+  (* --spill-dir: run the whole harness out-of-core — every table built
+     from here on (base data included) spills its chunks under the
+     given directory and reads them back through one shared buffer pool
+     of --buffer-chunks frames, with a 2-domain I/O pool prefetching *)
+  let io_pool =
+    match !spill_dir with
+    | None -> None
+    | Some dir ->
+        (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+        let bp = Qs_storage.Buffer_pool.create ~capacity:!buffer_chunks () in
+        let io = Qs_util.Pool.create ~domains:2 () in
+        Qs_storage.Buffer_pool.set_io_pool bp (Some io);
+        Qs_storage.Buffer_pool.set_tracer bp !setup.Experiments.tracer;
+        Qs_storage.Table.set_spill (Some (dir, bp));
+        Printf.printf
+          "spill mode: chunks under %s, buffer pool of %d frames\n" dir
+          (Qs_storage.Buffer_pool.capacity bp);
+        Some io
+  in
   (* no arguments: run everything, micro-benchmarks included — unless the
-     invocation is a pure --metrics-out dump *)
+     invocation is a pure --metrics-out / --baseline-out dump *)
   let default_run =
     !chosen = [] && (not !want_micro) && !metrics_out = None
-    && !baseline_out = None
+    && !baseline_out = None && !serve_out = None
   in
   if default_run then want_micro := true;
   let names = if default_run then List.map fst experiments else !chosen in
@@ -199,15 +236,19 @@ let () =
         output_char oc '\n');
     Printf.printf "wrote metrics JSON to %s\n%!" path
   in
-  (match (!metrics_out, !baseline_out) with
-  | None, None -> ()
-  | Some path, None -> write path (Experiments.metrics_json s)
-  | metrics, Some base_path ->
-      (* both flavours from one harness run, so a full bench_diff between
-         the two written files is meaningful *)
-      let base_json, full_json = Experiments.metrics_json_pair s in
-      write base_path base_json;
+  (match (!metrics_out, !baseline_out, !serve_out) with
+  | None, None, None -> ()
+  | Some path, None, None -> write path (Experiments.metrics_json s)
+  | metrics, baseline, serve ->
+      (* every requested flavour from one harness run, so full
+         bench_diffs between the written files are meaningful *)
+      let base_json, serve_json, full_json =
+        Experiments.metrics_json_flavors s
+      in
+      Option.iter (fun path -> write path base_json) baseline;
+      Option.iter (fun path -> write path serve_json) serve;
       Option.iter (fun path -> write path full_json) metrics);
+  Option.iter Qs_util.Pool.shutdown io_pool;
   match (!trace_out, s.Experiments.tracer) with
   | Some path, Some tr ->
       Qs_obs.Chrome_trace.write path tr;

@@ -7,10 +7,12 @@
      dune exec bin/qsdemo.exe -- run --profile -n 4        # span profile + journal
      dune exec bin/qsdemo.exe -- run --serve -n 20 --domains 2  # serving front end
      dune exec bin/qsdemo.exe -- run --serve --policy fifo -n 20
+     dune exec bin/qsdemo.exe -- run --spill-dir /tmp/qs --buffer-chunks 8
      dune exec bin/qsdemo.exe -- plan --workload cinema --query 3 *)
 
 module Catalog = Qs_storage.Catalog
 module Table = Qs_storage.Table
+module Buffer_pool = Qs_storage.Buffer_pool
 module Query = Qs_query.Query
 module Join_graph = Qs_query.Join_graph
 module Estimator = Qs_stats.Estimator
@@ -88,6 +90,40 @@ let chunk_rows_arg =
 (* applied before any table is built, so every table of the run is chunked
    at the requested size *)
 let apply_chunk_rows n = if n > 0 then Table.set_default_chunk_rows n
+
+let spill_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "spill-dir" ]
+           ~doc:
+             "Run fully out-of-core: every table built during the run \
+              (base data and intermediates alike) spills its chunks to \
+              files under this directory and reads them back through a \
+              shared buffer pool (see --buffer-chunks). Results are \
+              identical to in-memory execution.")
+
+let buffer_chunks_arg =
+  Arg.(value & opt int 64
+       & info [ "buffer-chunks" ]
+           ~doc:
+             "Buffer-pool capacity in chunk frames (with --spill-dir). \
+              Pools smaller than the working set evict under CLOCK \
+              second-chance; a pool of 1 still executes every query, \
+              just with more I/O.")
+
+(* applied before any table is built, so the whole run — catalog
+   included — goes through the chunk files; the 2-domain I/O pool
+   prefetches ahead of sequential scans and is shut down at exit *)
+let apply_spill tracer spill_dir buffer_chunks =
+  match spill_dir with
+  | None -> ()
+  | Some dir ->
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+      let bp = Buffer_pool.create ~capacity:buffer_chunks () in
+      let io = Qs_util.Pool.create ~domains:2 () in
+      at_exit (fun () -> Qs_util.Pool.shutdown io);
+      Buffer_pool.set_io_pool bp (Some io);
+      Buffer_pool.set_tracer bp tracer;
+      Table.set_spill (Some (dir, bp))
 
 let dp_limit_arg =
   Arg.(value & opt int 0
@@ -223,10 +259,12 @@ let serve_demo ~scale ~seed ~n ~index ~domains ~policy tracer =
         (Server.peak_queue server))
 
 let run_cmd workload scale seed n timeout index algo collect_stats domains
-    join_parallelism explain profile serve policy chunk_rows dp_limit =
+    join_parallelism explain profile serve policy chunk_rows dp_limit spill_dir
+    buffer_chunks =
   apply_chunk_rows chunk_rows;
   apply_dp_limit dp_limit;
   let tracer = if profile then Some (Span.create ()) else None in
+  apply_spill tracer spill_dir buffer_chunks;
   let print_profile () =
     match tracer with
     | None -> ()
@@ -367,7 +405,8 @@ let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ seed_arg $ queries_arg $ timeout_arg
     $ index_arg $ algo_arg $ stats_arg $ domains_arg $ join_par_arg $ explain_arg
-    $ profile_arg $ serve_arg $ policy_arg $ chunk_rows_arg $ dp_limit_arg)
+    $ profile_arg $ serve_arg $ policy_arg $ chunk_rows_arg $ dp_limit_arg
+    $ spill_dir_arg $ buffer_chunks_arg)
 
 let query_arg =
   Arg.(value & opt int 0 & info [ "query"; "q" ] ~doc:"Query index to inspect.")

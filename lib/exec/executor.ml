@@ -63,7 +63,15 @@ let filter_table ?deadline ?cancel ?pool (tbl : Table.t) filters =
         match pool with
         | Some pool when Pool.size pool > 1 && nc > 1 ->
             Pool.map pool job (List.init nc Fun.id)
-        | _ -> List.init nc job
+        | _ ->
+            (* sequential scan through the chunk walker, so spilled
+               inputs prefetch upcoming chunks while this one filters *)
+            let out = ref [] in
+            Table.iter_chunks
+              (fun _ rows ->
+                out := filter_chunk ?deadline ?cancel schema filters rows :: !out)
+              tbl;
+            List.rev !out
       in
       Table.of_chunks ~name:tbl.Table.name ~schema chunks
 

@@ -690,6 +690,193 @@ let scan_sweep s =
     (if !all_identical then "yes" else "NO")
 
 (* ---------------------------------------------------------------------- *)
+(* Out-of-core: buffer-pool execution under memory pressure                *)
+(* ---------------------------------------------------------------------- *)
+
+module Buffer_pool = Qs_storage.Buffer_pool
+
+(* Scoped spill mode: a scratch directory and a fresh buffer pool around
+   [f]; the previous global spill config is restored (and the directory
+   removed) on the way out, even on exception. *)
+let with_spill ?io_pool ?tracer ?(prefetch = 2) ~capacity f =
+  let dir = Filename.temp_file "qs_bench_spill" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let bp = Buffer_pool.create ~prefetch ~capacity () in
+  Buffer_pool.set_io_pool bp io_pool;
+  Buffer_pool.set_tracer bp tracer;
+  let saved = Qs_storage.Table.spill_config () in
+  Qs_storage.Table.set_spill (Some (dir, bp));
+  Fun.protect
+    ~finally:(fun () ->
+      Qs_storage.Table.set_spill saved;
+      (try
+         Array.iter
+           (fun f ->
+             try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f bp)
+
+(* The deterministic out-of-core entry of the metrics dump: a fixed
+   synthetic table is scanned twice and randomly probed, sequentially,
+   through a 4-frame pool with no I/O workers attached — the fault
+   sequence, and with it every counter and the hit rate, is exact for a
+   fixed corpus. The prefetch counters are pinned at 0 by construction
+   (no pool, so reads never race a background worker). *)
+let io_metrics_entry _s =
+  let module Table = Qs_storage.Table in
+  let module Schema = Qs_storage.Schema in
+  let module Value = Qs_storage.Value in
+  with_spill ~capacity:4 (fun bp ->
+      let schema = Schema.make "io" [ ("id", Value.TInt); ("pay", Value.TStr) ] in
+      let tbl =
+        Table.create ~chunk_rows:1024 ~name:"io" ~schema
+          (Array.init 16_384 (fun i ->
+               [| Value.Int i; Value.Str (string_of_int (i * 31)) |]))
+      in
+      let sink = ref 0 in
+      for _ = 1 to 2 do
+        Table.iter (fun r -> sink := !sink + Array.length r) tbl
+      done;
+      for i = 0 to 255 do
+        sink := !sink + Array.length (Table.row tbl (i * 64))
+      done;
+      ignore !sink;
+      let st = Buffer_pool.stats bp in
+      let m = Qs_obs.Metrics.create () in
+      let c name v = Qs_obs.Metrics.incr ~by:v m name in
+      c "buffer_hits" st.Buffer_pool.hits;
+      c "buffer_misses" st.Buffer_pool.misses;
+      c "buffer_coalesced" st.Buffer_pool.coalesced;
+      c "buffer_bypasses" st.Buffer_pool.bypasses;
+      c "buffer_evictions" st.Buffer_pool.evictions;
+      c "prefetch_issued" st.Buffer_pool.prefetch_issued;
+      c "prefetch_used" st.Buffer_pool.prefetch_used;
+      c "prefetch_wasted" st.Buffer_pool.prefetch_wasted;
+      c "spilled_chunks" (Table.n_chunks tbl);
+      Qs_obs.Metrics.observe m "hit_rate"
+        (float_of_int st.Buffer_pool.hits
+        /. float_of_int (max 1 (st.Buffer_pool.hits + st.Buffer_pool.misses)));
+      m)
+
+let io_sweep s =
+  Report.section "Out-of-core: buffer pool under memory pressure, prefetch overlap";
+  let module Table = Qs_storage.Table in
+  let module Schema = Qs_storage.Schema in
+  let module Value = Qs_storage.Value in
+  let module Expr = Qs_query.Expr in
+  let module Executor = Qs_exec.Executor in
+  let module Relop = Qs_exec.Relop in
+  let module Logical = Qs_plan.Logical in
+  let n = max 100_000 (int_of_float (1_000_000.0 *. s.scale)) in
+  let schema =
+    Schema.make "f"
+      [ ("id", Value.TInt); ("grp", Value.TInt); ("amount", Value.TInt) ]
+  in
+  let rows =
+    Array.init n (fun i ->
+        let h = (i * 2654435761) land 0x3fffffff in
+        [| Value.Int i; Value.Int (h mod 97); Value.Int (h mod 1000) |])
+  in
+  let filters = [ Expr.Cmp (Expr.Lt, Expr.col "f" "amount", Expr.vint 500) ] in
+  let group_by = [ { Expr.rel = "f"; name = "grp" } ] in
+  let aggs =
+    [
+      { Logical.fn = Logical.Sum; arg = Some (Expr.col "f" "amount"); label = "total" };
+      { Logical.fn = Logical.Count_star; arg = None; label = "n" };
+    ]
+  in
+  (* sequential consumer: the only asynchrony is the pool's prefetch,
+     so any io-span time on other tracks inside the Execute interval is
+     disk I/O genuinely overlapped with the scan's CPU work *)
+  let run_once tbl =
+    let t0 = Qs_util.Timer.now () in
+    let filtered = Executor.filter_table tbl filters in
+    let agged = Relop.aggregate ~name:"g" ~group_by ~aggs tbl in
+    let wall = Qs_util.Timer.elapsed ~since:t0 in
+    (wall, Runner.result_digest filtered ^ Runner.result_digest agged)
+  in
+  let chunk_rows = 16_384 in
+  let resident_tbl = Table.create ~chunk_rows ~name:"f" ~schema rows in
+  let n_chunks = Table.n_chunks resident_tbl in
+  ignore (run_once resident_tbl) (* warm *);
+  let res_wall, res_digest = run_once resident_tbl in
+  let tr = match s.tracer with Some t -> t | None -> Qs_util.Span.create () in
+  let all_identical = ref true in
+  let max_overlap = ref 0.0 in
+  let caps =
+    List.sort_uniq compare [ 1; 4; max 2 (n_chunks / 4); n_chunks + 2 ]
+    |> List.rev
+  in
+  let rows_out =
+    List.map
+      (fun capacity ->
+        Qs_util.Pool.with_pool ~domains:2 (fun io ->
+            with_spill ~io_pool:io ~tracer:tr ~prefetch:3 ~capacity (fun bp ->
+                let tbl = Table.create ~chunk_rows ~name:"f" ~schema rows in
+                let label = Printf.sprintf "io_sweep cap=%d" capacity in
+                let wall, digest =
+                  Qs_util.Span.span (Some tr) Qs_util.Span.Execute label
+                    (fun () -> run_once tbl)
+                in
+                if digest <> res_digest then all_identical := false;
+                let st = Buffer_pool.stats bp in
+                (* overlap: io spans on *other* domains' tracks
+                   intersected with this run's Execute interval *)
+                let spans = Qs_util.Span.spans tr in
+                let exec =
+                  List.find
+                    (fun (sp : Qs_util.Span.span) -> sp.name = label)
+                    spans
+                in
+                let ends (sp : Qs_util.Span.span) = sp.start +. sp.dur in
+                let overlap =
+                  List.fold_left
+                    (fun acc (sp : Qs_util.Span.span) ->
+                      if sp.cat = Qs_util.Span.Io && sp.track <> exec.track
+                      then
+                        acc
+                        +. Float.max 0.0
+                             (Float.min (ends sp) (ends exec)
+                             -. Float.max sp.start exec.start)
+                      else acc)
+                    0.0 spans
+                in
+                max_overlap := Float.max !max_overlap overlap;
+                [
+                  string_of_int capacity;
+                  Printf.sprintf "%d/%d" (min capacity n_chunks) n_chunks;
+                  Report.seconds wall;
+                  Printf.sprintf "%.2fx" (wall /. Float.max 1e-9 res_wall);
+                  string_of_int st.Buffer_pool.hits;
+                  string_of_int st.Buffer_pool.misses;
+                  string_of_int st.Buffer_pool.evictions;
+                  Printf.sprintf "%d/%d" st.Buffer_pool.prefetch_used
+                    st.Buffer_pool.prefetch_issued;
+                  Printf.sprintf "%.1fms" (1000.0 *. overlap);
+                  (if digest = res_digest then "ok" else "MISMATCH");
+                ])))
+      caps
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "filter + group-by over %d rows out-of-core (resident: %s)" n
+         (Report.seconds res_wall))
+    ~headers:
+      [
+        "frames"; "of chunks"; "wall"; "vs resident"; "hits"; "misses";
+        "evicted"; "pf used/issued"; "async io overlap"; "digest";
+      ]
+    rows_out;
+  Printf.printf "out-of-core digests byte-identical to in-memory: %s\n"
+    (if !all_identical then "yes" else "NO");
+  Printf.printf "prefetch I/O overlapped with execution: %s\n"
+    (if !max_overlap > 0.0 then "yes" else "NO")
+
+(* ---------------------------------------------------------------------- *)
 (* Parallel optimizer: DP wall-clock vs join count vs domains, plus memo   *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1070,18 +1257,23 @@ let serve_metrics_entry s =
       Server.drain server;
       Server.metrics server)
 
-(* [fst]: fig11-roster-only dump (the PR-5-era baseline content);
-   [snd]: the same run plus the ["serve"] entry. Both come from ONE
-   harness run, so a full (histograms included) bench_diff between the
-   two committed baselines is meaningful. *)
-let metrics_json_pair s =
+(* All committed-baseline flavours from ONE harness run: the
+   fig11-roster-only dump (the PR-5-era content, [--baseline-out]), the
+   same plus the ["serve"] entry (PR 6, [--serve-out]) and additionally
+   the ["io"] buffer-pool entry (PR 7, [--metrics-out]). Shared entries
+   are byte-identical across the three, so full — histograms included —
+   bench_diffs between the committed files are meaningful. *)
+let metrics_json_flavors s =
   let labelled = metrics_results s in
+  let serve = ("serve", serve_metrics_entry s) in
+  let io = ("io", io_metrics_entry s) in
   ( json_of_labelled s labelled,
-    json_of_labelled ~extra:[ ("serve", serve_metrics_entry s) ] s labelled )
+    json_of_labelled ~extra:[ serve ] s labelled,
+    json_of_labelled ~extra:[ serve; io ] s labelled )
 
 let metrics_json s =
   json_of_labelled
-    ~extra:[ ("serve", serve_metrics_entry s) ]
+    ~extra:[ ("serve", serve_metrics_entry s); ("io", io_metrics_entry s) ]
     s (metrics_results s)
 
 let all s =
@@ -1101,5 +1293,6 @@ let all s =
   metrics s;
   par_sweep s;
   scan_sweep s;
+  io_sweep s;
   dp_sweep s;
   serve_sweep s

@@ -67,19 +67,21 @@ val ablation : setup -> unit
 val metrics_json : setup -> string
 (** Machine-readable per-strategy metrics over the JOB-like workload
     (fig. 11 roster) plus one ["serve"] entry with the serving front
-    end's deterministic counters (see {!serve_sweep}): the
-    [Metrics.json_of_many] dump the bench tool writes with
-    [--metrics-out] and [tools/bench_diff] compares. When
-    [setup.tracer] is set, a synthetic ["phases"] entry carries the
-    per-category span counts and time histograms. *)
+    end's deterministic counters (see {!serve_sweep}) and one ["io"]
+    entry with the buffer pool's deterministic fault counters and hit
+    rate (see {!io_sweep}): the [Metrics.json_of_many] dump the bench
+    tool writes with [--metrics-out] and [tools/bench_diff] compares.
+    When [setup.tracer] is set, a synthetic ["phases"] entry carries
+    the per-category span counts and time histograms. *)
 
-val metrics_json_pair : setup -> string * string
-(** Both baseline flavours from ONE harness run: [fst] is the
-    fig11-roster-only dump (the PR-5-era baseline content, written by
-    [bench --baseline-out]), [snd] additionally carries the ["serve"]
-    entry (written by [--metrics-out]). Generating them together makes
-    a full — histograms included — [bench_diff] between the two
-    committed files meaningful. *)
+val metrics_json_flavors : setup -> string * string * string
+(** All committed-baseline flavours from ONE harness run: the
+    fig11-roster-only dump (the PR-5-era content, written by
+    [bench --baseline-out]), the same plus the ["serve"] entry (PR 6,
+    [--serve-out]), and additionally the ["io"] entry (PR 7,
+    [--metrics-out]). Generating them together keeps shared entries
+    byte-identical, so full — histograms included — [bench_diff]s
+    between the committed files are meaningful. *)
 
 val metrics : setup -> unit
 (** Beyond the paper: the observability layer's per-strategy metrics
@@ -99,6 +101,16 @@ val scan_sweep : setup -> unit
     group-by aggregation) over a synthetic fact table at several chunk
     sizes, verifying the parallel results are digest-identical to the
     sequential ones. *)
+
+val io_sweep : setup -> unit
+(** Beyond the paper: out-of-core execution through the buffer pool. A
+    synthetic fact table is spilled to disk and a sequential filter +
+    group-by runs at several pool capacities — from comfortably above
+    the working set down to a single frame — with a 2-domain I/O pool
+    prefetching ahead of the scan. Reports wall-clock vs the resident
+    run, fault/eviction counters, and the async-I/O overlap (io-span
+    time on I/O-worker tracks inside the run's Execute interval), and
+    checks every out-of-core digest against the in-memory run. *)
 
 val dp_sweep : setup -> unit
 (** Beyond the paper: optimizer-focused sweep. A PK-FK chain join at 6,

@@ -1,0 +1,367 @@
+(* Bounded cache of resident chunk frames with CLOCK eviction and
+   asynchronous prefetch.
+
+   One mutex guards the whole pool: lookups, victim search and counter
+   updates are short critical sections; the actual disk reads happen
+   outside the lock. A frame moves through three states:
+
+     Queued   — reserved by a prefetch request, read not started. A
+                foreground miss *steals* the frame (becomes the loader
+                itself) and the prefetch job later finds the state
+                changed and does nothing, so a queued-but-never-run
+                prefetch job (size-1 pool, nobody helping) can never
+                wedge a reader.
+     Loading  — some domain is actively reading the frame from disk.
+                Waiters block on the condition variable; the loader is
+                running, so it will complete and broadcast.
+     Loaded   — rows resident; hits set the CLOCK reference bit.
+
+   Eviction only considers unpinned Loaded (or cancellable Queued)
+   frames; when every frame is pinned or in flight the read bypasses
+   the pool entirely (correct, just uncached), so the pool can be
+   arbitrarily small — capacity 1 still executes every query. *)
+
+module Pool = Qs_util.Pool
+module Span = Qs_util.Span
+
+type stats = {
+  hits : int;
+  misses : int;
+  coalesced : int;
+  bypasses : int;
+  evictions : int;
+  prefetch_issued : int;
+  prefetch_used : int;
+  prefetch_wasted : int;
+}
+
+type state = Queued | Loading | Loaded of Value.t array array
+
+type frame = {
+  file : Chunk_file.t;
+  idx : int;
+  mutable state : state;
+  mutable pins : int;
+  mutable refbit : bool;
+  mutable prefetched : bool;  (* installed by a prefetch request *)
+  mutable referenced : bool;  (* hit by a consumer since install *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  capacity : int;
+  prefetch_depth : int;
+  slots : frame option array;
+  index : (int * int, int) Hashtbl.t;  (* (file id, chunk idx) -> slot *)
+  mutable hand : int;
+  mutable io_pool : Pool.t option;
+  mutable tracer : Span.t option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable coalesced : int;
+  mutable bypasses : int;
+  mutable evictions : int;
+  mutable prefetch_issued : int;
+  mutable prefetch_used : int;
+  mutable prefetch_wasted : int;
+}
+
+let create ?(prefetch = 2) ~capacity () =
+  let capacity = max 1 capacity in
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    capacity;
+    prefetch_depth = max 0 prefetch;
+    slots = Array.make capacity None;
+    index = Hashtbl.create (4 * capacity);
+    hand = 0;
+    io_pool = None;
+    tracer = None;
+    hits = 0;
+    misses = 0;
+    coalesced = 0;
+    bypasses = 0;
+    evictions = 0;
+    prefetch_issued = 0;
+    prefetch_used = 0;
+    prefetch_wasted = 0;
+  }
+
+let capacity t = t.capacity
+let prefetch_depth t = t.prefetch_depth
+let set_io_pool t p = t.io_pool <- p
+let set_tracer t tr = t.tracer <- tr
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      coalesced = t.coalesced;
+      bypasses = t.bypasses;
+      evictions = t.evictions;
+      prefetch_issued = t.prefetch_issued;
+      prefetch_used = t.prefetch_used;
+      prefetch_wasted = t.prefetch_wasted;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let reset_stats t =
+  Mutex.lock t.mutex;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.coalesced <- 0;
+  t.bypasses <- 0;
+  t.evictions <- 0;
+  t.prefetch_issued <- 0;
+  t.prefetch_used <- 0;
+  t.prefetch_wasted <- 0;
+  Mutex.unlock t.mutex
+
+let pinned t =
+  Mutex.lock t.mutex;
+  let n =
+    Array.fold_left
+      (fun acc -> function Some fr -> acc + fr.pins | None -> acc)
+      0 t.slots
+  in
+  Mutex.unlock t.mutex;
+  n
+
+let resident t =
+  Mutex.lock t.mutex;
+  let n =
+    Array.fold_left
+      (fun acc -> function
+        | Some { state = Loaded _; _ } -> acc + 1
+        | _ -> acc)
+      0 t.slots
+  in
+  Mutex.unlock t.mutex;
+  n
+
+let read_frame t ~what file idx =
+  Span.span
+    ~args:
+      [
+        ("file", Filename.basename (Chunk_file.path file));
+        ("chunk", string_of_int idx);
+      ]
+    t.tracer Span.Io what
+    (fun () -> Chunk_file.read file idx)
+
+(* Victim slot under the mutex: a free slot if any, else CLOCK
+   second-chance over unpinned Loaded frames; an unpinned Queued frame
+   is a cancellable reservation and is taken in preference to evicting
+   data. Returns [None] when everything is pinned or in flight. *)
+let find_slot t =
+  let free = ref None in
+  Array.iteri
+    (fun i s -> if s = None && !free = None then free := Some i)
+    t.slots;
+  match !free with
+  | Some _ as s -> s
+  | None ->
+      let victim = ref None in
+      let steps = ref 0 in
+      while !victim = None && !steps < 2 * t.capacity do
+        incr steps;
+        let i = t.hand in
+        t.hand <- (t.hand + 1) mod t.capacity;
+        match t.slots.(i) with
+        | Some fr when fr.pins = 0 -> (
+            match fr.state with
+            | Queued ->
+                (* cancel the reservation; the prefetch job will find the
+                   frame gone and no-op *)
+                Hashtbl.remove t.index (Chunk_file.id fr.file, fr.idx);
+                t.slots.(i) <- None;
+                victim := Some i
+            | Loaded _ when not fr.refbit ->
+                if fr.prefetched && not fr.referenced then
+                  t.prefetch_wasted <- t.prefetch_wasted + 1;
+                t.evictions <- t.evictions + 1;
+                Hashtbl.remove t.index (Chunk_file.id fr.file, fr.idx);
+                t.slots.(i) <- None;
+                victim := Some i
+            | Loaded _ -> fr.refbit <- false
+            | Loading -> ())
+        | _ -> ()
+      done;
+      !victim
+
+(* Load a frame this caller owns (state already set to Loading, mutex
+   NOT held). On failure the frame is torn down so waiters retry and
+   observe the exception on their own read. *)
+let load_owned t fr ~what ~pin =
+  let rows =
+    try read_frame t ~what fr.file fr.idx
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.lock t.mutex;
+      let key = (Chunk_file.id fr.file, fr.idx) in
+      (match Hashtbl.find_opt t.index key with
+      | Some si -> (
+          match t.slots.(si) with
+          | Some fr' when fr' == fr ->
+              Hashtbl.remove t.index key;
+              t.slots.(si) <- None
+          | _ -> ())
+      | None -> ());
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      Printexc.raise_with_backtrace e bt
+  in
+  Mutex.lock t.mutex;
+  fr.state <- Loaded rows;
+  fr.refbit <- true;
+  if pin then fr.pins <- fr.pins + 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  rows
+
+let unpin t file idx =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.index (Chunk_file.id file, idx) with
+  | Some si -> (
+      match t.slots.(si) with
+      | Some fr when fr.pins > 0 -> fr.pins <- fr.pins - 1
+      | _ -> ())
+  | None -> ());
+  Mutex.unlock t.mutex
+
+(* The faulting read path. Returns the rows plus whether a pin was
+   actually taken (a bypass read has no frame to pin). *)
+let rec acquire t file idx ~pin =
+  let key = (Chunk_file.id file, idx) in
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.index key with
+  | Some si -> (
+      let fr =
+        match t.slots.(si) with
+        | Some fr -> fr
+        | None -> assert false (* index and slots move together *)
+      in
+      match fr.state with
+      | Loaded rows ->
+          t.hits <- t.hits + 1;
+          if fr.prefetched && not fr.referenced then
+            t.prefetch_used <- t.prefetch_used + 1;
+          fr.referenced <- true;
+          fr.refbit <- true;
+          if pin then fr.pins <- fr.pins + 1;
+          Mutex.unlock t.mutex;
+          (rows, pin)
+      | Loading ->
+          (* the loader is actively running on some domain: wait for its
+             broadcast, then re-resolve (the frame may have been torn
+             down if the load failed, or even evicted and re-entered) *)
+          t.coalesced <- t.coalesced + 1;
+          Condition.wait t.cond t.mutex;
+          Mutex.unlock t.mutex;
+          acquire t file idx ~pin
+      | Queued ->
+          (* steal the reservation: do the read ourselves rather than
+             wait on a prefetch job that may never be scheduled *)
+          fr.state <- Loading;
+          fr.prefetched <- false;
+          fr.referenced <- true;
+          t.misses <- t.misses + 1;
+          Mutex.unlock t.mutex;
+          (load_owned t fr ~what:"fault" ~pin, pin))
+  | None -> (
+      match find_slot t with
+      | Some si ->
+          let fr =
+            {
+              file;
+              idx;
+              state = Loading;
+              pins = 0;
+              refbit = false;
+              prefetched = false;
+              referenced = true;
+            }
+          in
+          t.slots.(si) <- Some fr;
+          Hashtbl.replace t.index key si;
+          t.misses <- t.misses + 1;
+          Mutex.unlock t.mutex;
+          (load_owned t fr ~what:"fault" ~pin, pin)
+      | None ->
+          (* every frame pinned or in flight: read around the pool *)
+          t.bypasses <- t.bypasses + 1;
+          Mutex.unlock t.mutex;
+          (read_frame t ~what:"fault" file idx, false))
+
+let get t file idx = fst (acquire t file idx ~pin:false)
+
+let with_pin t file idx f =
+  let rows, pinned = acquire t file idx ~pin:true in
+  if pinned then
+    Fun.protect ~finally:(fun () -> unpin t file idx) (fun () -> f rows)
+  else f rows
+
+(* Asynchronous prefetch: reserve Queued frames under the mutex, then
+   hand the reads to the I/O pool. Without an attached pool this is a
+   no-op — the foreground fault path is always sufficient. Reservation
+   stops at the first chunk for which no evictable slot exists: refusing
+   to prefetch beats thrashing the frames a scan is about to revisit. *)
+let prefetch t file idxs =
+  match t.io_pool with
+  | None -> ()
+  | Some pool ->
+      let jobs = ref [] in
+      Mutex.lock t.mutex;
+      (try
+         List.iter
+           (fun idx ->
+             if idx >= 0 && idx < Chunk_file.n_frames file then begin
+               let key = (Chunk_file.id file, idx) in
+               if not (Hashtbl.mem t.index key) then
+                 match find_slot t with
+                 | None -> raise Exit
+                 | Some si ->
+                     let fr =
+                       {
+                         file;
+                         idx;
+                         state = Queued;
+                         pins = 0;
+                         refbit = false;
+                         prefetched = true;
+                         referenced = false;
+                       }
+                     in
+                     t.slots.(si) <- Some fr;
+                     Hashtbl.replace t.index key si;
+                     t.prefetch_issued <- t.prefetch_issued + 1;
+                     jobs := fr :: !jobs
+             end)
+           idxs
+       with Exit -> ());
+      Mutex.unlock t.mutex;
+      List.iter
+        (fun fr ->
+          Pool.submit pool (fun () ->
+              Mutex.lock t.mutex;
+              let mine =
+                match
+                  Hashtbl.find_opt t.index (Chunk_file.id fr.file, fr.idx)
+                with
+                | Some si -> (
+                    match t.slots.(si) with
+                    | Some fr' when fr' == fr && fr.state = Queued ->
+                        fr.state <- Loading;
+                        true
+                    | _ -> false (* stolen by a fault *))
+                | None -> false (* reservation evicted *)
+              in
+              Mutex.unlock t.mutex;
+              if mine then ignore (load_owned t fr ~what:"prefetch" ~pin:false)))
+        (List.rev !jobs)

@@ -1,13 +1,27 @@
 (* Rows are sharded into fixed-size chunks so very large tables are not
    one allocation and scans can fan out per-chunk on a domain pool. The
    chunk layout is invisible to readers that go through the iteration
-   API: row order is always chunk order. *)
+   API: row order is always chunk order.
+
+   A table's chunks live in one of two stores. [Resident] is the plain
+   in-memory array-of-chunks. [Spilled] keeps the rows in a chunk file
+   on disk and reads them back through a shared buffer pool — the chunk
+   API below is then a faulting read path, and sequential iteration
+   prefetches upcoming chunks through the pool so disk reads overlap
+   the consumer's CPU work. Which store a new table gets is decided at
+   construction by the global spill mode: when enabled, *every* table
+   built (base data, join outputs, QuerySplit temps) spills, so the
+   engine runs fully out-of-core. *)
+
+type store =
+  | Resident of Value.t array array array
+  | Spilled of { file : Chunk_file.t; bp : Buffer_pool.t }
 
 type t = {
   name : string;
   schema : Schema.t;
-  chunks : Value.t array array array;
-  offsets : int array; (* offsets.(i) = global row id of chunks.(i).(0);
+  store : store;
+  offsets : int array; (* offsets.(i) = global row id of chunk i's row 0;
                           offsets.(n_chunks) = total rows *)
   chunk_bytes : int array; (* memoized per-chunk byte sizes; -1 = unknown *)
 }
@@ -18,6 +32,14 @@ let default_chunk = ref 65_536
 
 let default_chunk_rows () = !default_chunk
 let set_default_chunk_rows n = default_chunk := max 1 n
+
+(* Global spill mode: a scratch directory and the buffer pool shared by
+   every spilled table. Set once at startup (--spill-dir) or toggled
+   around a test body; construction reads it once per table. *)
+let spill_mode : (string * Buffer_pool.t) option ref = ref None
+
+let set_spill cfg = spill_mode := cfg
+let spill_config () = !spill_mode
 
 let check_arity ~name ~schema rows =
   let arity = Schema.arity schema in
@@ -38,13 +60,31 @@ let offsets_of_chunks chunks =
   offsets
 
 let of_chunk_array ~name ~schema chunks =
-  {
-    name;
-    schema;
-    chunks;
-    offsets = offsets_of_chunks chunks;
-    chunk_bytes = Array.make (Array.length chunks) (-1);
-  }
+  (* every construction path funnels through here, so degenerate inputs
+     are normalized in exactly one place: zero-row chunks are dropped
+     (keeping offsets strictly increasing) and can therefore never reach
+     the chunk-file writer as a zero-length frame *)
+  let chunks =
+    if Array.exists (fun c -> Array.length c = 0) chunks then
+      Array.of_list
+        (List.filter (fun c -> Array.length c > 0) (Array.to_list chunks))
+    else chunks
+  in
+  let offsets = offsets_of_chunks chunks in
+  match !spill_mode with
+  | Some (dir, bp) when Array.length chunks > 0 ->
+      let file, chunk_bytes =
+        Chunk_file.write ~dir ~name ~arity:(Schema.arity schema) chunks
+      in
+      { name; schema; store = Spilled { file; bp }; offsets; chunk_bytes }
+  | _ ->
+      {
+        name;
+        schema;
+        store = Resident chunks;
+        offsets;
+        chunk_bytes = Array.make (Array.length chunks) (-1);
+      }
 
 let create ?chunk_rows ~name ~schema rows =
   check_arity ~name ~schema rows;
@@ -66,47 +106,74 @@ let of_rows ?chunk_rows ~name ~schema rows =
   create ?chunk_rows ~name ~schema (Array.of_list rows)
 
 let of_chunks ~name ~schema chunks =
-  (* pre-chunked construction (per-chunk filter outputs, union of tables):
-     batches may be ragged; empty ones are dropped so chunk counts stay
+  (* pre-chunked construction (per-chunk filter outputs, union of
+     tables): batches may be ragged and interleaved with empty ones;
+     [of_chunk_array] drops the empties so chunk counts stay
      proportional to data, not to operator fan-out *)
-  let chunks =
-    chunks |> List.filter (fun c -> Array.length c > 0) |> Array.of_list
-  in
+  let chunks = Array.of_list chunks in
   Array.iter (fun c -> check_arity ~name ~schema c) chunks;
   of_chunk_array ~name ~schema chunks
 
-let n_chunks t = Array.length t.chunks
-let n_rows t = t.offsets.(Array.length t.chunks)
-let chunk t i = t.chunks.(i)
-let chunk_offset t i = t.offsets.(i)
-let chunk_list t = Array.to_list t.chunks
+let n_chunks t = Array.length t.offsets - 1
+let n_rows t = t.offsets.(n_chunks t)
+let spilled t = match t.store with Spilled _ -> true | Resident _ -> false
 
-let iter f t = Array.iter (fun c -> Array.iter f c) t.chunks
+let chunk t i =
+  match t.store with
+  | Resident chunks -> chunks.(i)
+  | Spilled { file; bp } -> Buffer_pool.get bp file i
+
+let chunk_offset t i = t.offsets.(i)
+let chunk_list t = List.init (n_chunks t) (chunk t)
+
+(* Sequential chunk walk: the shared scan loop of iter/iteri/fold. On a
+   spilled table each chunk is pinned while the consumer runs (pins
+   release on exception, so cancellation mid-scan leaks nothing) and the
+   next chunks are prefetched through the pool's I/O workers so disk
+   reads overlap the consumer's CPU work. *)
+let scan_chunks t f =
+  match t.store with
+  | Resident chunks -> Array.iteri f chunks
+  | Spilled { file; bp } ->
+      let n = n_chunks t in
+      let depth = Buffer_pool.prefetch_depth bp in
+      for ci = 0 to n - 1 do
+        if depth > 0 && ci + 1 < n then
+          Buffer_pool.prefetch bp file
+            (List.init (min depth (n - ci - 1)) (fun k -> ci + 1 + k));
+        Buffer_pool.with_pin bp file ci (fun rows -> f ci rows)
+      done
+
+let iter_chunks f t = scan_chunks t f
+let iter f t = scan_chunks t (fun _ rows -> Array.iter f rows)
 
 let iteri f t =
-  Array.iteri
-    (fun ci c ->
+  scan_chunks t (fun ci rows ->
       let base = t.offsets.(ci) in
-      Array.iteri (fun i row -> f (base + i) row) c)
-    t.chunks
+      Array.iteri (fun i row -> f (base + i) row) rows)
 
 let fold f init t =
-  Array.fold_left (fun acc c -> Array.fold_left f acc c) init t.chunks
+  let acc = ref init in
+  scan_chunks t (fun _ rows -> acc := Array.fold_left f !acc rows);
+  !acc
 
 let to_seq t =
-  Seq.concat_map Array.to_seq (Array.to_seq t.chunks)
+  Seq.concat_map (fun ci -> Array.to_seq (chunk t ci))
+    (Seq.init (n_chunks t) Fun.id)
 
 let to_rows t =
-  match t.chunks with
-  | [||] -> [||]
-  | [| c |] -> c
-  | chunks -> Array.concat (Array.to_list chunks)
+  match t.store with
+  | Resident [||] -> [||]
+  | Resident [| c |] -> c
+  | _ ->
+      if n_chunks t = 0 then [||]
+      else Array.concat (chunk_list t)
 
 (* chunk holding global row [i]: binary search over the offset table *)
 let chunk_of_row t i =
   if i < 0 || i >= n_rows t then
     invalid_arg (Printf.sprintf "Table.row %s: index %d out of %d" t.name i (n_rows t));
-  let lo = ref 0 and hi = ref (Array.length t.chunks - 1) in
+  let lo = ref 0 and hi = ref (n_chunks t - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi + 1) / 2 in
     if t.offsets.(mid) <= i then lo := mid else hi := mid - 1
@@ -115,7 +182,7 @@ let chunk_of_row t i =
 
 let row t i =
   let ci = chunk_of_row t i in
-  t.chunks.(ci).(i - t.offsets.(ci))
+  (chunk t ci).(i - t.offsets.(ci))
 
 let get t ~row:r ~col = (row t r).(col)
 
@@ -128,10 +195,13 @@ let chunk_byte_size t i =
   let b = t.chunk_bytes.(i) in
   if b >= 0 then b
   else begin
+    (* only a Resident chunk can be unmemoized: the chunk-file writer
+       computes logical sizes during its serialization walk, so spilled
+       tables never fault for accounting *)
     let b =
       Array.fold_left
         (fun acc row -> Array.fold_left (fun a v -> a + Value.byte_size v) acc row)
-        0 t.chunks.(i)
+        0 (chunk t i)
     in
     (* memo write is racy across domains but idempotent: both sides
        compute the same immediate int *)
@@ -141,7 +211,7 @@ let chunk_byte_size t i =
 
 let byte_size t =
   let total = ref 0 in
-  for i = 0 to Array.length t.chunks - 1 do
+  for i = 0 to n_chunks t - 1 do
     total := !total + chunk_byte_size t i
   done;
   !total
@@ -159,8 +229,9 @@ let reschema ~name ~schema t =
 
 (* Canonical multiset digest: rows rendered with columns in sorted-id
    order, then sorted — invariant under row and column order, so
-   sequential, pooled and served runs of the same query compare
-   byte-for-byte. *)
+   sequential, pooled, served and out-of-core runs of the same query
+   compare byte-for-byte (chunk-file serialization round-trips values
+   exactly, floats through their IEEE bits). *)
 let digest t =
   let order =
     Array.to_list t.schema

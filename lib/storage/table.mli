@@ -1,4 +1,5 @@
-(** In-memory row-store tables, sharded into fixed-size chunks.
+(** Row-store tables, sharded into fixed-size chunks, resident in memory
+    or spilled to disk.
 
     Tables are immutable after construction; the engine materializes
     intermediate results as fresh tables. Rows live in chunks of at most
@@ -6,17 +7,32 @@
     table), so very large tables are never one allocation and scans,
     filters and aggregations can run per-chunk on a domain pool. Row
     order is chunk order: iterating chunks in index order visits exactly
-    the row order [create] was given. *)
+    the row order [create] was given.
+
+    With spill mode enabled ({!set_spill}), every newly built table
+    writes its chunks to a {!Chunk_file} and the chunk API becomes a
+    faulting read path through the shared {!Buffer_pool}: {!chunk} and
+    {!row} fault frames in on demand, and {!iter}/{!iteri}/{!fold} pin
+    the chunk being consumed while prefetching the next ones through
+    the pool's I/O workers. Results are value-identical either way —
+    {!digest} is invariant across resident and spilled execution. *)
+
+type store
+(** Where a table's chunks live: resident in memory, or in a chunk file
+    read through a buffer pool. Not exposed — all access goes through
+    the chunk API below, which faults as needed. *)
 
 type t = private {
   name : string;
   schema : Schema.t;
-  chunks : Value.t array array array;
+  store : store;
       (** Read through {!chunk} / {!iter} / {!row}; direct [.rows]-style
           field access outside [lib/storage] is rejected by the lint. *)
   offsets : int array;
       (** [offsets.(i)] is the global row id of the first row of chunk
-          [i]; [offsets.(n_chunks)] is the row count. *)
+          [i]; [offsets.(n_chunks)] is the row count. Strictly
+          increasing: construction drops zero-row chunks, so no offset
+          can map into an empty frame. *)
   chunk_bytes : int array;  (** memoized per-chunk byte sizes, -1 = unknown *)
 }
 
@@ -26,6 +42,21 @@ val default_chunk_rows : unit -> int
 val set_default_chunk_rows : int -> unit
 (** Set the global default (clamped to >= 1). Intended to be called once
     at startup (the [--chunk-rows] flag), before tables are built. *)
+
+val set_spill : (string * Buffer_pool.t) option -> unit
+(** [set_spill (Some (dir, pool))] turns on out-of-core mode: every
+    table built from now on spills its chunks to a file under [dir] and
+    reads them back through [pool]. [set_spill None] turns it off.
+    Already-built tables keep their store either way. Intended to be
+    set once at startup ([--spill-dir]); tests toggling it around a
+    body must restore the previous config ({!spill_config}). *)
+
+val spill_config : unit -> (string * Buffer_pool.t) option
+(** The current spill mode (for save/restore and for attaching I/O
+    pools or tracers to the active buffer pool). *)
+
+val spilled : t -> bool
+(** Whether this table's chunks live on disk. *)
 
 val create : ?chunk_rows:int -> name:string -> schema:Schema.t ->
   Value.t array array -> t
@@ -37,15 +68,18 @@ val of_rows : ?chunk_rows:int -> name:string -> schema:Schema.t ->
 
 val of_chunks : name:string -> schema:Schema.t -> Value.t array array list -> t
 (** Concatenation of pre-chunked row batches, in order. Batches may be
-    ragged (per-chunk filter outputs); empty batches are dropped. The
-    batch arrays are shared, not copied. *)
+    ragged (per-chunk filter outputs) and interleaved with empty ones;
+    empty batches are dropped, so the resulting offsets are strictly
+    increasing. The batch arrays are shared, not copied (unless spill
+    mode rewrites them to disk). *)
 
 val n_rows : t -> int
 
 val n_chunks : t -> int
 
 val chunk : t -> int -> Value.t array array
-(** The rows of one chunk (shared, do not mutate). *)
+(** The rows of one chunk (shared, do not mutate). On a spilled table
+    this faults the frame in through the buffer pool. *)
 
 val chunk_offset : t -> int -> int
 (** Global row id of the first row of the given chunk. *)
@@ -59,8 +93,16 @@ val row : t -> int -> Value.t array
 
 val get : t -> row:int -> col:int -> Value.t
 
+val iter_chunks : (int -> Value.t array array -> unit) -> t -> unit
+(** Visit every chunk in index order with its chunk index. On a spilled
+    table each chunk is pinned while [f] runs (released on exception)
+    and upcoming chunks are prefetched asynchronously — the building
+    block for sequential operators that consume whole chunks. *)
+
 val iter : (Value.t array -> unit) -> t -> unit
-(** Visit every row in row order. *)
+(** Visit every row in row order. On a spilled table the chunk being
+    consumed is pinned (released even if [f] raises) and upcoming
+    chunks are prefetched asynchronously. *)
 
 val iteri : (int -> Value.t array -> unit) -> t -> unit
 (** [iter] with the global row id. *)

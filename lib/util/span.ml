@@ -16,6 +16,7 @@ type category =
   | Analyze
   | Dp_memo
   | Serve
+  | Io
 
 let category_name = function
   | Optimize -> "optimize"
@@ -29,6 +30,7 @@ let category_name = function
   | Analyze -> "analyze"
   | Dp_memo -> "dp-memo"
   | Serve -> "serve"
+  | Io -> "io"
 
 let all_categories =
   [
@@ -43,6 +45,7 @@ let all_categories =
     Analyze;
     Dp_memo;
     Serve;
+    Io;
   ]
 
 type span = {

@@ -35,6 +35,9 @@ type category =
   | Serve
       (** serving-front-end events: queue wait, scheduling decisions,
           deadline margin — emitted by [Qs_serve] *)
+  | Io
+      (** disk I/O of the out-of-core storage layer: chunk-frame faults
+          and asynchronous prefetch reads issued by {!Buffer_pool} *)
 
 val category_name : category -> string
 (** Stable kebab-case name ([optimize], [dp-level], [reopt-step], ...). *)

@@ -5,6 +5,7 @@ let () =
       ("value", Test_value.suite);
       ("btree", Test_btree.suite);
       ("storage", Test_storage.suite);
+      ("bufpool", Test_bufpool.suite);
       ("expr", Test_expr.suite);
       ("query", Test_query.suite);
       ("join_graph", Test_join_graph.suite);

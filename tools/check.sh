@@ -43,21 +43,20 @@ for c in $constructors $methods; do
 done
 
 # --- bench baseline drift ----------------------------------------------
-# The committed BENCH_*.json dumps must stay within threshold on their
-# deterministic counters (queries, replans, materializations, memo hits);
-# histogram means carry machine-dependent wall-clock, so cross-machine
-# baselines (pr4 → pr5) are gated counters-only. pr5 → pr6 were written
-# by ONE harness run (`bench --queries 12 --baseline-out BENCH_pr5.json
-# --metrics-out BENCH_pr6.json` — the 12-query setting matches pr4), so
-# their shared entries are byte-identical and the full diff — histograms
-# included — is back on.
+# The committed BENCH_*.json dumps all come from ONE harness run
+# (`bench --queries 12 --baseline-out BENCH_pr5.json --serve-out
+# BENCH_pr6.json --metrics-out BENCH_pr7.json`, then BENCH_pr4.json is a
+# copy of the regenerated BENCH_pr5.json), so shared entries are
+# byte-identical across the stack and every diff — histograms included —
+# runs full. Each later baseline is a superset: pr6 adds the "serve"
+# entry, pr7 the "io" buffer-pool entry.
 # The exe is a declared dep of the runtest rule; when running by hand it
 # lives under _build.
 bench_diff=tools/bench_diff/bench_diff.exe
 [ -x "$bench_diff" ] || bench_diff=_build/default/tools/bench_diff/bench_diff.exe
 if [ -x "$bench_diff" ] && [ -f BENCH_pr4.json ] && [ -f BENCH_pr5.json ]; then
-  "$bench_diff" --counters-only --threshold 0.5 BENCH_pr4.json BENCH_pr5.json || {
-    echo "check: BENCH_pr5.json counter-regresses against BENCH_pr4.json" >&2
+  "$bench_diff" BENCH_pr4.json BENCH_pr5.json || {
+    echo "check: BENCH_pr5.json regresses against BENCH_pr4.json" >&2
     status=1
   }
 else
@@ -69,11 +68,29 @@ if [ -x "$bench_diff" ] && [ -f BENCH_pr5.json ] && [ -f BENCH_pr6.json ]; then
     status=1
   }
 fi
+if [ -x "$bench_diff" ] && [ -f BENCH_pr6.json ] && [ -f BENCH_pr7.json ]; then
+  "$bench_diff" BENCH_pr6.json BENCH_pr7.json || {
+    echo "check: BENCH_pr7.json regresses against BENCH_pr6.json" >&2
+    status=1
+  }
+  grep -q '"io"' BENCH_pr7.json || {
+    echo "check: BENCH_pr7.json is missing the \"io\" buffer-pool entry" >&2
+    status=1
+  }
+fi
 
-# --- formatting --------------------------------------------------------
+# --- formatting + out-of-core fuzz corpus ------------------------------
+# Both already covered by `dune runtest` (which cannot re-enter dune);
+# when invoked by hand, also re-run the buffer-pool suite — it replays
+# the 200-query differential corpus fully out-of-core through 1- and
+# 4-frame pools and checks digests against in-memory execution.
 if [ -z "${INSIDE_DUNE:-}" ]; then
   dune build @fmt || {
     echo "check: dune build @fmt failed — run 'dune fmt'" >&2
+    status=1
+  }
+  dune exec test/test_main.exe -- test bufpool || {
+    echo "check: out-of-core buffer-pool suite failed" >&2
     status=1
   }
 fi

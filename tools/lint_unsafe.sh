@@ -10,6 +10,9 @@
 #      (Table.chunk / iter / row / to_rows) so scans stay shardable.
 #      (`Naive.rows` is a function call, not a field access, and is
 #      excluded.)
+#   3. Direct Chunk_file access — spilled chunks are read through the
+#      Buffer_pool (pinning, eviction, prefetch coalescing); a raw
+#      Chunk_file.read outside lib/storage would bypass all of it.
 #
 # Allow-list entries only *mention* Obj in documentation comments:
 #   lib/util/scratch.ml / .mli — docs explaining what Scratch replaces.
@@ -33,6 +36,10 @@ for f in $(find lib bin bench \( -name '*.ml' -o -name '*.mli' \) | sort); do
   esac
   if grep -nE '\.rows\b' "$f" | grep -vE '(Naive|Qs_exec\.Naive)\.rows'; then
     echo "lint: direct Table .rows access in $f — use the chunk API (see tools/lint_unsafe.sh)" >&2
+    status=1
+  fi
+  if grep -nE 'Chunk_file\.' "$f"; then
+    echo "lint: direct chunk-file access in $f — spilled chunks are read through Buffer_pool/Table (see tools/lint_unsafe.sh)" >&2
     status=1
   fi
 done
