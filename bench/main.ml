@@ -15,12 +15,13 @@
      dune exec bench/main.exe -- serve_sweep --metrics-out BENCH.json
      dune exec bench/main.exe -- --spill-dir /tmp/qs --buffer-chunks 8 io_sweep
      # committed-baseline regeneration (see tools/check.sh): ONE run
-     # writing every flavour — roster-only, roster+serve, and
-     # roster+serve+io — so their shared entries are byte-identical
+     # writing every flavour — roster-only, roster+serve,
+     # roster+serve+io, and roster+serve+io+pipeline — so their shared
+     # entries are byte-identical
      # (BENCH_pr4.json is a copy of the regenerated BENCH_pr5.json)
      dune exec bench/main.exe -- --queries 12 \
        --baseline-out BENCH_pr5.json --serve-out BENCH_pr6.json \
-       --metrics-out BENCH_pr7.json
+       --io-out BENCH_pr7.json --metrics-out BENCH_pr8.json
      cp BENCH_pr5.json BENCH_pr4.json *)
 
 module Experiments = Qs_harness.Experiments
@@ -45,6 +46,7 @@ let experiments : (string * (Experiments.setup -> unit)) list =
     ("scan_sweep", Experiments.scan_sweep);
     ("io_sweep", Experiments.io_sweep);
     ("dp_sweep", Experiments.dp_sweep);
+    ("pipeline_sweep", Experiments.pipeline_sweep);
     ("serve_sweep", Experiments.serve_sweep);
   ]
 
@@ -128,6 +130,7 @@ let () =
   let metrics_out = ref None in
   let baseline_out = ref None in
   let serve_out = ref None in
+  let io_out = ref None in
   let spill_dir = ref None in
   let buffer_chunks = ref 64 in
   let rec parse = function
@@ -164,6 +167,9 @@ let () =
         parse rest
     | "--serve-out" :: v :: rest ->
         serve_out := Some v;
+        parse rest
+    | "--io-out" :: v :: rest ->
+        io_out := Some v;
         parse rest
     | "--spill-dir" :: v :: rest ->
         spill_dir := Some v;
@@ -211,7 +217,7 @@ let () =
      invocation is a pure --metrics-out / --baseline-out dump *)
   let default_run =
     !chosen = [] && (not !want_micro) && !metrics_out = None
-    && !baseline_out = None && !serve_out = None
+    && !baseline_out = None && !serve_out = None && !io_out = None
   in
   if default_run then want_micro := true;
   let names = if default_run then List.map fst experiments else !chosen in
@@ -236,17 +242,18 @@ let () =
         output_char oc '\n');
     Printf.printf "wrote metrics JSON to %s\n%!" path
   in
-  (match (!metrics_out, !baseline_out, !serve_out) with
-  | None, None, None -> ()
-  | Some path, None, None -> write path (Experiments.metrics_json s)
-  | metrics, baseline, serve ->
+  (match (!metrics_out, !baseline_out, !serve_out, !io_out) with
+  | None, None, None, None -> ()
+  | Some path, None, None, None -> write path (Experiments.metrics_json s)
+  | metrics, baseline, serve, io ->
       (* every requested flavour from one harness run, so full
          bench_diffs between the written files are meaningful *)
-      let base_json, serve_json, full_json =
+      let base_json, serve_json, io_json, full_json =
         Experiments.metrics_json_flavors s
       in
       Option.iter (fun path -> write path base_json) baseline;
       Option.iter (fun path -> write path serve_json) serve;
+      Option.iter (fun path -> write path io_json) io;
       Option.iter (fun path -> write path full_json) metrics);
   Option.iter Qs_util.Pool.shutdown io_pool;
   match (!trace_out, s.Experiments.tracer) with

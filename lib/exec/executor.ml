@@ -18,6 +18,33 @@ let default_row_limit = 2_000_000
 
 type stats = (int, int) Hashtbl.t
 
+(* Execution model: [Materialize] is the original executor — every
+   operator builds its whole output table before the parent starts.
+   [Pipeline] is the morsel-driven engine below — filters and probes
+   fuse into chunk-sized morsel streams and only pipeline breakers
+   (hash builds, partition barriers, NL inners) buffer rows. Results
+   are multiset-identical; the global default is overridable per call. *)
+type mode = Materialize | Pipeline
+
+let default_mode = ref Pipeline
+let set_default_mode m = default_mode := m
+let execution_mode () = !default_mode
+
+(* Observability counters (cumulative, reset around experiments): how
+   many intermediate tables the engine materialized, and how often a
+   partitioned join consumed a side through its preserved partition
+   layout instead of re-hashing every row. *)
+let intermediates = Atomic.make 0
+let partition_reuse_count = Atomic.make 0
+
+let reset_counters () =
+  Atomic.set intermediates 0;
+  Atomic.set partition_reuse_count 0
+
+let intermediate_tables () = Atomic.get intermediates
+let partition_reuses () = Atomic.get partition_reuse_count
+let built_intermediate () = Atomic.incr intermediates
+
 let check_deadline = function
   | Some d when Timer.now () > d -> raise Timeout
   | _ -> ()
@@ -73,6 +100,7 @@ let filter_table ?deadline ?cancel ?pool (tbl : Table.t) filters =
               tbl;
             List.rev !out
       in
+      built_intermediate ();
       Table.of_chunks ~name:tbl.Table.name ~schema chunks
 
 let filter_input ?deadline ?cancel ?pool (input : Fragment.input) =
@@ -175,6 +203,7 @@ let partitioned_hash_join ?deadline ?cancel ~limit ~pool ~(build : Table.t)
     List.rev !out
   in
   let parts = Pool.map pool run_part (List.init k Fun.id) in
+  built_intermediate ();
   Table.create ~name:"join" ~schema:out_schema
     (Array.concat (List.map Array.of_list parts))
 
@@ -221,6 +250,7 @@ let hash_join ?deadline ?cancel ?(limit = max_int) ?pool ~(build : Table.t)
                 end)
               matches)
     probe;
+  built_intermediate ();
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
 let hash_join_count ?deadline ?cancel ~(build : Table.t) ~(probe : Table.t)
@@ -302,6 +332,7 @@ let index_nl_join ?deadline ?cancel ?(limit = max_int) ?matched_rows
           (Index.lookup index key))
     outer;
   Option.iter (fun r -> r := !matched) matched_rows;
+  built_intermediate ();
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
 let nl_join ?deadline ?cancel ?(limit = max_int) ~(outer : Table.t)
@@ -325,6 +356,7 @@ let nl_join ?deadline ?cancel ?(limit = max_int) ~(outer : Table.t)
           end)
         inner)
     outer;
+  built_intermediate ();
   Table.create ~name:"join" ~schema:out_schema (Array.of_list (List.rev !out))
 
 (* Span bridging: the label of the operator span emitted per executed
@@ -338,8 +370,12 @@ let span_label (p : Physical.t) =
   | Physical.Join { method_ = Physical.Index_nl; _ } -> "index-nl-join"
   | Physical.Join { method_ = Physical.Nl; _ } -> "nl-join"
 
-let run ?deadline ?cancel ?(row_limit = default_row_limit) ?pool ?trace ?spans
-    plan =
+(* The original fully-materializing engine: every operator output is a
+   whole table. Kept as the reference implementation (the pipelined
+   engine below must produce the same multiset — test_differential) and
+   as the only engine able to fill a per-operator [trace], which needs
+   materialized outputs for byte accounting. *)
+let run_materializing ?deadline ?cancel ~row_limit ?pool ?trace ?spans plan =
   let stats : stats = Hashtbl.create 16 in
   (* Tracing is the only consumer of wall-clock / byte figures; keep the
      untraced path free of clock reads and byte-size walks. *)
@@ -453,6 +489,433 @@ let run ?deadline ?cancel ?(row_limit = default_row_limit) ?pool ?trace ?spans
   let out = go plan in
   (out, stats)
 
+(* ---------------------------------------------------------------------- *)
+(* Morsel-driven pipelined engine                                          *)
+(* ---------------------------------------------------------------------- *)
+
+(* A stream of chunk-sized morsels. [ps_iter] drives the whole operator
+   subtree synchronously: each morsel handed to the consumer is
+   non-empty and, when [ps_parts] is set, tagged with the partition its
+   rows hash into (tag [-1] = untagged). A morsel sourced from a
+   spilled table is exactly one pinned buffer-pool frame, released
+   before the next is pinned, so a pipeline touches O(1) frames no
+   matter how large its inputs are. *)
+type pstream = {
+  ps_schema : Schema.t;
+  ps_parts : ((string * string) list list * int) option;
+      (* value-equivalent partition keys (ordered (rel, name) pairs)
+         and modulus when every emitted morsel is tagged *)
+  ps_iter : (int -> Value.t array array -> unit) -> unit;
+}
+
+let colref_pair (c : Expr.colref) = (c.Expr.rel, c.Expr.name)
+
+(* split one partition's row buffer into default-sized chunks so
+   downstream morsels stay bounded *)
+let chunk_up rows =
+  let cr = Table.default_chunk_rows () in
+  let n = Array.length rows in
+  if n = 0 then []
+  else if n <= cr then [ rows ]
+  else
+    List.init
+      ((n + cr - 1) / cr)
+      (fun ci -> Array.sub rows (ci * cr) (min cr (n - ci * cr)))
+
+let run_pipelined ?deadline ?cancel ~row_limit ?pool ?spans plan =
+  let stats : stats = Hashtbl.create 16 in
+  (* every node id present even when nothing streams through it *)
+  List.iter
+    (fun (n : Physical.t) -> Hashtbl.replace stats n.Physical.id 0)
+    (Physical.nodes plan);
+  let tick = tick deadline cancel in
+  let limit = row_limit in
+  let bump (p : Physical.t) n =
+    Hashtbl.replace stats p.Physical.id
+      (n + Option.value (Hashtbl.find_opt stats p.Physical.id) ~default:0)
+  in
+  let bid (p : Physical.t) = string_of_int p.Physical.id in
+  let emit_chunks p emit tag out =
+    match out with
+    | [] -> ()
+    | l ->
+        let m = Array.of_list (List.rev l) in
+        bump p (Array.length m);
+        emit tag m
+  in
+  let rec stream (p : Physical.t) : pstream =
+    match p.Physical.node with
+    | Physical.Scan input ->
+        (* fused scan+filter: selection applied as rows stream out of
+           the pinned chunk walk, no intermediate table. The deadline /
+           cancel poll sits at the morsel boundary, so a cancellation
+           unwinds before the next frame is pinned. *)
+        let tbl = input.Fragment.table in
+        let schema = tbl.Table.schema in
+        let filters = input.Fragment.filters in
+        let pt = Table.partitioning tbl in
+        {
+          ps_schema = schema;
+          ps_parts =
+            Option.map
+              (fun (q : Table.partitioning) -> (q.Table.part_keys, q.Table.parts))
+              pt;
+          ps_iter =
+            (fun emit ->
+              Table.iter_chunks
+                (fun ci rows ->
+                  tick ();
+                  let out =
+                    if filters = [] then rows
+                    else filter_chunk ?deadline ?cancel schema filters rows
+                  in
+                  if Array.length out > 0 then begin
+                    bump p (Array.length out);
+                    let tag =
+                      match pt with Some q -> q.Table.tags.(ci) | None -> -1
+                    in
+                    emit tag out
+                  end)
+                tbl);
+        }
+    | Physical.Join j -> (
+        match j.Physical.method_ with
+        | Physical.Hash -> (
+            let bstream = stream j.Physical.left in
+            let prstream = stream j.Physical.right in
+            let out_schema = Schema.concat prstream.ps_schema bstream.ps_schema in
+            let build_cols, residual =
+              split_join_preds bstream.ps_schema j.Physical.preds
+            in
+            let bpos = key_positions bstream.ps_schema (List.map fst build_cols) in
+            let ppos = key_positions prstream.ps_schema (List.map snd build_cols) in
+            match pool with
+            | Some pl when Pool.size pl > 1 ->
+                (* Partitioned parallel join. Both sides are barriers
+                   here (the probe work is distributed by partition),
+                   but the output streams per-partition chunk batches,
+                   tagged so a downstream join — possibly in a later
+                   QuerySplit step, via a preserved temp layout — can
+                   group them by tag instead of re-hashing. *)
+                let k = Pool.size pl in
+                let bkey = List.map (fun (c, _) -> colref_pair c) build_cols in
+                let pkey = List.map (fun (_, c) -> colref_pair c) build_cols in
+                (* a producer's layout is reusable when it was hashed by
+                   this join's key (any of the producer's equivalent
+                   keys) with the same modulus; decided up front so the
+                   output can advertise the inherited keys too *)
+                let reusable (s : pstream) key =
+                  match s.ps_parts with
+                  | Some (keys, kk) when kk = k && List.mem key keys ->
+                      Some keys
+                  | _ -> None
+                in
+                let breuse = reusable bstream bkey
+                and preuse = reusable prstream pkey in
+                let collect (s : pstream) pos reuse =
+                  let parts = Array.make k [] in
+                  (match reuse with
+                  | Some _ ->
+                      (* the producer already partitioned by this exact
+                         key and modulus: group chunks by tag. Tagged
+                         rows joined on this key upstream, so none has
+                         a null key — dropping nulls is a no-op. *)
+                      Atomic.incr partition_reuse_count;
+                      s.ps_iter (fun tag rows ->
+                          parts.(tag) <-
+                            Array.fold_left
+                              (fun acc r -> r :: acc)
+                              parts.(tag) rows)
+                  | None ->
+                      s.ps_iter (fun _ rows ->
+                          Array.iter
+                            (fun row ->
+                              let key = key_of_row row pos in
+                              if not (has_null key) then begin
+                                let pi = Hashtbl.hash key mod k in
+                                parts.(pi) <- row :: parts.(pi)
+                              end)
+                            rows));
+                  Array.map List.rev parts
+                in
+                (* output rows hold equal values on the probe and build
+                   key columns, so both keys describe the layout; a
+                   reused producer's other equivalent keys still hash to
+                   the same tags and survive into the concatenated rows *)
+                let out_keys =
+                  List.sort_uniq compare
+                    ([ pkey; bkey ]
+                    @ Option.value preuse ~default:[]
+                    @ Option.value breuse ~default:[])
+                in
+                {
+                  ps_schema = out_schema;
+                  ps_parts = Some (out_keys, k);
+                  ps_iter =
+                    (fun emit ->
+                      let bparts =
+                        Span.span spans Span.Breaker ("partition-build:" ^ bid p)
+                          (fun () -> collect bstream bpos breuse)
+                      in
+                      let pparts =
+                        Span.span spans Span.Breaker ("partition-probe:" ^ bid p)
+                          (fun () -> collect prstream ppos preuse)
+                      in
+                      let emitted = Atomic.make 0 in
+                      let run_part pi =
+                        let index : (Value.t list, Value.t array list) Hashtbl.t =
+                          Hashtbl.create (max 16 (List.length bparts.(pi)))
+                        in
+                        List.iteri
+                          (fun i row ->
+                            if i mod batch = 0 then tick ();
+                            let key = key_of_row row bpos in
+                            Hashtbl.replace index key
+                              (row
+                              :: Option.value (Hashtbl.find_opt index key)
+                                   ~default:[]))
+                          bparts.(pi);
+                        let out = ref [] in
+                        List.iteri
+                          (fun i prow ->
+                            if i mod batch = 0 then tick ();
+                            let key = key_of_row prow ppos in
+                            match Hashtbl.find_opt index key with
+                            | None -> ()
+                            | Some matches ->
+                                List.iter
+                                  (fun brow ->
+                                    let n = 1 + Atomic.fetch_and_add emitted 1 in
+                                    if n mod batch = 0 then tick ();
+                                    let row = Array.append prow brow in
+                                    if List.for_all (Expr.eval out_schema row) residual
+                                    then begin
+                                      out := row :: !out;
+                                      if n > limit then raise Timeout
+                                    end)
+                                  matches)
+                          pparts.(pi);
+                        List.rev !out
+                      in
+                      let parts_out = Pool.map pl run_part (List.init k Fun.id) in
+                      List.iteri
+                        (fun pi rows ->
+                          List.iter
+                            (fun chunk ->
+                              tick ();
+                              bump p (Array.length chunk);
+                              emit pi chunk)
+                            (chunk_up (Array.of_list rows)))
+                        parts_out);
+                }
+            | _ ->
+                (* sequential: the build side is the pipeline breaker,
+                   the probe side streams morsel by morsel *)
+                {
+                  ps_schema = out_schema;
+                  ps_parts = None;
+                  ps_iter =
+                    (fun emit ->
+                      let index : (Value.t list, Value.t array list) Hashtbl.t =
+                        Hashtbl.create 1024
+                      in
+                      Span.span spans Span.Breaker ("hash-build:" ^ bid p)
+                        (fun () ->
+                          bstream.ps_iter (fun _ rows ->
+                              Array.iter
+                                (fun row ->
+                                  let k = key_of_row row bpos in
+                                  if not (has_null k) then
+                                    Hashtbl.replace index k
+                                      (row
+                                      :: Option.value (Hashtbl.find_opt index k)
+                                           ~default:[]))
+                                rows));
+                      (* [emitted] counts matched pairs before the
+                         residual check, exactly like the materializing
+                         join, so ?limit trips at the same row *)
+                      let emitted = ref 0 in
+                      prstream.ps_iter (fun _ prows ->
+                          let out = ref [] in
+                          Array.iter
+                            (fun prow ->
+                              let k = key_of_row prow ppos in
+                              if not (has_null k) then
+                                match Hashtbl.find_opt index k with
+                                | None -> ()
+                                | Some matches ->
+                                    List.iter
+                                      (fun brow ->
+                                        incr emitted;
+                                        if !emitted mod batch = 0 then tick ();
+                                        let row = Array.append prow brow in
+                                        if
+                                          List.for_all
+                                            (Expr.eval out_schema row)
+                                            residual
+                                        then begin
+                                          out := row :: !out;
+                                          if !emitted > limit then raise Timeout
+                                        end)
+                                      matches)
+                            prows;
+                          emit_chunks p emit (-1) !out));
+                })
+        | Physical.Index_nl ->
+            let ostream = stream j.Physical.left in
+            let inner_node = j.Physical.right in
+            let inner_input =
+              match inner_node.Physical.node with
+              | Physical.Scan i -> i
+              | _ -> invalid_arg "Executor.run: index NL inner must be a scan"
+            in
+            let index, outer_key, inner_key =
+              match j.Physical.index with
+              | Some x -> x
+              | None -> invalid_arg "Executor.run: index NL without index"
+            in
+            let indexed = Expr.eq (Expr.Col outer_key) (Expr.Col inner_key) in
+            let residual =
+              List.filter
+                (fun pr -> not (Expr.equal_pred pr indexed))
+                j.Physical.preds
+            in
+            let inner_tbl = inner_input.Fragment.table in
+            let inner_schema = inner_tbl.Table.schema in
+            let out_schema = Schema.concat ostream.ps_schema inner_schema in
+            let okpos =
+              Schema.find_exn ostream.ps_schema ~rel:outer_key.Expr.rel
+                ~name:outer_key.Expr.name
+            in
+            {
+              ps_schema = out_schema;
+              ps_parts = None;
+              ps_iter =
+                (fun emit ->
+                  let probes = ref 0 and matched = ref 0 in
+                  ostream.ps_iter (fun _ orows ->
+                      let out = ref [] in
+                      Array.iter
+                        (fun orow ->
+                          incr probes;
+                          if !probes mod 1024 = 0 then tick ();
+                          let key = orow.(okpos) in
+                          if not (Value.is_null key) then
+                            List.iter
+                              (fun rid ->
+                                let irow = Table.row inner_tbl rid in
+                                if
+                                  List.for_all
+                                    (Expr.eval inner_schema irow)
+                                    inner_input.Fragment.filters
+                                then begin
+                                  incr matched;
+                                  let row = Array.append orow irow in
+                                  if
+                                    List.for_all (Expr.eval out_schema row) residual
+                                  then begin
+                                    out := row :: !out;
+                                    if !matched > limit then raise Timeout
+                                  end
+                                end)
+                              (Index.lookup index key))
+                        orows;
+                      (* the inner side is consumed through the index;
+                         its stats entry is the rows surviving the
+                         lookups plus the input's own filters *)
+                      Hashtbl.replace stats inner_node.Physical.id !matched;
+                      emit_chunks p emit (-1) !out));
+            }
+        | Physical.Nl ->
+            let ostream = stream j.Physical.left in
+            let istream = stream j.Physical.right in
+            let out_schema = Schema.concat ostream.ps_schema istream.ps_schema in
+            {
+              ps_schema = out_schema;
+              ps_parts = None;
+              ps_iter =
+                (fun emit ->
+                  (* the inner side is rescanned per outer row: buffer
+                     it once (breaker), then stream the outer side *)
+                  let buf = ref [] in
+                  Span.span spans Span.Breaker ("nl-inner:" ^ bid p) (fun () ->
+                      istream.ps_iter (fun _ rows -> buf := rows :: !buf));
+                  let inner = Array.concat (List.rev !buf) in
+                  let steps = ref 0 and kept = ref 0 in
+                  ostream.ps_iter (fun _ orows ->
+                      let out = ref [] in
+                      Array.iter
+                        (fun orow ->
+                          Array.iter
+                            (fun irow ->
+                              incr steps;
+                              if !steps mod batch = 0 then tick ();
+                              let row = Array.append orow irow in
+                              if
+                                List.for_all
+                                  (Expr.eval out_schema row)
+                                  j.Physical.preds
+                              then begin
+                                out := row :: !out;
+                                incr kept;
+                                if !kept > limit then raise Timeout
+                              end)
+                            inner)
+                        orows;
+                      emit_chunks p emit (-1) !out));
+            })
+  in
+  let root = stream plan in
+  let t0 = if spans <> None then Timer.now () else 0.0 in
+  let rev_tagged = ref [] in
+  Span.span spans Span.Pipeline ("pipeline:" ^ span_label plan) (fun () ->
+      root.ps_iter (fun tag rows -> rev_tagged := (tag, rows) :: !rev_tagged));
+  let tagged = List.rev !rev_tagged in
+  let name =
+    match plan.Physical.node with
+    | Physical.Scan i -> i.Fragment.table.Table.name
+    | Physical.Join _ -> "join"
+  in
+  built_intermediate ();
+  let out =
+    match root.ps_parts with
+    | Some (keys, k) when tagged <> [] && List.for_all (fun (t, _) -> t >= 0) tagged
+      ->
+        (* the sink keeps the per-partition layout, so a temp built
+           from this result carries it into the next QuerySplit step *)
+        Table.of_tagged_chunks ~name ~schema:root.ps_schema ~part_keys:keys
+          ~parts:k tagged
+    | _ -> Table.of_chunks ~name ~schema:root.ps_schema (List.map snd tagged)
+  in
+  if spans <> None then
+    List.iter
+      (fun (n : Physical.t) ->
+        (* zero-duration markers: wall-clock lives in the pipeline /
+           breaker spans, since fused operators have no time of their
+           own *)
+        Span.add spans Span.Operator (span_label n) ~start:t0 ~dur:0.0
+          ~args:
+            [
+              ("node", string_of_int n.Physical.id);
+              ("est_rows", Printf.sprintf "%.0f" n.Physical.est_rows);
+              ("actual_rows", string_of_int (Hashtbl.find stats n.Physical.id));
+            ])
+      (Physical.nodes plan);
+  (out, stats)
+
+let run ?deadline ?cancel ?(row_limit = default_row_limit) ?pool ?trace ?spans
+    ?mode plan =
+  let mode = Option.value mode ~default:!default_mode in
+  match (mode, trace, plan.Physical.node) with
+  | Pipeline, None, Physical.Join _ ->
+      run_pipelined ?deadline ?cancel ~row_limit ?pool ?spans plan
+  | _ ->
+      (* per-operator tracing needs materialized outputs for its byte /
+         volume accounting, and a bare scan gains nothing from
+         pipelining while losing the scratch filter cache — both run on
+         the materializing engine *)
+      run_materializing ?deadline ?cancel ~row_limit ?pool ?trace ?spans plan
+
 let project ?name (tbl : Table.t) cols =
   match cols with
   | [] -> tbl
@@ -480,7 +943,11 @@ let project ?name (tbl : Table.t) cols =
               (fun row -> Array.of_list (List.map (fun p -> row.(p)) positions))
               (Table.chunk tbl ci))
       in
-      Table.of_chunks ~name:(Option.value name ~default:tbl.Table.name) ~schema chunks
+      (* chunk-for-chunk rewrite: the source's partition layout still
+         holds if every key column survived the projection *)
+      Table.copy_partitioning ~from:tbl
+        (Table.of_chunks ~name:(Option.value name ~default:tbl.Table.name)
+           ~schema chunks)
 
 let cartesian ~name tables =
   match tables with

@@ -204,8 +204,56 @@ let union_all ~name tables =
           if Schema.arity t.Table.schema <> arity then
             invalid_arg "Relop.union_all: arity mismatch")
         tables;
-      let chunks = List.concat_map Table.chunk_list tables in
-      Table.of_chunks ~name ~schema:template.Table.schema chunks
+      (* When every input carries the same partition layout over the same
+         schema, concatenation is still partition-pure chunk by chunk: keep
+         the layout, with the key columns translated through the flattening
+         so they resolve in the requalified output schema. Same-schema
+         matters — equal arity alone doesn't put the key values at the
+         same positions. *)
+      let shared_layout =
+        match Table.partitioning first with
+        | Some p
+          when List.for_all
+                 (fun (t : Table.t) ->
+                   t.Table.schema = first.Table.schema
+                   &&
+                   match Table.partitioning t with
+                   | Some q ->
+                       q.Table.part_keys = p.Table.part_keys
+                       && q.Table.parts = p.Table.parts
+                   | None -> false)
+                 tables ->
+            Some p
+        | _ -> None
+      in
+      match shared_layout with
+      | None ->
+          let chunks = List.concat_map Table.chunk_list tables in
+          Table.of_chunks ~name ~schema:template.Table.schema chunks
+      | Some p ->
+          let part_keys =
+            List.map
+              (List.map (fun (rel, col) ->
+                   let pos =
+                     Schema.find_exn first.Table.schema ~rel ~name:col
+                   in
+                   let c = template.Table.schema.(pos) in
+                   (c.Schema.rel, c.Schema.name)))
+              p.Table.part_keys
+          in
+          let tagged =
+            List.concat_map
+              (fun (t : Table.t) ->
+                match Table.partitioning t with
+                | Some q ->
+                    List.mapi
+                      (fun i c -> (q.Table.tags.(i), c))
+                      (Table.chunk_list t)
+                | None -> assert false)
+              tables
+          in
+          Table.of_tagged_chunks ~name ~schema:template.Table.schema
+            ~part_keys ~parts:p.Table.parts tagged
 
 let semi_join ~name ~anti ~(left : Table.t) ~(right : Table.t) ~on =
   let lschema = left.Table.schema in

@@ -18,7 +18,9 @@ val aggregate : ?pool:Qs_util.Pool.t -> name:string -> group_by:Expr.colref list
 
 val union_all : name:string -> Table.t list -> Table.t
 (** Inputs must have equal arity; the first input's column names (flattened)
-    define the output schema. *)
+    define the output schema. If every input carries the same partition
+    layout ({!Qs_storage.Table.partitioning}) over the same schema, the
+    output keeps it (key columns renamed through the flattening). *)
 
 val semi_join : name:string -> anti:bool -> left:Table.t -> right:Table.t ->
   on:Expr.pred list -> Table.t

@@ -916,6 +916,40 @@ let chain_query n_rels =
          Expr.Cmp
            (Expr.Eq, Expr.col (alias (i + 1)) "fk", Expr.col (alias i) "id")))
 
+(* A hub join: every relation joins the same hub key (r0.id), so every
+   step of a multi-step run re-joins on one column — the shape where a
+   materialized temp's partition layout is reusable step after step. *)
+let hub_catalog s n_rels =
+  let module Value = Qs_storage.Value in
+  let module Schema = Qs_storage.Schema in
+  let module Table = Qs_storage.Table in
+  let cat = Catalog.create () in
+  let rows = max 100 (int_of_float (400.0 *. s.scale)) in
+  for i = 0 to n_rels - 1 do
+    let name = Printf.sprintf "r%d" i in
+    let tbl =
+      Table.create ~name
+        ~schema:(Schema.make name [ ("id", Value.TInt); ("fk", Value.TInt) ])
+        (Array.init rows (fun j ->
+             [| Value.Int (j + 1); Value.Int (1 + (j * 7 mod rows)) |]))
+    in
+    Catalog.add_table cat ~pk:"id" tbl;
+    if i > 0 then
+      Catalog.add_fk cat ~from_table:name ~from_column:"fk" ~to_table:"r0"
+        ~to_column:"id"
+  done;
+  Catalog.build_indexes cat Catalog.Pk_fk;
+  cat
+
+let hub_query n_rels =
+  let module Expr = Qs_query.Expr in
+  let alias i = Printf.sprintf "r%d" i in
+  Query.make
+    ~name:(Printf.sprintf "hub%d" n_rels)
+    (List.init n_rels (fun i -> { Query.alias = alias i; table = alias i }))
+    (List.init (n_rels - 1) (fun i ->
+         Expr.Cmp (Expr.Eq, Expr.col (alias (i + 1)) "fk", Expr.col "r0" "id")))
+
 let dp_sweep s =
   Report.section
     "Parallel optimizer: DP wall-clock vs join count vs domains, plus memo";
@@ -999,6 +1033,175 @@ let dp_sweep s =
          (List.length queries))
     ~headers:[ "algorithm"; "hits"; "misses"; "hit rate" ]
     rate_rows
+
+(* ---------------------------------------------------------------------- *)
+(* Pipelined execution: morsel-driven executor vs. full materialization    *)
+(* ---------------------------------------------------------------------- *)
+
+(* One strategy run of [q] under the given executor engine, restoring
+   the process-wide default on the way out. Returns the result digest,
+   wall-clock, and the executor's intermediate-table / partition-reuse
+   counter deltas for exactly this run. *)
+let engine_run ?pool ?spans ?strat ~mode registry q =
+  let module Executor = Qs_exec.Executor in
+  let strat =
+    match strat with
+    | Some st -> st
+    | None -> Querysplit.strategy Querysplit.default_config
+  in
+  let saved = Executor.execution_mode () in
+  Executor.set_default_mode mode;
+  Executor.reset_counters ();
+  Fun.protect
+    ~finally:(fun () -> Executor.set_default_mode saved)
+    (fun () ->
+      let ctx = Strategy.make_ctx ?pool ?spans registry Estimator.default in
+      let t0 = Qs_util.Timer.now () in
+      let o = strat.Strategy.run ctx q in
+      let wall = Qs_util.Timer.elapsed ~since:t0 in
+      ( Qs_storage.Table.digest o.Strategy.result,
+        wall,
+        Executor.intermediate_tables (),
+        Executor.partition_reuses () ))
+
+let span_category_time spans cat =
+  List.fold_left
+    (fun a (sp : Qs_util.Span.span) ->
+      if sp.Qs_util.Span.cat = cat then a +. sp.Qs_util.Span.dur else a)
+    0.0
+    (Qs_util.Span.spans spans)
+
+let pipeline_sweep s =
+  Report.section
+    "Pipelined execution: morsel-driven executor vs. full materialization";
+  let module Executor = Qs_exec.Executor in
+  let module Span = Qs_util.Span in
+  let par_domains = max 2 s.domains in
+  let identical = ref true in
+  let shapes =
+    [ ("chain", chain_catalog, chain_query); ("hub", hub_catalog, hub_query) ]
+  in
+  let strategies =
+    [
+      ("querysplit", Querysplit.strategy Querysplit.default_config);
+      ("one-shot", Qs_core.Static.default);
+    ]
+  in
+  let rows_out =
+    List.concat_map
+      (fun n_rels ->
+        List.concat_map
+          (fun (shape, catalog_of, query_of) ->
+            let q = query_of n_rels in
+            (* (storage, strategy, mode) grid; the spilled cases rebuild
+               the catalog inside the spill scope so base tables and
+               temps alike live behind the buffer pool *)
+            let case ~spilled ~strat mode =
+              let body () =
+                let cat = catalog_of s n_rels in
+                let registry = Qs_stats.Stats_registry.create cat in
+                Qs_util.Pool.with_pool ~domains:par_domains (fun pool ->
+                    let spans = Span.create () in
+                    let digest, wall, inter, reuses =
+                      engine_run ~pool ~spans ~strat ~mode registry q
+                    in
+                    ( digest,
+                      wall,
+                      inter,
+                      reuses,
+                      span_category_time spans Span.Pipeline,
+                      span_category_time spans Span.Breaker ))
+              in
+              if spilled then with_spill ~capacity:64 (fun _bp -> body ())
+              else body ()
+            in
+            List.concat_map
+              (fun spilled ->
+                List.map
+                  (fun (sname, strat) ->
+                    let d_mat, w_mat, i_mat, _, _, _ =
+                      case ~spilled ~strat Executor.Materialize
+                    in
+                    let d_pipe, w_pipe, i_pipe, reuses, pipe_t, brk_t =
+                      case ~spilled ~strat Executor.Pipeline
+                    in
+                    if d_mat <> d_pipe then identical := false;
+                    [
+                      Printf.sprintf "%d %s" n_rels shape;
+                      (if spilled then "spilled" else "memory");
+                      sname;
+                      Report.seconds w_mat;
+                      Report.seconds w_pipe;
+                      Printf.sprintf "%.2fx" (w_mat /. Float.max 1e-9 w_pipe);
+                      Printf.sprintf "%d/%d" i_mat i_pipe;
+                      string_of_int reuses;
+                      Report.seconds pipe_t;
+                      Report.seconds brk_t;
+                    ])
+                  strategies)
+              [ false; true ])
+          shapes)
+      [ 10; 12 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "PK-FK chains and hubs, %d domains (intermediates: \
+          materializing/pipelined)"
+         par_domains)
+    ~headers:
+      [ "query"; "storage"; "strategy"; "mat"; "pipe"; "speedup";
+        "intermediates"; "part reuse"; "pipe t"; "brk t" ]
+    rows_out;
+  Printf.printf "materializing vs pipelined digests byte-identical: %s\n"
+    (if !identical then "yes" else "NO")
+
+(* The deterministic pipelined-execution entry of the metrics dump: one
+   QuerySplit run of a fixed PK-FK chain per engine. Counters only —
+   plans, operator shapes and therefore every intermediate-table and
+   partition-reuse count are exact for a fixed corpus; no wall-clock
+   leaks into the entry. *)
+let pipeline_metrics_entry s =
+  let module Executor = Qs_exec.Executor in
+  let module Metrics = Qs_obs.Metrics in
+  let n_rels = 8 in
+  let cat = chain_catalog s n_rels in
+  let registry = Qs_stats.Stats_registry.create cat in
+  let q = chain_query n_rels in
+  let frag = Qs_stats.Fragment.of_query registry q in
+  let plan = (Optimizer.optimize cat Estimator.default frag).Optimizer.plan in
+  (* full-plan execution: one sink instead of one table per join *)
+  let one_shot = Qs_core.Static.default in
+  let d_mat, _, i_mat, _ =
+    engine_run ~strat:one_shot ~mode:Executor.Materialize registry q
+  in
+  let d_pipe, _, i_pipe, _ =
+    engine_run ~strat:one_shot ~mode:Executor.Pipeline registry q
+  in
+  (* multi-step QuerySplit over a hub, on a width-2 pool: every step
+     re-joins the hub key, so materialized temps keep a reusable
+     partition layout *)
+  let hub = hub_catalog s n_rels in
+  let hub_registry = Qs_stats.Stats_registry.create hub in
+  let d_qs_mat, _, i_qs_mat, _ =
+    engine_run ~mode:Executor.Materialize hub_registry (hub_query n_rels)
+  in
+  let d_qs, _, i_qs, reuses =
+    Qs_util.Pool.with_pool ~domains:2 (fun pool ->
+        engine_run ~pool ~mode:Executor.Pipeline hub_registry
+          (hub_query n_rels))
+  in
+  let m = Metrics.create () in
+  Metrics.incr ~by:i_mat m "intermediates_materializing";
+  Metrics.incr ~by:i_pipe m "intermediates_pipelined";
+  Metrics.incr ~by:i_qs_mat m "querysplit_intermediates_materializing";
+  Metrics.incr ~by:i_qs m "querysplit_intermediates_pipelined";
+  Metrics.incr ~by:reuses m "partition_reuses";
+  Metrics.incr ~by:(Qs_plan.Physical.n_pipelines plan) m "plan_pipelines";
+  Metrics.incr
+    ~by:(if d_mat = d_pipe && d_qs_mat = d_qs then 1 else 0)
+    m "digests_identical";
+  m
 
 (* ---------------------------------------------------------------------- *)
 (* Serving front end: throughput and tail latency under concurrent load    *)
@@ -1259,21 +1462,29 @@ let serve_metrics_entry s =
 
 (* All committed-baseline flavours from ONE harness run: the
    fig11-roster-only dump (the PR-5-era content, [--baseline-out]), the
-   same plus the ["serve"] entry (PR 6, [--serve-out]) and additionally
-   the ["io"] buffer-pool entry (PR 7, [--metrics-out]). Shared entries
-   are byte-identical across the three, so full — histograms included —
-   bench_diffs between the committed files are meaningful. *)
+   same plus the ["serve"] entry (PR 6, [--serve-out]), additionally the
+   ["io"] buffer-pool entry (PR 7, [--io-out]) and additionally the
+   ["pipeline"] executor-engine entry (PR 8, [--metrics-out]). Shared
+   entries are byte-identical across the four, so full — histograms
+   included — bench_diffs between the committed files are meaningful. *)
 let metrics_json_flavors s =
   let labelled = metrics_results s in
   let serve = ("serve", serve_metrics_entry s) in
   let io = ("io", io_metrics_entry s) in
+  let pipeline = ("pipeline", pipeline_metrics_entry s) in
   ( json_of_labelled s labelled,
     json_of_labelled ~extra:[ serve ] s labelled,
-    json_of_labelled ~extra:[ serve; io ] s labelled )
+    json_of_labelled ~extra:[ serve; io ] s labelled,
+    json_of_labelled ~extra:[ serve; io; pipeline ] s labelled )
 
 let metrics_json s =
   json_of_labelled
-    ~extra:[ ("serve", serve_metrics_entry s); ("io", io_metrics_entry s) ]
+    ~extra:
+      [
+        ("serve", serve_metrics_entry s);
+        ("io", io_metrics_entry s);
+        ("pipeline", pipeline_metrics_entry s);
+      ]
     s (metrics_results s)
 
 let all s =
@@ -1295,4 +1506,5 @@ let all s =
   scan_sweep s;
   io_sweep s;
   dp_sweep s;
+  pipeline_sweep s;
   serve_sweep s

@@ -67,21 +67,25 @@ val ablation : setup -> unit
 val metrics_json : setup -> string
 (** Machine-readable per-strategy metrics over the JOB-like workload
     (fig. 11 roster) plus one ["serve"] entry with the serving front
-    end's deterministic counters (see {!serve_sweep}) and one ["io"]
+    end's deterministic counters (see {!serve_sweep}), one ["io"]
     entry with the buffer pool's deterministic fault counters and hit
-    rate (see {!io_sweep}): the [Metrics.json_of_many] dump the bench
-    tool writes with [--metrics-out] and [tools/bench_diff] compares.
-    When [setup.tracer] is set, a synthetic ["phases"] entry carries
-    the per-category span counts and time histograms. *)
+    rate (see {!io_sweep}), and one ["pipeline"] entry with the
+    executor engines' deterministic intermediate-table and
+    partition-reuse counters (see {!pipeline_sweep}): the
+    [Metrics.json_of_many] dump the bench tool writes with
+    [--metrics-out] and [tools/bench_diff] compares. When
+    [setup.tracer] is set, a synthetic ["phases"] entry carries the
+    per-category span counts and time histograms. *)
 
-val metrics_json_flavors : setup -> string * string * string
+val metrics_json_flavors : setup -> string * string * string * string
 (** All committed-baseline flavours from ONE harness run: the
     fig11-roster-only dump (the PR-5-era content, written by
     [bench --baseline-out]), the same plus the ["serve"] entry (PR 6,
-    [--serve-out]), and additionally the ["io"] entry (PR 7,
-    [--metrics-out]). Generating them together keeps shared entries
-    byte-identical, so full — histograms included — [bench_diff]s
-    between the committed files are meaningful. *)
+    [--serve-out]), additionally the ["io"] entry (PR 7, [--io-out])
+    and additionally the ["pipeline"] entry (PR 8, [--metrics-out]).
+    Generating them together keeps shared entries byte-identical, so
+    full — histograms included — [bench_diff]s between the committed
+    files are meaningful. *)
 
 val metrics : setup -> unit
 (** Beyond the paper: the observability layer's per-strategy metrics
@@ -120,6 +124,16 @@ val dp_sweep : setup -> unit
     all three plans are byte-identical. A second table reports the
     cross-step memo hit rate of every re-optimizing strategy over a
     slice of the JOB-like workload. *)
+
+val pipeline_sweep : setup -> unit
+(** Beyond the paper: the morsel-driven pipelined executor vs. the
+    fully-materializing one, end to end. QuerySplit runs PK-FK chain
+    joins at 10 and 12 relations under both engines, in memory and
+    fully out-of-core (a 64-frame buffer pool), on a [max 2 domains]
+    pool — reporting wall-clock, the intermediate-table construction
+    counts of each engine, partition-layout reuses across steps, and
+    where the pipelined time went ([pipeline] vs [breaker] spans).
+    Asserts the result digests are byte-identical across engines. *)
 
 val serve_sweep : setup -> unit
 (** Beyond the paper: the concurrent serving front end under load.

@@ -95,6 +95,30 @@ let rec replace t ~id ~by =
 
 let n_joins t = List.length (joins_post_order t)
 
+(* Pipeline-breaker annotation for the morsel-driven executor: the child
+   subtrees whose full result must exist before the parent's pipeline
+   can start streaming. A hash join's build side feeds the hash table; a
+   plain NL join rescans its inner side per outer row. Index-NL probes
+   stream — the inner side is consumed through the index, not scanned —
+   and a hash join's probe side is the pipeline itself. *)
+let breaker_children t =
+  match t.node with
+  | Scan _ -> []
+  | Join { method_ = Hash; left; _ } -> [ left ]
+  | Join { method_ = Nl; right; _ } -> [ right ]
+  | Join { method_ = Index_nl; _ } -> []
+
+let rec breaker_edges t =
+  match t.node with
+  | Scan _ -> []
+  | Join j ->
+      List.map (fun (c : t) -> (t.id, c.id)) (breaker_children t)
+      @ breaker_edges j.left @ breaker_edges j.right
+
+(* Every breaker edge cuts one pipeline off the plan; what remains is
+   one pipeline per cut plus the sink pipeline. *)
+let n_pipelines t = List.length (breaker_edges t) + 1
+
 let join_leaf_sets t =
   List.map (fun n -> List.sort compare n.rels) (joins_post_order t)
 

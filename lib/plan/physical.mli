@@ -57,6 +57,20 @@ val replace : t -> id:int -> by:t -> t
 
 val n_joins : t -> int
 
+val breaker_children : t -> t list
+(** The pipeline breakers directly under this node: child subtrees whose
+    whole result must be consumed (hash build, NL inner) before the
+    node's own pipeline can start streaming morsels. Empty for scans and
+    for index-NL joins, whose probes stream through the index. *)
+
+val breaker_edges : t -> (int * int) list
+(** Every (parent id, breaker-child id) edge of the plan — the cuts that
+    partition the operator tree into pipelines. *)
+
+val n_pipelines : t -> int
+(** Number of pipeline segments the morsel-driven executor runs this
+    plan as: one per breaker edge, plus the sink pipeline. *)
+
 val join_leaf_sets : t -> string list list
 (** For every join node: the sorted alias set it covers — the canonical
     form used for the plan-similarity score of Table 1. *)

@@ -13,7 +13,9 @@
     - {b deadlines and cooperative cancellation}: a per-query deadline
       (seconds of wall-clock from admission) and a {!Qs_util.Cancel}
       token are threaded through the executor and strategy loops; both
-      are polled at batch boundaries and surface as a clean
+      are polled at every morsel boundary of the pipelined executor (a
+      cancellation unwinds before the next buffer-pool frame is pinned,
+      so no pinned frames leak) and surface as a clean
       [Deadline_exceeded] / [Cancelled] status — never a poisoned pool.
       An already-expired deadline (or pre-cancelled token) completes
       without executing at all;

@@ -22,6 +22,23 @@ type store
     read through a buffer pool. Not exposed — all access goes through
     the chunk API below, which faults as needed. *)
 
+type partitioning = {
+  part_keys : (string * string) list list;
+      (** value-equivalent ordered (rel, name) hash-key column lists —
+          order matters within a key, the hash is over the key values in
+          that order. Multiple keys arise from join equalities: the
+          build and probe key columns hold equal values on every output
+          row, so one hash describes both *)
+  parts : int;  (** partition count (the hash modulus) *)
+  tags : int array;  (** per-chunk partition id, in [\[0, parts)] *)
+}
+(** Advisory hash-partition layout: for every key in [part_keys], every
+    row of chunk [i] satisfies [Hashtbl.hash key mod parts = tags.(i)]
+    for the key values read off that key's columns in order. Carried by
+    per-partition operator outputs ({!of_tagged_chunks}) so a later
+    partitioned join over any listed key and the same modulus can group
+    chunks by tag instead of re-hashing rows. *)
+
 type t = private {
   name : string;
   schema : Schema.t;
@@ -34,6 +51,8 @@ type t = private {
           increasing: construction drops zero-row chunks, so no offset
           can map into an empty frame. *)
   chunk_bytes : int array;  (** memoized per-chunk byte sizes, -1 = unknown *)
+  partitioning : partitioning option;
+      (** advisory partition layout; read through {!partitioning} *)
 }
 
 val default_chunk_rows : unit -> int
@@ -72,6 +91,32 @@ val of_chunks : name:string -> schema:Schema.t -> Value.t array array list -> t
     empty batches are dropped, so the resulting offsets are strictly
     increasing. The batch arrays are shared, not copied (unless spill
     mode rewrites them to disk). *)
+
+val of_tagged_chunks : name:string -> schema:Schema.t ->
+  part_keys:(string * string) list list -> parts:int ->
+  (int * Value.t array array) list -> t
+(** Per-partition construction: each batch carries the partition id its
+    rows hashed into ([Hashtbl.hash key mod parts] over every key in
+    [part_keys] — the caller's obligation). Empty batches are dropped
+    with their tags, so chunk and tag indices stay aligned. Raises
+    [Invalid_argument] on an empty or unresolvable key, [parts < 1], or
+    a tag outside [\[0, parts)]. *)
+
+val partitioning : t -> partitioning option
+(** The advisory partition layout, if this table was built
+    per-partition and nothing invalidated the key since. *)
+
+val without_partitioning : t -> t
+(** Same chunks with the layout dropped — forces consumers back onto
+    the row-hashing path (layout-invariance testing). *)
+
+val copy_partitioning : from:t -> t -> t
+(** Re-attach [from]'s layout to a chunk-for-chunk derivative of it
+    (e.g. a column projection). Keys whose columns are gone from [t]'s
+    schema are dropped; a no-op when [from] has no layout, when the
+    chunk counts differ, or when no key survives — the layout is
+    advisory, so an inapplicable copy is dropped rather than an
+    error. *)
 
 val n_rows : t -> int
 
@@ -129,15 +174,18 @@ val chunk_byte_size : t -> int -> int
 
 val rename : t -> string -> t
 (** New table sharing chunks (and byte-size memo), with the given name
-    and columns requalified to it. *)
+    and columns requalified to it. Requalifying invalidates a
+    (rel, name) partition key, so any partition layout is dropped. *)
 
 val with_name : t -> string -> t
 (** New table sharing chunks, renamed without requalifying the schema
-    (temp materialization keeps alias-qualified columns). *)
+    (temp materialization keeps alias-qualified columns). The partition
+    layout, whose key still resolves, is kept. *)
 
 val reschema : name:string -> schema:Schema.t -> t -> t
 (** New table sharing chunks under a same-arity replacement schema
-    (column flattening). *)
+    (column flattening). Drops any partition layout — the key columns
+    no longer resolve under the new qualifiers. *)
 
 val digest : t -> string
 (** Canonical multiset digest (hex MD5): rows rendered with columns in

@@ -17,6 +17,8 @@ type category =
   | Dp_memo
   | Serve
   | Io
+  | Pipeline
+  | Breaker
 
 let category_name = function
   | Optimize -> "optimize"
@@ -31,6 +33,8 @@ let category_name = function
   | Dp_memo -> "dp-memo"
   | Serve -> "serve"
   | Io -> "io"
+  | Pipeline -> "pipeline"
+  | Breaker -> "breaker"
 
 let all_categories =
   [
@@ -46,6 +50,8 @@ let all_categories =
     Dp_memo;
     Serve;
     Io;
+    Pipeline;
+    Breaker;
   ]
 
 type span = {

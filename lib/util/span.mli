@@ -38,6 +38,14 @@ type category =
   | Io
       (** disk I/O of the out-of-core storage layer: chunk-frame faults
           and asynchronous prefetch reads issued by {!Buffer_pool} *)
+  | Pipeline
+      (** one pipeline segment of the morsel-driven executor: the time
+          rows stream from a source through fused operators into the
+          segment's sink *)
+  | Breaker
+      (** a pipeline breaker: hash-build, partition barrier or inner
+          materialization that must consume its whole input before the
+          parent pipeline can start *)
 
 val category_name : category -> string
 (** Stable kebab-case name ([optimize], [dp-level], [reopt-step], ...). *)

@@ -315,6 +315,83 @@ let test_prefetch_overlaps () =
             (s.Buffer_pool.hits + s.Buffer_pool.misses + s.Buffer_pool.coalesced >= 32);
           Alcotest.(check int) "no pins leaked" 0 (Buffer_pool.pinned bp)))
 
+let test_prefetch_clamped_on_ragged () =
+  (* a ragged table (of_chunks with uneven batches): lookahead from the
+     tail chunks must be clamped to the file — an unclamped prefetch
+     would either read past the last frame or inflate [prefetch_issued]
+     beyond the n-1 chunks that can ever be prefetched (chunk 0 is the
+     scan's own foreground fault). Capacity covers every chunk, so no
+     frame is evicted and a wasted prefetch can only mean an issue
+     against a chunk the scan never consumes. *)
+  Pool.with_pool ~domains:2 (fun io ->
+      with_spill ~prefetch:3 ~io_pool:io ~capacity:16 (fun bp ->
+          let batches =
+            List.map
+              (fun n -> Array.init n (fun i -> row1 (100 * n + i)))
+              [ 5; 1; 9; 3; 17; 2; 7; 1 ]
+          in
+          let ragged =
+            [ [||] ] @ batches @ [ [||] ]
+            |> List.concat_map (fun b -> [ b; [||] ])
+          in
+          let t = Table.of_chunks ~name:"rag" ~schema:(schema2 "rag") ragged in
+          Alcotest.(check int) "8 ragged chunks" 8 (Table.n_chunks t);
+          let rows = ref 0 in
+          Table.iter_chunks (fun _ c -> rows := !rows + Array.length c) t;
+          Alcotest.(check int) "all rows scanned" 45 !rows;
+          let s = Buffer_pool.stats bp in
+          Alcotest.(check bool)
+            "prefetches issued" true
+            (s.Buffer_pool.prefetch_issued > 0);
+          Alcotest.(check bool)
+            "issue count clamped to the file" true
+            (s.Buffer_pool.prefetch_issued <= Table.n_chunks t - 1);
+          Alcotest.(check int) "nothing evicted" 0 s.Buffer_pool.evictions;
+          Alcotest.(check int) "no prefetch wasted" 0 s.Buffer_pool.prefetch_wasted;
+          Alcotest.(check int) "no pins leaked" 0 (Buffer_pool.pinned bp)))
+
+(* mid-pipeline unwinds: the pipelined engine polls deadline/cancel at
+   every morsel boundary while the morsel's frame is pinned, and counts
+   emitted rows against the row limit inside the probe fan-out — all
+   three exits must release every pin on the way out *)
+let test_pipelined_unwind_releases_pins () =
+  with_chunk_rows 16 (fun () ->
+      with_spill ~capacity:2 (fun bp ->
+          let cat = Fixtures.shop_catalog ~n_orders:300 () in
+          let registry = Qs_stats.Stats_registry.create cat in
+          let ctx = Strategy.make_ctx registry Estimator.default in
+          let frag = Strategy.fragment_of_query ctx (Fixtures.shop_query ()) in
+          let plan =
+            (Optimizer.optimize cat Estimator.default frag).Optimizer.plan
+          in
+          (* a deadline already in the past fires at the first poll *)
+          (try
+             ignore
+               (Executor.run ~mode:Executor.Pipeline
+                  ~deadline:(Timer.now () -. 1.0)
+                  plan);
+             Alcotest.fail "expired deadline did not fire"
+           with Executor.Timeout -> ());
+          Alcotest.(check int) "no pins after timeout" 0 (Buffer_pool.pinned bp);
+          (* a tiny row limit fires mid-probe, with build and probe frames live *)
+          (try
+             ignore (Executor.run ~mode:Executor.Pipeline ~row_limit:5 plan);
+             Alcotest.fail "row limit did not fire"
+           with Executor.Timeout -> ());
+          Alcotest.(check int) "no pins after row limit" 0 (Buffer_pool.pinned bp);
+          (* cooperative cancellation unwinds the same way *)
+          let tok = Qs_util.Cancel.create () in
+          Qs_util.Cancel.cancel tok;
+          (try
+             ignore (Executor.run ~mode:Executor.Pipeline ~cancel:tok plan);
+             Alcotest.fail "cancellation did not fire"
+           with Qs_util.Cancel.Cancelled -> ());
+          Alcotest.(check int) "no pins after cancel" 0 (Buffer_pool.pinned bp);
+          (* the pool is not poisoned: the same plan still completes *)
+          let tbl, _ = Executor.run ~mode:Executor.Pipeline plan in
+          Alcotest.(check bool) "rerun returns rows" true (Table.n_rows tbl > 0);
+          Alcotest.(check int) "no pins after rerun" 0 (Buffer_pool.pinned bp)))
+
 (* spilled execution produces byte-identical results for every strategy,
    covering Temp materialization writing through the pool *)
 let test_strategies_out_of_core () =
@@ -348,7 +425,7 @@ let max_result_rows = 60_000
    skipped), computed once per run of this file. *)
 let reference = ref None
 
-let corpus_digests () =
+let corpus_digests ?mode () =
   let cat = Fixtures.shop_catalog ~n_orders:400 () in
   let registry = Qs_stats.Stats_registry.create cat in
   let ctx = Strategy.make_ctx registry Estimator.default in
@@ -365,7 +442,7 @@ let corpus_digests () =
       else begin
         let frag = Strategy.fragment_of_query ctx q in
         let plan = (Optimizer.optimize cat Estimator.default frag).Optimizer.plan in
-        let tbl, _ = Executor.run plan in
+        let tbl, _ = Executor.run ?mode plan in
         let out = Executor.project ~name:q.Query.name tbl q.Query.output in
         Some (q.Query.name, Table.digest out)
       end)
@@ -380,12 +457,12 @@ let in_memory_reference () =
       reference := Some r;
       r
 
-let check_out_of_core_corpus ~capacity ?io_pool () =
+let check_out_of_core_corpus ?mode ~capacity ?io_pool () =
   let _, expected = in_memory_reference () in
   let got =
     with_chunk_rows 64 (fun () ->
         with_spill ~capacity ?io_pool (fun bp ->
-            let digests = corpus_digests () in
+            let digests = corpus_digests ?mode () in
             let s = Buffer_pool.stats bp in
             Alcotest.(check bool) "corpus faulted" true (s.Buffer_pool.misses > 0);
             Alcotest.(check int) "no pins leaked" 0 (Buffer_pool.pinned bp);
@@ -404,6 +481,16 @@ let test_corpus_width_1 () = check_out_of_core_corpus ~capacity:1 ()
 let test_corpus_width_4_prefetch () =
   Pool.with_pool ~domains:2 (fun io ->
       check_out_of_core_corpus ~capacity:4 ~io_pool:io ())
+
+(* the cross-engine differential, fully out-of-core: the materializing
+   engine at pool widths 1 and 4 must reproduce the pipelined in-memory
+   reference digests query for query *)
+let test_corpus_materialize_width_1 () =
+  check_out_of_core_corpus ~mode:Executor.Materialize ~capacity:1 ()
+
+let test_corpus_materialize_width_4 () =
+  Pool.with_pool ~domains:2 (fun io ->
+      check_out_of_core_corpus ~mode:Executor.Materialize ~capacity:4 ~io_pool:io ())
 
 (* --- Plan_cache: raising planner shared across two sessions ------------ *)
 
@@ -455,10 +542,18 @@ let suite =
     Alcotest.test_case "pins released on cancellation" `Quick test_pin_released_on_cancellation;
     Alcotest.test_case "eviction under concurrent scans" `Quick test_eviction_under_concurrent_scans;
     Alcotest.test_case "prefetch issues and accounts" `Quick test_prefetch_overlaps;
+    Alcotest.test_case "prefetch clamped on ragged tables" `Quick
+      test_prefetch_clamped_on_ragged;
+    Alcotest.test_case "pipelined unwind releases pins" `Quick
+      test_pipelined_unwind_releases_pins;
     Alcotest.test_case "strategies out-of-core" `Quick test_strategies_out_of_core;
     Alcotest.test_case "200-query corpus out-of-core, width 1" `Slow test_corpus_width_1;
     Alcotest.test_case "200-query corpus out-of-core, width 4 + prefetch" `Slow
       test_corpus_width_4_prefetch;
+    Alcotest.test_case "200-query corpus cross-engine out-of-core, width 1" `Slow
+      test_corpus_materialize_width_1;
+    Alcotest.test_case "200-query corpus cross-engine out-of-core, width 4" `Slow
+      test_corpus_materialize_width_4;
     Alcotest.test_case "plan cache: raising planner, two sessions" `Quick
       test_plan_cache_raising_planner;
   ]

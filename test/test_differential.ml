@@ -170,6 +170,125 @@ let test_parallel_join_corpus () =
           end)
         queries)
 
+(* --- the two execution engines ----------------------------------------- *)
+
+(* The morsel-driven pipelined engine against the materializing
+   reference over the whole corpus: identical result multisets and
+   identical per-node cardinalities, sequential and with a
+   partitioned-parallel pool. *)
+let test_engine_parity_corpus () =
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let queries = Fuzz.queries cat ~seed:20230617 ~n:200 () in
+  Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun (q : Query.t) ->
+          let frag = Strategy.fragment_of_query ctx q in
+          if Naive.count frag <= max_result_rows then begin
+            let plan =
+              (Optimizer.optimize cat Estimator.default frag).Optimizer.plan
+            in
+            let mat, mstats = Executor.run ~mode:Executor.Materialize plan in
+            let pipe, pstats = Executor.run ~mode:Executor.Pipeline plan in
+            if not (Fixtures.tables_equal mat pipe) then
+              Alcotest.failf "%s: pipelined engine diverges (%d vs %d rows)"
+                q.Query.name (Table.n_rows mat) (Table.n_rows pipe);
+            let par, _ = Executor.run ~mode:Executor.Pipeline ~pool plan in
+            if not (Fixtures.tables_equal mat par) then
+              Alcotest.failf "%s: parallel pipelined engine diverges (%d vs %d rows)"
+                q.Query.name (Table.n_rows mat) (Table.n_rows par);
+            Hashtbl.iter
+              (fun id rows ->
+                Alcotest.(check int)
+                  (Printf.sprintf "%s: node %d cardinality" q.Query.name id)
+                  rows
+                  (Option.value (Hashtbl.find_opt pstats id) ~default:(-1)))
+              mstats
+          end)
+        queries)
+
+(* ?row_limit semantics on the pipelined path, with limit AND a parallel
+   partitioned join AND spilled tables at once: any join producing more
+   than [limit] rows must trip {!Executor.Timeout} in both engines, a
+   limit no operator reaches must trip in neither, and the surviving
+   runs must agree — with every pin released on the Timeout unwinds. *)
+let test_limit_parallel_spill () =
+  let saved = Table.default_chunk_rows () in
+  Table.set_default_chunk_rows 32;
+  Fun.protect
+    ~finally:(fun () -> Table.set_default_chunk_rows saved)
+    (fun () ->
+      let dir = Filename.temp_file "qs_limit" "" in
+      Sys.remove dir;
+      Sys.mkdir dir 0o700;
+      let bp = Qs_storage.Buffer_pool.create ~capacity:4 () in
+      let saved_spill = Table.spill_config () in
+      Table.set_spill (Some (dir, bp));
+      Fun.protect
+        ~finally:(fun () ->
+          Table.set_spill saved_spill;
+          Array.iter
+            (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+            (Sys.readdir dir);
+          (try Sys.rmdir dir with Sys_error _ -> ()))
+        (fun () ->
+          let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+          let queries = Fuzz.queries cat ~seed:7 ~n:40 () in
+          let tripped = ref 0 in
+          Pool.with_pool ~domains:4 (fun pool ->
+              List.iter
+                (fun (q : Query.t) ->
+                  let frag = Strategy.fragment_of_query ctx q in
+                  if Naive.count frag <= max_result_rows then begin
+                    let plan =
+                      (Optimizer.optimize cat Estimator.default frag).Optimizer.plan
+                    in
+                    let mat, stats =
+                      Executor.run ~mode:Executor.Materialize plan
+                    in
+                    (* an explicit limit far above any operator output:
+                       the pipelined parallel run over spilled tables
+                       must not trip it *)
+                    let relaxed, _ =
+                      Executor.run ~mode:Executor.Pipeline ~pool
+                        ~row_limit:Executor.default_row_limit plan
+                    in
+                    if not (Fixtures.tables_equal mat relaxed) then
+                      Alcotest.failf "%s: pipelined diverges under a slack limit"
+                        q.Query.name;
+                    (* a limit strictly below some join's output: more
+                       than [limit] rows survive that join in any
+                       evaluation order, so both engines must raise *)
+                    let join_max =
+                      List.fold_left
+                        (fun m (n : Qs_plan.Physical.t) ->
+                          match n.Qs_plan.Physical.node with
+                          | Qs_plan.Physical.Join _ ->
+                              max m (Hashtbl.find stats n.Qs_plan.Physical.id)
+                          | Qs_plan.Physical.Scan _ -> m)
+                        0
+                        (Qs_plan.Physical.nodes plan)
+                    in
+                    if join_max > 1 then begin
+                      incr tripped;
+                      let expect_timeout label mode =
+                        match
+                          Executor.run ~mode ~pool ~row_limit:(join_max - 1) plan
+                        with
+                        | _ -> Alcotest.failf "%s: %s ignored the limit" q.Query.name label
+                        | exception Executor.Timeout -> ()
+                      in
+                      expect_timeout "materializing" Executor.Materialize;
+                      expect_timeout "pipelined" Executor.Pipeline;
+                      Alcotest.(check int)
+                        (q.Query.name ^ ": no pins leaked by limit unwind")
+                        0
+                        (Qs_storage.Buffer_pool.pinned bp)
+                    end
+                  end)
+                queries);
+          Alcotest.(check bool) "some queries exercised the tight limit" true
+            (!tripped > 5)))
+
 (* Tracing must be observation-only: running the corpus with a span
    tracer (and an execution trace) attached yields result digests
    byte-identical to the untraced run, for both the plain executor and
@@ -297,6 +416,10 @@ let suite =
       test_parallel_harness_corpus;
     Alcotest.test_case "parallel hash join over fuzz corpus" `Slow
       test_parallel_join_corpus;
+    Alcotest.test_case "engine parity: pipelined = materializing" `Slow
+      test_engine_parity_corpus;
+    Alcotest.test_case "row limit: limit x parallel join x spill" `Slow
+      test_limit_parallel_spill;
     Alcotest.test_case "traced corpus digests = untraced" `Slow
       test_traced_corpus_observation_only;
     Alcotest.test_case "chunked scan row-identical across chunk sizes x domains"

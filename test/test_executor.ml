@@ -334,6 +334,50 @@ let test_run_with_pool_matches () =
       Alcotest.(check bool) "same multiset" true (Fixtures.tables_equal seq par);
       check_stats_complete res.Optimizer.plan stats)
 
+(* --- morsel-driven engine: intermediates and partition reuse ----------- *)
+
+let test_pipelined_intermediates_counter () =
+  (* the 4-way shop join, executed as one plan: the materializing engine
+     builds a table per operator output, the pipelined engine only its
+     sink *)
+  let cat, ctx = Fixtures.shop_ctx ~n_orders:400 () in
+  let frag = Strategy.fragment_of_query ctx (Fixtures.shop_query ()) in
+  let res = Optimizer.optimize ~allowed:[ Physical.Hash ] cat Estimator.default frag in
+  let count mode =
+    Executor.reset_counters ();
+    let tbl, _ = Executor.run ~mode res.Optimizer.plan in
+    (Executor.intermediate_tables (), tbl)
+  in
+  let mats, mat_tbl = count Executor.Materialize in
+  let pipes, pipe_tbl = count Executor.Pipeline in
+  Alcotest.(check bool) "same multiset" true (Fixtures.tables_equal mat_tbl pipe_tbl);
+  Alcotest.(check int) "pipelined materializes only the sink" 1 pipes;
+  Alcotest.(check bool)
+    (Printf.sprintf "materializing builds more (%d)" mats)
+    true (mats > pipes)
+
+let test_partition_reuse_across_steps () =
+  (* products.id is a hub: orders and reviews both join it. QuerySplit
+     runs the shop query in single-join steps over a pool, so at some
+     step a temp produced by a parallel partitioned join is joined again
+     on a key it is already partitioned by — the join must consume it
+     by tag instead of re-hashing, and the result must not change *)
+  let cat = Fixtures.shop_catalog ~n_orders:400 () in
+  let registry = Qs_stats.Stats_registry.create cat in
+  let qs = Qs_core.Querysplit.strategy Qs_core.Querysplit.default_config in
+  let q = Fixtures.shop_query () in
+  let seq =
+    let ctx = Strategy.make_ctx registry Estimator.default in
+    Table.digest (qs.Strategy.run ctx q).Strategy.result
+  in
+  Qs_util.Pool.with_pool ~domains:2 (fun pool ->
+      let ctx = Strategy.make_ctx ~pool registry Estimator.default in
+      Executor.reset_counters ();
+      let out = (qs.Strategy.run ctx q).Strategy.result in
+      Alcotest.(check bool) "a temp layout was reused" true
+        (Executor.partition_reuses () > 0);
+      Alcotest.(check string) "pooled digest unchanged" seq (Table.digest out))
+
 let test_naive_count_matches_rows () =
   let _, ctx = Fixtures.shop_ctx ~n_orders:400 () in
   let rng = Qs_util.Rng.create 1 in
@@ -371,4 +415,8 @@ let suite =
     Alcotest.test_case "parallel hash join row limit" `Quick
       test_parallel_hash_join_limit;
     Alcotest.test_case "run with pool = sequential" `Quick test_run_with_pool_matches;
+    Alcotest.test_case "pipelined intermediates counter" `Quick
+      test_pipelined_intermediates_counter;
+    Alcotest.test_case "partition reuse across QuerySplit steps" `Quick
+      test_partition_reuse_across_steps;
   ]

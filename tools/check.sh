@@ -45,11 +45,12 @@ done
 # --- bench baseline drift ----------------------------------------------
 # The committed BENCH_*.json dumps all come from ONE harness run
 # (`bench --queries 12 --baseline-out BENCH_pr5.json --serve-out
-# BENCH_pr6.json --metrics-out BENCH_pr7.json`, then BENCH_pr4.json is a
-# copy of the regenerated BENCH_pr5.json), so shared entries are
-# byte-identical across the stack and every diff — histograms included —
-# runs full. Each later baseline is a superset: pr6 adds the "serve"
-# entry, pr7 the "io" buffer-pool entry.
+# BENCH_pr6.json --io-out BENCH_pr7.json --metrics-out BENCH_pr8.json`,
+# then BENCH_pr4.json is a copy of the regenerated BENCH_pr5.json), so
+# shared entries are byte-identical across the stack and every diff —
+# histograms included — runs full. Each later baseline is a superset:
+# pr6 adds the "serve" entry, pr7 the "io" buffer-pool entry, pr8 the
+# "pipeline" engine-comparison entry.
 # The exe is a declared dep of the runtest rule; when running by hand it
 # lives under _build.
 bench_diff=tools/bench_diff/bench_diff.exe
@@ -75,6 +76,16 @@ if [ -x "$bench_diff" ] && [ -f BENCH_pr6.json ] && [ -f BENCH_pr7.json ]; then
   }
   grep -q '"io"' BENCH_pr7.json || {
     echo "check: BENCH_pr7.json is missing the \"io\" buffer-pool entry" >&2
+    status=1
+  }
+fi
+if [ -x "$bench_diff" ] && [ -f BENCH_pr7.json ] && [ -f BENCH_pr8.json ]; then
+  "$bench_diff" BENCH_pr7.json BENCH_pr8.json || {
+    echo "check: BENCH_pr8.json regresses against BENCH_pr7.json" >&2
+    status=1
+  }
+  grep -q '"pipeline"' BENCH_pr8.json || {
+    echo "check: BENCH_pr8.json is missing the \"pipeline\" engine entry" >&2
     status=1
   }
 fi

@@ -13,12 +13,20 @@
 #   3. Direct Chunk_file access — spilled chunks are read through the
 #      Buffer_pool (pinning, eviction, prefetch coalescing); a raw
 #      Chunk_file.read outside lib/storage would bypass all of it.
+#   4. Table.to_rows outside lib/exec and lib/storage — it copies every
+#      chunk of a table into one flat array, defeating both morsel
+#      pipelining and out-of-core execution on intermediates; consumers
+#      stream through Table.iter / iter_chunks instead.
 #
-# Allow-list entries only *mention* Obj in documentation comments:
-#   lib/util/scratch.ml / .mli — docs explaining what Scratch replaces.
+# Allow-list entries:
+#   lib/util/scratch.ml / .mli — only *mention* Obj in documentation
+#      comments explaining what Scratch replaces.
+#   lib/stats/analyze.ml — flattens small base-table samples for ANALYZE
+#      (bounded by the sample size, never an intermediate result).
 set -eu
 
 ALLOW="lib/util/scratch.ml lib/util/scratch.mli"
+TO_ROWS_ALLOW="lib/stats/analyze.ml"
 
 status=0
 for f in $(find lib bin bench \( -name '*.ml' -o -name '*.mli' \) | sort); do
@@ -40,6 +48,18 @@ for f in $(find lib bin bench \( -name '*.ml' -o -name '*.mli' \) | sort); do
   fi
   if grep -nE 'Chunk_file\.' "$f"; then
     echo "lint: direct chunk-file access in $f — spilled chunks are read through Buffer_pool/Table (see tools/lint_unsafe.sh)" >&2
+    status=1
+  fi
+  case "$f" in
+    lib/exec/*) continue ;;
+  esac
+  allowed=0
+  for a in $TO_ROWS_ALLOW; do
+    [ "$f" = "$a" ] && allowed=1
+  done
+  [ $allowed -eq 1 ] && continue
+  if grep -nE '\bto_rows\b' "$f"; then
+    echo "lint: Table.to_rows in $f flattens a table — stream with Table.iter / iter_chunks (see tools/lint_unsafe.sh)" >&2
     status=1
   fi
 done
