@@ -16,12 +16,13 @@
      dune exec bench/main.exe -- --spill-dir /tmp/qs --buffer-chunks 8 io_sweep
      # committed-baseline regeneration (see tools/check.sh): ONE run
      # writing every flavour — roster-only, roster+serve,
-     # roster+serve+io, and roster+serve+io+pipeline — so their shared
-     # entries are byte-identical
+     # roster+serve+io, roster+serve+io+pipeline, and additionally
+     # +telemetry — so their shared entries are byte-identical
      # (BENCH_pr4.json is a copy of the regenerated BENCH_pr5.json)
      dune exec bench/main.exe -- --queries 12 \
        --baseline-out BENCH_pr5.json --serve-out BENCH_pr6.json \
-       --io-out BENCH_pr7.json --metrics-out BENCH_pr8.json
+       --io-out BENCH_pr7.json --pipeline-out BENCH_pr8.json \
+       --metrics-out BENCH_pr9.json
      cp BENCH_pr5.json BENCH_pr4.json *)
 
 module Experiments = Qs_harness.Experiments
@@ -48,6 +49,7 @@ let experiments : (string * (Experiments.setup -> unit)) list =
     ("dp_sweep", Experiments.dp_sweep);
     ("pipeline_sweep", Experiments.pipeline_sweep);
     ("serve_sweep", Experiments.serve_sweep);
+    ("telemetry_sweep", Experiments.telemetry_sweep);
   ]
 
 (* ---------------------------------------------------------------------- *)
@@ -131,6 +133,7 @@ let () =
   let baseline_out = ref None in
   let serve_out = ref None in
   let io_out = ref None in
+  let pipeline_out = ref None in
   let spill_dir = ref None in
   let buffer_chunks = ref 64 in
   let rec parse = function
@@ -170,6 +173,9 @@ let () =
         parse rest
     | "--io-out" :: v :: rest ->
         io_out := Some v;
+        parse rest
+    | "--pipeline-out" :: v :: rest ->
+        pipeline_out := Some v;
         parse rest
     | "--spill-dir" :: v :: rest ->
         spill_dir := Some v;
@@ -218,6 +224,7 @@ let () =
   let default_run =
     !chosen = [] && (not !want_micro) && !metrics_out = None
     && !baseline_out = None && !serve_out = None && !io_out = None
+    && !pipeline_out = None
   in
   if default_run then want_micro := true;
   let names = if default_run then List.map fst experiments else !chosen in
@@ -242,18 +249,20 @@ let () =
         output_char oc '\n');
     Printf.printf "wrote metrics JSON to %s\n%!" path
   in
-  (match (!metrics_out, !baseline_out, !serve_out, !io_out) with
-  | None, None, None, None -> ()
-  | Some path, None, None, None -> write path (Experiments.metrics_json s)
-  | metrics, baseline, serve, io ->
+  (match (!metrics_out, !baseline_out, !serve_out, !io_out, !pipeline_out) with
+  | None, None, None, None, None -> ()
+  | Some path, None, None, None, None ->
+      write path (Experiments.metrics_json s)
+  | metrics, baseline, serve, io, pipeline ->
       (* every requested flavour from one harness run, so full
          bench_diffs between the written files are meaningful *)
-      let base_json, serve_json, io_json, full_json =
+      let base_json, serve_json, io_json, pipeline_json, full_json =
         Experiments.metrics_json_flavors s
       in
       Option.iter (fun path -> write path base_json) baseline;
       Option.iter (fun path -> write path serve_json) serve;
       Option.iter (fun path -> write path io_json) io;
+      Option.iter (fun path -> write path pipeline_json) pipeline;
       Option.iter (fun path -> write path full_json) metrics);
   Option.iter Qs_util.Pool.shutdown io_pool;
   match (!trace_out, s.Experiments.tracer) with

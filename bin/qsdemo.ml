@@ -7,6 +7,8 @@
      dune exec bin/qsdemo.exe -- run --profile -n 4        # span profile + journal
      dune exec bin/qsdemo.exe -- run --serve -n 20 --domains 2  # serving front end
      dune exec bin/qsdemo.exe -- run --serve --policy fifo -n 20
+     dune exec bin/qsdemo.exe -- run --serve --stats-out /tmp/qs.stats -n 50
+     dune exec bin/qsdemo.exe -- top --file /tmp/qs.stats       # live dashboard
      dune exec bin/qsdemo.exe -- run --spill-dir /tmp/qs --buffer-chunks 8
      dune exec bin/qsdemo.exe -- plan --workload cinema --query 3 *)
 
@@ -29,6 +31,7 @@ module Profile = Qs_obs.Profile
 module Span = Qs_util.Span
 module Server = Qs_serve.Server
 module Scheduler = Qs_serve.Scheduler
+module Telemetry = Qs_obs.Telemetry
 
 open Cmdliner
 
@@ -173,6 +176,24 @@ let policy_arg =
        & info [ "policy" ]
            ~doc:"Serving scheduler policy (--serve only): fifo or cost-aware.")
 
+let stats_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stats-out" ]
+           ~doc:
+             "With --serve: publish the flight recorder's live text \
+              dashboard to this file as queries complete (atomic \
+              write-then-rename, throttled to ~2 Hz, plus a final frame), \
+              so `qsdemo top --file ...` in another terminal renders the \
+              run while it is in flight.")
+
+let prom_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "prom-out" ]
+           ~doc:
+             "With --serve: write the telemetry counters and latency \
+              quantiles in Prometheus text exposition format to this file \
+              when the run finishes.")
+
 let explain_arg =
   Arg.(value & flag
        & info [ "explain" ]
@@ -199,10 +220,20 @@ let build_cinema ~scale ~seed ~index =
   Catalog.build_indexes cat index;
   cat
 
+(* Atomically publish a dashboard frame: write beside the target and
+   rename over it, so a concurrent `qsdemo top` never reads a torn
+   frame. *)
+let publish_file path text =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc -> output_string oc text);
+  Sys.rename tmp path
+
 (* Serve the cinema queries through the concurrent front end: two
    interleaved sessions over one shared pool, per-query turnaround
-   reported alongside the server's own counters. *)
-let serve_demo ~scale ~seed ~n ~index ~domains ~policy tracer =
+   reported alongside the server's own counters. With --stats-out the
+   flight recorder's dashboard is republished as results arrive. *)
+let serve_demo ~scale ~seed ~n ~index ~domains ~policy ~stats_out ~prom_out
+    tracer =
   let cat = build_cinema ~scale ~seed ~index in
   let env = Runner.make_env ~seed cat in
   let queries = Qs_workload.Cinema.queries cat ~seed:(seed + 1) ~n in
@@ -223,14 +254,38 @@ let serve_demo ~scale ~seed ~n ~index ~domains ~policy tracer =
         (List.length queries)
         (Scheduler.policy_name policy)
         (Qs_util.Pool.size pool);
+      let last_frame = ref neg_infinity in
+      let publish_stats ~force () =
+        match stats_out with
+        | None -> ()
+        | Some path ->
+            let now = Qs_util.Timer.now () in
+            if force || now -. !last_frame >= 0.5 then (
+              last_frame := now;
+              publish_file path
+                (Telemetry.render (Server.telemetry_snapshot server)))
+      in
       let tickets =
         List.mapi
           (fun i q ->
             Server.submit server ~session:(Printf.sprintf "s%d" (i mod 2)) q)
           queries
       in
-      let rs = List.map (Server.await server) tickets in
+      publish_stats ~force:false ();
+      let rs =
+        List.map
+          (fun tk ->
+            let r = Server.await server tk in
+            publish_stats ~force:false ();
+            r)
+          tickets
+      in
       Server.drain server;
+      publish_stats ~force:true ();
+      (match prom_out with
+      | None -> ()
+      | Some path ->
+          publish_file path (Telemetry.to_prometheus (Server.telemetry server)));
       List.iter
         (fun (r : Server.result) ->
           let status =
@@ -259,8 +314,8 @@ let serve_demo ~scale ~seed ~n ~index ~domains ~policy tracer =
         (Server.peak_queue server))
 
 let run_cmd workload scale seed n timeout index algo collect_stats domains
-    join_parallelism explain profile serve policy chunk_rows dp_limit spill_dir
-    buffer_chunks =
+    join_parallelism explain profile serve policy stats_out prom_out chunk_rows
+    dp_limit spill_dir buffer_chunks =
   apply_chunk_rows chunk_rows;
   apply_dp_limit dp_limit;
   let tracer = if profile then Some (Span.create ()) else None in
@@ -274,7 +329,8 @@ let run_cmd workload scale seed n timeout index algo collect_stats domains
   in
   match workload with
   | `Cinema when serve ->
-      serve_demo ~scale ~seed ~n ~index ~domains ~policy tracer;
+      serve_demo ~scale ~seed ~n ~index ~domains ~policy ~stats_out ~prom_out
+        tracer;
       print_profile ()
   | (`Star | `Dsb) when serve ->
       prerr_endline "--serve is only supported for the cinema (SPJ) workload";
@@ -401,12 +457,39 @@ let sql_cmd workload scale seed index explain chunk_rows sql_text =
             outcome.Strategy.elapsed;
           Format.printf "%a" (Table.pp_sample ~limit:20) outcome.Strategy.result)
 
+(* `qsdemo top`: live dashboard over a stats file published by
+   `run --serve --stats-out`. Rereads the file every --interval seconds
+   and reprints it, clearing the screen between frames when stdout is a
+   terminal; the publisher's write-then-rename keeps every frame whole. *)
+let top_cmd file interval iterations =
+  let clear = Unix.isatty Unix.stdout in
+  let frame i =
+    let text =
+      try Some (In_channel.with_open_text file In_channel.input_all)
+      with Sys_error _ -> None
+    in
+    if clear then print_string "\027[H\027[2J";
+    (match text with
+    | Some s ->
+        if (not clear) && i > 0 then print_endline "---";
+        print_string s
+    | None -> Printf.printf "qsdemo top: waiting for %s ...\n" file);
+    flush stdout
+  in
+  let rec loop i =
+    if iterations = 0 || i < iterations then (
+      frame i;
+      if iterations = 0 || i + 1 < iterations then Unix.sleepf interval;
+      loop (i + 1))
+  in
+  loop 0
+
 let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ seed_arg $ queries_arg $ timeout_arg
     $ index_arg $ algo_arg $ stats_arg $ domains_arg $ join_par_arg $ explain_arg
-    $ profile_arg $ serve_arg $ policy_arg $ chunk_rows_arg $ dp_limit_arg
-    $ spill_dir_arg $ buffer_chunks_arg)
+    $ profile_arg $ serve_arg $ policy_arg $ stats_out_arg $ prom_out_arg
+    $ chunk_rows_arg $ dp_limit_arg $ spill_dir_arg $ buffer_chunks_arg)
 
 let query_arg =
   Arg.(value & opt int 0 & info [ "query"; "q" ] ~doc:"Query index to inspect.")
@@ -424,6 +507,23 @@ let sql_term =
     const sql_cmd $ workload_arg $ scale_arg $ seed_arg $ index_arg $ explain_arg
     $ chunk_rows_arg $ sql_text_arg)
 
+let top_file_arg =
+  Arg.(required & opt (some string) None
+       & info [ "file"; "f" ] ~docv:"FILE"
+           ~doc:"Stats file published by `run --serve --stats-out`.")
+
+let top_interval_arg =
+  Arg.(value & opt float 1.0
+       & info [ "interval"; "i" ] ~doc:"Seconds between dashboard refreshes.")
+
+let top_iterations_arg =
+  Arg.(value & opt int 0
+       & info [ "iterations" ]
+           ~doc:"Stop after this many frames (0 = refresh until interrupted).")
+
+let top_term =
+  Term.(const top_cmd $ top_file_arg $ top_interval_arg $ top_iterations_arg)
+
 let () =
   let run =
     Cmd.v (Cmd.info "run" ~doc:"Run a workload under an algorithm") run_term
@@ -436,9 +536,15 @@ let () =
       (Cmd.info "sql" ~doc:"Run an SPJ SQL query through QuerySplit")
       sql_term
   in
+  let top =
+    Cmd.v
+      (Cmd.info "top"
+         ~doc:"Render a --stats-out file as a live serving dashboard")
+      top_term
+  in
   let group =
     Cmd.group
       (Cmd.info "qsdemo" ~doc:"QuerySplit demonstration CLI" ~version:"1.0")
-      [ run; plan; sql ]
+      [ run; plan; sql; top ]
   in
   exit (Cmd.eval group)

@@ -202,16 +202,10 @@ let run policy ?selector ctx (q : Query.t) =
             ?spans:ctx.Strategy.spans !plan
         in
         finished_table := Some table;
-        Span.add ctx.Strategy.spans Span.Reopt_step
-          ~args:
-            [
-              ("subquery", "final");
-              ("est_rows", Printf.sprintf "%.0f" !plan.Physical.est_rows);
-              ("actual_rows", string_of_int (Table.n_rows table));
-              ("replanned", "no");
-              ("remaining", "0");
-            ]
-          (q.Query.name ^ "/final") ~start:t0 ~dur:(Timer.elapsed ~since:t0);
+        Strategy.journal ctx ~subquery:"final"
+          ~est_rows:!plan.Physical.est_rows
+          ~actual_rows:(Table.n_rows table) ~replanned:false ~remaining:0
+          ~name:(q.Query.name ^ "/final") ~start:t0 ();
         iterations :=
           {
             Strategy.index = !iter_index;
@@ -264,19 +258,14 @@ let run policy ?selector ctx (q : Query.t) =
           in
           plan := Physical.replace !plan ~id:node.Physical.id ~by:scan_replacement
         end;
-        Span.add ctx.Strategy.spans Span.Reopt_step
-          ~args:
-            [
-              ("subquery", String.concat "," provides);
-              ("est_rows", Printf.sprintf "%.0f" node.Physical.est_rows);
-              ("actual_rows", string_of_int actual);
-              ("replanned", if replanned then "yes" else "no");
-              ( "remaining",
-                string_of_int (List.length (executable_joins !plan)) );
-            ]
-          (Printf.sprintf "%s/%s(%s)" q.Query.name policy.name
-             (String.concat "," provides))
-          ~start:t0 ~dur:(Timer.elapsed ~since:t0);
+        Strategy.journal ctx
+          ~subquery:(String.concat "," provides)
+          ~est_rows:node.Physical.est_rows ~actual_rows:actual ~replanned
+          ~remaining:(List.length (executable_joins !plan))
+          ~name:
+            (Printf.sprintf "%s/%s(%s)" q.Query.name policy.name
+               (String.concat "," provides))
+          ~start:t0 ();
         iterations :=
           {
             Strategy.index = !iter_index;

@@ -145,20 +145,14 @@ let run config ctx (q : Query.t) =
       Executor.run ?deadline:!(ctx.Strategy.deadline) ?cancel:ctx.Strategy.cancel ?pool:ctx.Strategy.pool ?trace:ctx.Strategy.trace
         ?spans:ctx.Strategy.spans plan_res.Optimizer.plan
     in
-    (* the re-optimization journal: one [reopt-step] span per iteration *)
+    (* the re-optimization journal: one entry (flight step + span) per
+       iteration *)
     let journal ~actual ~replanned ~remaining_n =
-      Span.add ctx.Strategy.spans Span.Reopt_step
-        ~args:
-          [
-            ("subquery", chosen.label);
-            ("score", Printf.sprintf "%.6g" chosen_score);
-            ("est_rows", Printf.sprintf "%.0f" plan_res.Optimizer.est_rows);
-            ("actual_rows", string_of_int actual);
-            ("replanned", if replanned then "yes" else "no");
-            ("remaining", string_of_int remaining_n);
-          ]
-        (q.Query.name ^ "/" ^ chosen.label)
-        ~start:t0 ~dur:(Timer.elapsed ~since:t0)
+      Strategy.journal ctx ~score:chosen_score ~subquery:chosen.label
+        ~est_rows:plan_res.Optimizer.est_rows ~actual_rows:actual ~replanned
+        ~remaining:remaining_n
+        ~name:(q.Query.name ^ "/" ^ chosen.label)
+        ~start:t0 ()
     in
     let others = List.filter (fun e -> e != chosen) !remaining in
     remaining := others;

@@ -42,6 +42,7 @@ type ctx = {
   pool : Pool.t option;
   dp_memo : Qs_plan.Dp_memo.t option;
   cancel : Qs_util.Cancel.t option;
+  flight : Qs_obs.Flight.t option;
 }
 
 type t = {
@@ -50,11 +51,34 @@ type t = {
 }
 
 let make_ctx ?(collect_stats = true) ?(deadline = None) ?(seed = 42) ?trace ?spans
-    ?pool ?dp_memo ?cancel registry estimator =
+    ?pool ?dp_memo ?cancel ?flight registry estimator =
   {
     registry; estimator; collect_stats; deadline = ref deadline; seed;
-    pseudo = Hashtbl.create 8; trace; spans; pool; dp_memo; cancel;
+    pseudo = Hashtbl.create 8; trace; spans; pool; dp_memo; cancel; flight;
   }
+
+(* One re-optimization journal entry, fanned out to both sinks: the
+   always-on flight record (telemetry) and, when a tracer is attached,
+   a [reopt-step] span whose args render in profiles. Strategies call
+   this instead of hand-rolling the span. *)
+let journal ctx ?score ~subquery ~est_rows ~actual_rows ~replanned ~remaining
+    ~name ~start () =
+  Qs_obs.Flight.step ctx.flight ?score ~subquery ~est_rows ~actual_rows
+    ~replanned ~remaining ();
+  let args =
+    ("subquery", subquery)
+    :: (match score with
+       | Some s -> [ ("score", Printf.sprintf "%.6g" s) ]
+       | None -> [])
+    @ [
+        ("est_rows", Printf.sprintf "%.0f" est_rows);
+        ("actual_rows", string_of_int actual_rows);
+        ("replanned", (if replanned then "yes" else "no"));
+        ("remaining", string_of_int remaining);
+      ]
+  in
+  Qs_util.Span.add ctx.spans Qs_util.Span.Reopt_step ~args name ~start
+    ~dur:(Timer.elapsed ~since:start)
 
 let catalog ctx = Stats_registry.catalog ctx.registry
 

@@ -71,6 +71,10 @@ type ctx = {
           cancellation for the serving front end. Unlike a deadline, a
           cancellation is {e not} converted into a [timed_out] outcome
           by {!guard}: it propagates to the caller. *)
+  flight : Qs_obs.Flight.t option;
+      (** the serving telemetry collector for this query, when admitted
+          through a telemetry-enabled server: {!journal} appends each
+          re-optimization step to it, with or without a tracer *)
 }
 
 type t = {
@@ -81,7 +85,17 @@ type t = {
 val make_ctx : ?collect_stats:bool -> ?deadline:float option -> ?seed:int ->
   ?trace:Qs_obs.Trace.t -> ?spans:Qs_util.Span.t -> ?pool:Qs_util.Pool.t ->
   ?dp_memo:Qs_plan.Dp_memo.t -> ?cancel:Qs_util.Cancel.t ->
-  Stats_registry.t -> Estimator.t -> ctx
+  ?flight:Qs_obs.Flight.t -> Stats_registry.t -> Estimator.t -> ctx
+
+val journal : ctx -> ?score:float -> subquery:string -> est_rows:float ->
+  actual_rows:int -> replanned:bool -> remaining:int -> name:string ->
+  start:float -> unit -> unit
+(** Record one re-optimization step in both observability sinks: append
+    a {!Qs_obs.Flight.step} to the ambient flight record (always-on
+    serving telemetry; free when no flight is attached) and emit the
+    [reopt-step] span (with [subquery] / [score] / [est_rows] /
+    [actual_rows] / [replanned] / [remaining] args) when a tracer is.
+    [name] labels the span; [dur] is stamped as [now - start]. *)
 
 val catalog : ctx -> Catalog.t
 

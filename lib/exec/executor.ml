@@ -43,7 +43,16 @@ let reset_counters () =
 
 let intermediate_tables () = Atomic.get intermediates
 let partition_reuses () = Atomic.get partition_reuse_count
-let built_intermediate () = Atomic.incr intermediates
+
+(* Both global counters also feed the ambient per-query flight record
+   (serving telemetry), when one is installed on this domain. *)
+let built_intermediate () =
+  Atomic.incr intermediates;
+  Qs_obs.Flight.on_intermediate_table ()
+
+let note_partition_reuse () =
+  Atomic.incr partition_reuse_count;
+  Qs_obs.Flight.on_partition_reuse ()
 
 let check_deadline = function
   | Some d when Timer.now () > d -> raise Timeout
@@ -620,7 +629,7 @@ let run_pipelined ?deadline ?cancel ~row_limit ?pool ?spans plan =
                          key and modulus: group chunks by tag. Tagged
                          rows joined on this key upstream, so none has
                          a null key — dropping nulls is a no-op. *)
-                      Atomic.incr partition_reuse_count;
+                      note_partition_reuse ();
                       s.ps_iter (fun tag rows ->
                           parts.(tag) <-
                             Array.fold_left

@@ -1298,7 +1298,8 @@ let expected_digests env costed =
     costed;
   tbl
 
-let serve_run s ~domains ~policy ~load env classes =
+let serve_run s ?(telemetry = Qs_obs.Telemetry.default_config) ~domains
+    ~policy ~load env classes =
   let stream = serve_workload ~load classes in
   let straggler_cost = classes.straggler in
   Qs_util.Pool.with_pool ?tracer:s.tracer ~domains (fun pool ->
@@ -1318,6 +1319,7 @@ let serve_run s ~domains ~policy ~load env classes =
           policy;
           aging_rounds = 2 * load;
           straggler_cost;
+          telemetry;
         }
       in
       let server =
@@ -1460,22 +1462,173 @@ let serve_metrics_entry s =
       Server.drain server;
       Server.metrics server)
 
+(* ---------------------------------------------------------------------- *)
+(* Telemetry: always-on flight recorder overhead and tail sampling         *)
+(* ---------------------------------------------------------------------- *)
+
+module Telemetry = Qs_obs.Telemetry
+module Flight = Qs_obs.Flight
+
+let telemetry_sweep s =
+  Report.section
+    "Telemetry: always-on flight recorder — overhead and tail sampling";
+  let env, queries = cinema_env s in
+  let costed = costed_corpus env queries in
+  let classes = serve_classes env costed in
+  let expect =
+    expected_digests env (costed @ Array.to_list classes.heavies)
+  in
+  let domains = max 2 s.domains in
+  let load = 1000 in
+  (* overhead: identical mixed-cost serving runs with the recorder off
+     and on; best of 3 per mode so scheduler noise doesn't masquerade
+     as recorder cost *)
+  let best telemetry =
+    let rec go n (best_wall, best_results) =
+      if n = 0 then (best_wall, best_results)
+      else
+        let results, wall =
+          serve_run s ~telemetry ~domains ~policy:Scheduler.Cost_aware ~load
+            env classes
+        in
+        go (n - 1)
+          (if wall < best_wall then (wall, results)
+           else (best_wall, best_results))
+    in
+    go 3 (infinity, [])
+  in
+  let wall_off, res_off = best Telemetry.disabled in
+  let wall_on, res_on = best Telemetry.default_config in
+  let row label wall results =
+    [
+      label;
+      string_of_int load;
+      string_of_int domains;
+      Report.seconds wall;
+      Printf.sprintf "%.0f" (float_of_int load /. wall);
+      (if List.length results = load && serve_digests_ok expect results then
+         "ok"
+       else "MISMATCH");
+    ]
+  in
+  Report.table
+    ~title:"serving wall-clock, flight recorder off vs on (best of 3)"
+    ~headers:[ "telemetry"; "load"; "width"; "wall"; "qps"; "digests" ]
+    [ row "off" wall_off res_off; row "on" wall_on res_on ];
+  Printf.printf "recorder overhead: %+.2f%% (acceptance: < 2%%)\n"
+    (100.0 *. (wall_on -. wall_off) /. wall_off);
+  (* tail sampling: a light stream with a sprinkling of dead-on-arrival
+     deadlines; every error flight must keep its full span tree, while
+     successes keep theirs only above the slow quantile *)
+  Qs_util.Pool.with_pool ~domains (fun pool ->
+      let config =
+        {
+          Server.default_config with
+          Server.concurrency = domains;
+          queue_limit = 512;
+          telemetry =
+            {
+              Telemetry.default_config with
+              Telemetry.capacity = 512;
+              min_samples = 16;
+            };
+        }
+      in
+      let server =
+        Server.create ~config ~pool env.Runner.registry Estimator.default
+      in
+      List.iteri
+        (fun i q ->
+          let deadline = if i mod 25 = 0 then Some 0.0 else None in
+          ignore
+            (Server.submit server
+               ~session:("s" ^ string_of_int (i mod 4))
+               ?deadline q))
+        (List.init 400 (fun i ->
+             classes.lights.(i mod Array.length classes.lights)));
+      Server.drain server;
+      let snap = Server.telemetry_snapshot server in
+      let recent = snap.Telemetry.s_recent in
+      let part p = List.partition p recent in
+      let errors, successes =
+        part (fun (r : Flight.record) -> r.Flight.r_status <> Flight.Completed)
+      in
+      let sampled = List.filter (fun (r : Flight.record) -> r.Flight.r_sampled) in
+      Printf.printf
+        "tail sampling over %d retained flights: %d/%d error flights kept \
+         full span trees (must be all), %d/%d successes (slow quantile %.2f)\n"
+        (List.length recent)
+        (List.length (sampled errors))
+        (List.length errors)
+        (List.length (sampled successes))
+        (List.length successes)
+        config.Server.telemetry.Telemetry.slow_quantile;
+      let counter name =
+        Option.value (List.assoc_opt name snap.Telemetry.s_counters) ~default:0
+      in
+      Printf.printf
+        "flight counters: journal steps=%d intermediates=%d \
+         partition-reuses=%d bufpool faults=%d bypasses=%d\n"
+        (counter "journal_steps")
+        (counter "intermediate_tables")
+        (counter "partition_reuses") (counter "faults") (counter "bypasses"))
+
+(* The deterministic telemetry entry of the metrics dump: a fixed
+   QuerySplit-served workload through a telemetry-enabled server on a
+   width-2 pool. Success tail-sampling is pinned off ([min_samples]
+   above the workload) so every counter — admitted, flights by status,
+   journal steps, executor counters, sampled (= errors = 0) — is exact
+   for a fixed corpus; only the turnaround histograms carry
+   wall-clock. *)
+let telemetry_metrics_entry s =
+  let env, queries = cinema_env s in
+  let costed = costed_corpus env queries in
+  let subset = List.filteri (fun i _ -> i < 12) costed in
+  Qs_util.Pool.with_pool ~domains:2 (fun pool ->
+      let config =
+        {
+          Server.default_config with
+          Server.concurrency = 2;
+          aging_rounds = 32;
+          telemetry =
+            { Telemetry.default_config with Telemetry.min_samples = max_int };
+        }
+      in
+      let strategy =
+        Qs_core.Querysplit.strategy Qs_core.Querysplit.default_config
+      in
+      let server =
+        Server.create ~config ~strategy ~pool env.Runner.registry
+          Estimator.default
+      in
+      List.iteri
+        (fun i (q, _) ->
+          ignore
+            (Server.submit server ~session:("s" ^ string_of_int (i mod 2)) q))
+        (subset @ subset);
+      Server.drain server;
+      Telemetry.metrics (Server.telemetry server))
+
 (* All committed-baseline flavours from ONE harness run: the
    fig11-roster-only dump (the PR-5-era content, [--baseline-out]), the
    same plus the ["serve"] entry (PR 6, [--serve-out]), additionally the
-   ["io"] buffer-pool entry (PR 7, [--io-out]) and additionally the
-   ["pipeline"] executor-engine entry (PR 8, [--metrics-out]). Shared
-   entries are byte-identical across the four, so full — histograms
-   included — bench_diffs between the committed files are meaningful. *)
+   ["io"] buffer-pool entry (PR 7, [--io-out]), additionally the
+   ["pipeline"] executor-engine entry (PR 8, [--pipeline-out]) and
+   additionally the ["telemetry"] serving-recorder entry (PR 9,
+   [--metrics-out]). Shared entries are byte-identical across the five,
+   so full — histograms included — bench_diffs between the committed
+   files are meaningful. *)
 let metrics_json_flavors s =
   let labelled = metrics_results s in
   let serve = ("serve", serve_metrics_entry s) in
   let io = ("io", io_metrics_entry s) in
   let pipeline = ("pipeline", pipeline_metrics_entry s) in
+  let telemetry = ("telemetry", telemetry_metrics_entry s) in
   ( json_of_labelled s labelled,
     json_of_labelled ~extra:[ serve ] s labelled,
     json_of_labelled ~extra:[ serve; io ] s labelled,
-    json_of_labelled ~extra:[ serve; io; pipeline ] s labelled )
+    json_of_labelled ~extra:[ serve; io; pipeline ] s labelled,
+    json_of_labelled ~extra:[ serve; io; pipeline; telemetry ] s labelled )
 
 let metrics_json s =
   json_of_labelled
@@ -1484,6 +1637,7 @@ let metrics_json s =
         ("serve", serve_metrics_entry s);
         ("io", io_metrics_entry s);
         ("pipeline", pipeline_metrics_entry s);
+        ("telemetry", telemetry_metrics_entry s);
       ]
     s (metrics_results s)
 
@@ -1507,4 +1661,5 @@ let all s =
   io_sweep s;
   dp_sweep s;
   pipeline_sweep s;
-  serve_sweep s
+  serve_sweep s;
+  telemetry_sweep s

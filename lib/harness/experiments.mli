@@ -69,20 +69,23 @@ val metrics_json : setup -> string
     (fig. 11 roster) plus one ["serve"] entry with the serving front
     end's deterministic counters (see {!serve_sweep}), one ["io"]
     entry with the buffer pool's deterministic fault counters and hit
-    rate (see {!io_sweep}), and one ["pipeline"] entry with the
+    rate (see {!io_sweep}), one ["pipeline"] entry with the
     executor engines' deterministic intermediate-table and
-    partition-reuse counters (see {!pipeline_sweep}): the
+    partition-reuse counters (see {!pipeline_sweep}), and one
+    ["telemetry"] entry with the serving flight recorder's
+    deterministic counters (see {!telemetry_sweep}): the
     [Metrics.json_of_many] dump the bench tool writes with
     [--metrics-out] and [tools/bench_diff] compares. When
     [setup.tracer] is set, a synthetic ["phases"] entry carries the
     per-category span counts and time histograms. *)
 
-val metrics_json_flavors : setup -> string * string * string * string
+val metrics_json_flavors : setup -> string * string * string * string * string
 (** All committed-baseline flavours from ONE harness run: the
     fig11-roster-only dump (the PR-5-era content, written by
     [bench --baseline-out]), the same plus the ["serve"] entry (PR 6,
-    [--serve-out]), additionally the ["io"] entry (PR 7, [--io-out])
-    and additionally the ["pipeline"] entry (PR 8, [--metrics-out]).
+    [--serve-out]), additionally the ["io"] entry (PR 7, [--io-out]),
+    additionally the ["pipeline"] entry (PR 8, [--pipeline-out]) and
+    additionally the ["telemetry"] entry (PR 9, [--metrics-out]).
     Generating them together keeps shared entries byte-identical, so
     full — histograms included — [bench_diff]s between the committed
     files are meaningful. *)
@@ -144,5 +147,15 @@ val serve_sweep : setup -> unit
     every served result digest against plain single-session execution.
     Cost-aware scheduling is expected to beat FIFO on p99 for this
     workload. *)
+
+val telemetry_sweep : setup -> unit
+(** Beyond the paper: the always-on serving flight recorder. Repeats
+    the mixed-cost serving run with telemetry off and on (best of 3)
+    to bound the recorder's overhead — digests must stay identical and
+    the acceptance target is < 2% — then drives a light stream with a
+    sprinkling of dead-on-arrival deadlines through a telemetry-enabled
+    server and reports the tail-sampling split: every error flight
+    keeps its full span tree, successes only above the configured
+    latency quantile. *)
 
 val all : setup -> unit

@@ -58,23 +58,31 @@ let representative i =
   else lo_bound *. (gamma ** (float_of_int (i - 1) +. 0.5))
 
 let percentile t p =
-  if t.count = 0 then Float.nan
+  if t.count = 0 then 0.0
   else begin
     let rank = int_of_float (Float.round (p *. float_of_int (t.count - 1))) in
     let rank = if rank < 0 then 0 else if rank >= t.count then t.count - 1 else rank in
-    let acc = ref 0 in
-    let found = ref (n_buckets - 1) in
-    (try
-       for i = 0 to n_buckets - 1 do
-         acc := !acc + t.buckets.(i);
-         if !acc > rank then begin
-           found := i;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    let r = representative !found in
-    Float.min t.max (Float.max t.min r)
+    (* the extreme ranks are tracked exactly — answering them from bucket
+       representatives would return an artifact (e.g. p100 of {1, 1000}
+       as the ~970 midpoint of 1000's bucket), and a single-sample
+       histogram would never report the sample itself *)
+    if rank = 0 then t.min
+    else if rank = t.count - 1 then t.max
+    else begin
+      let acc = ref 0 in
+      let found = ref (n_buckets - 1) in
+      (try
+         for i = 0 to n_buckets - 1 do
+           acc := !acc + t.buckets.(i);
+           if !acc > rank then begin
+             found := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let r = representative !found in
+      Float.min t.max (Float.max t.min r)
+    end
   end
 
 let merge ~into src =

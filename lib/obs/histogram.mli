@@ -26,10 +26,13 @@ val min_value : t -> float
 val max_value : t -> float
 
 val percentile : t -> float -> float
-(** [percentile t p] for p ∈ \[0,1\]: the nearest-rank quantile,
-    reconstructed as the geometric midpoint of the bucket holding that
-    rank and clamped into \[min, max\], so p = 0 and p = 1 are exact.
-    NaN on an empty histogram. *)
+(** [percentile t p] for p ∈ \[0,1\]: the nearest-rank quantile.
+    The extreme ranks answer from the exactly-tracked envelope — p = 0
+    is the exact minimum, p = 1 the exact maximum, and a single-sample
+    histogram returns that sample for every p; interior ranks are
+    reconstructed as the geometric midpoint of the bucket holding the
+    rank, clamped into \[min, max\]. 0.0 on an empty histogram (never
+    NaN — callers threshold against it). *)
 
 val merge : into:t -> t -> unit
 (** Accumulate a second histogram's observations. *)

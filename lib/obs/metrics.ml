@@ -26,6 +26,17 @@ let observe t name v =
 
 let histogram t name = Hashtbl.find_opt t.histograms name
 
+let add_histogram t name h =
+  let dst =
+    match Hashtbl.find_opt t.histograms name with
+    | Some dst -> dst
+    | None ->
+        let dst = Histogram.create () in
+        Hashtbl.replace t.histograms name dst;
+        dst
+  in
+  Histogram.merge ~into:dst h
+
 (* Merging is how per-domain registries become one report: each worker
    records into its own [t] (no cross-domain mutation), and the harness
    folds them together once the parallel region is over. *)

@@ -18,6 +18,12 @@ val observe : t -> string -> float -> unit
 
 val histogram : t -> string -> Histogram.t option
 
+val add_histogram : t -> string -> Histogram.t -> unit
+(** Merge an externally built histogram into the named one, creating it
+    on first use. The source is left untouched — this is how the
+    telemetry layer exports its streaming latency histograms without
+    handing out mutable references. *)
+
 val merge : into:t -> t -> unit
 (** [merge ~into src] folds [src] into [into]: counters add, histograms
     merge observation-by-summary. Used to combine per-domain registries

@@ -12,6 +12,9 @@ module Dp_memo = Qs_plan.Dp_memo
 module Executor = Qs_exec.Executor
 module Strategy = Qs_core.Strategy
 module Metrics = Qs_obs.Metrics
+module Telemetry = Qs_obs.Telemetry
+module Flight = Qs_obs.Flight
+module Buffer_pool = Qs_storage.Buffer_pool
 
 type config = {
   concurrency : int;
@@ -20,6 +23,7 @@ type config = {
   aging_rounds : int;
   straggler_cost : float;
   autostart : bool;
+  telemetry : Telemetry.config;
 }
 
 let default_config =
@@ -30,6 +34,7 @@ let default_config =
     aging_rounds = 4;
     straggler_cost = infinity;
     autostart = true;
+    telemetry = Telemetry.default_config;
   }
 
 type status =
@@ -67,6 +72,7 @@ type pending = {
   p_cancel : Cancel.t option;
   p_submitted : float;
   p_cell : result option Atomic.t;
+  p_flight : Flight.t option; (* telemetry collector, when enabled *)
 }
 
 type ticket = result option Atomic.t
@@ -79,6 +85,7 @@ type t = {
   cache : Optimizer.result Plan_cache.t;
   config : config;
   spans : Span.t option;
+  telem : Telemetry.t;
   mutex : Mutex.t; (* guards queue/started/round/orders/results/peak *)
   mutable queue : pending Scheduler.entry list;
   mutable started : bool;
@@ -106,6 +113,7 @@ let create ?(config = default_config) ?spans ?plan_cache ?strategy ~pool
     cache = (match plan_cache with Some c -> c | None -> Plan_cache.create ());
     config;
     spans;
+    telem = Telemetry.create ~config:config.telemetry ();
     mutex = Mutex.create ();
     queue = [];
     started = config.autostart;
@@ -130,32 +138,63 @@ let pool_for t (p : pending) =
   then Some t.pool
   else None
 
+(* An explicitly attached server tracer wins; otherwise the flight's
+   own always-on tracer records phase spans for rollups/tail samples. *)
+let spans_for t (p : pending) =
+  match t.spans with
+  | Some _ -> t.spans
+  | None -> Option.bind p.p_flight Flight.spans
+
 (* Execute one query on the current domain (a pool worker, or a caller
    helping via [help_until]). Either the cached physical plan directly,
    or a full re-optimization strategy with a fresh per-query ctx — the
    only cross-query state is the registry, the plan cache and the
-   optional pool, all lock-guarded. *)
+   optional pool, all lock-guarded. The flight rides along as this
+   domain's ambient collector so executor counters attribute to it. *)
 let execute t (p : pending) =
   let q = p.p_query in
-  match t.strategy with
-  | None ->
-      let tbl, _ =
-        Executor.run ?deadline:p.p_deadline ?cancel:p.p_cancel
-          ?pool:(pool_for t p) ?spans:t.spans p.p_plan.Optimizer.plan
-      in
-      `Done (Executor.project ~name:q.Query.name tbl q.Query.output)
-  | Some strat ->
-      let dp_memo = Dp_memo.create () in
-      let ctx =
-        Strategy.make_ctx ~deadline:p.p_deadline ?cancel:p.p_cancel
-          ?pool:(pool_for t p) ?spans:t.spans ~dp_memo t.registry t.estimator
-      in
-      let outcome = strat.Strategy.run ctx q in
-      if outcome.Strategy.timed_out then `Timed_out
-      else `Done outcome.Strategy.result
+  Flight.with_current p.p_flight (fun () ->
+      match t.strategy with
+      | None ->
+          let tbl, _ =
+            Executor.run ?deadline:p.p_deadline ?cancel:p.p_cancel
+              ?pool:(pool_for t p) ?spans:(spans_for t p)
+              p.p_plan.Optimizer.plan
+          in
+          `Done (Executor.project ~name:q.Query.name tbl q.Query.output)
+      | Some strat ->
+          let dp_memo = Dp_memo.create () in
+          let ctx =
+            Strategy.make_ctx ~deadline:p.p_deadline ?cancel:p.p_cancel
+              ?pool:(pool_for t p) ?spans:(spans_for t p) ~dp_memo
+              ?flight:p.p_flight t.registry t.estimator
+          in
+          let outcome = strat.Strategy.run ctx q in
+          if outcome.Strategy.timed_out then `Timed_out
+          else `Done outcome.Strategy.result)
 
-let finish t (p : pending) (entry : pending Scheduler.entry) ~started ~status
-    ~digest ~row_count =
+let flight_status = function
+  | Completed -> Flight.Completed
+  | Deadline_exceeded -> Flight.Deadline_exceeded
+  | Cancelled -> Flight.Cancelled
+  | Failed msg -> Flight.Failed msg
+
+(* Buffer-pool activity attributed to one flight: the stats delta over
+   its execution window. Exact when the query ran alone; with
+   concurrent out-of-core queries the deltas interleave (acceptable for
+   telemetry — the cumulative totals stay exact). *)
+let bufpool_stats () =
+  match Qs_storage.Table.spill_config () with
+  | Some (_, pool) -> Buffer_pool.stats pool
+  | None ->
+      {
+        Buffer_pool.hits = 0; misses = 0; coalesced = 0; bypasses = 0;
+        evictions = 0; prefetch_issued = 0; prefetch_used = 0;
+        prefetch_wasted = 0;
+      }
+
+let finish t (p : pending) (entry : pending Scheduler.entry) ~started
+    ~bp_before ~status ~digest ~row_count =
   let now = Timer.now () in
   (match p.p_deadline with
   | Some d ->
@@ -182,6 +221,21 @@ let finish t (p : pending) (entry : pending Scheduler.entry) ~started ~status
       cache_hit = p.p_cache_hit;
     }
   in
+  (match p.p_flight with
+  | Some fl ->
+      let bp_after = bufpool_stats () in
+      ignore
+        (Telemetry.complete t.telem fl ~status:(flight_status status)
+           ~row_count ~queue_wait:result.queue_wait
+           ~exec_time:result.exec_time
+           ~faults:
+             (max 0
+                (bp_after.Buffer_pool.misses - bp_before.Buffer_pool.misses))
+           ~bypasses:
+             (max 0
+                (bp_after.Buffer_pool.bypasses
+                - bp_before.Buffer_pool.bypasses)))
+  | None -> ());
   with_lock t (fun () -> t.results_rev <- result :: t.results_rev);
   Atomic.set p.p_cell (Some result);
   ignore (Atomic.fetch_and_add t.in_flight (-1));
@@ -234,32 +288,40 @@ let rec dispatch t =
 and run_entry t (entry : pending Scheduler.entry) =
   let p = entry.Scheduler.payload in
   let started = Timer.now () in
+  (match p.p_flight with
+  | Some fl -> Telemetry.dispatch t.telem fl
+  | None -> ());
+  let bp_before = bufpool_stats () in
   Span.add t.spans Span.Serve "queue-wait" ~start:p.p_submitted
     ~dur:(started -. p.p_submitted)
     ~args:[ ("query", string_of_int p.p_id); ("session", p.p_session) ];
   (* a dead-on-arrival query (expired deadline, pre-cancelled token)
      completes without executing anything *)
   (if expired p.p_deadline then
-     finish t p entry ~started ~status:Deadline_exceeded ~digest:None ~row_count:0
+     finish t p entry ~started ~bp_before ~status:Deadline_exceeded
+       ~digest:None ~row_count:0
    else if
      match p.p_cancel with Some c -> Cancel.cancelled c | None -> false
-   then finish t p entry ~started ~status:Cancelled ~digest:None ~row_count:0
+   then
+     finish t p entry ~started ~bp_before ~status:Cancelled ~digest:None
+       ~row_count:0
    else
      match execute t p with
      | `Done tbl ->
-         finish t p entry ~started ~status:Completed
+         finish t p entry ~started ~bp_before ~status:Completed
            ~digest:(Some (Table.digest tbl))
            ~row_count:(Table.n_rows tbl)
      | `Timed_out ->
-         finish t p entry ~started ~status:Deadline_exceeded ~digest:None
-           ~row_count:0
+         finish t p entry ~started ~bp_before ~status:Deadline_exceeded
+           ~digest:None ~row_count:0
      | exception Cancel.Cancelled ->
-         finish t p entry ~started ~status:Cancelled ~digest:None ~row_count:0
-     | exception Executor.Timeout ->
-         finish t p entry ~started ~status:Deadline_exceeded ~digest:None
+         finish t p entry ~started ~bp_before ~status:Cancelled ~digest:None
            ~row_count:0
+     | exception Executor.Timeout ->
+         finish t p entry ~started ~bp_before ~status:Deadline_exceeded
+           ~digest:None ~row_count:0
      | exception e ->
-         finish t p entry ~started
+         finish t p entry ~started ~bp_before
            ~status:(Failed (Printexc.to_string e))
            ~digest:None ~row_count:0);
   (* the freed slot may unblock the next queued query *)
@@ -289,10 +351,21 @@ let submit t ~session ?deadline ?cancel q =
           t.estimator frag)
   in
   let cell = Atomic.make None in
+  let strategy_name =
+    match t.strategy with
+    | Some s -> s.Strategy.name
+    | None -> "direct-plan"
+  in
   let p_id =
     with_lock t (fun () ->
         let id = t.next_id in
         t.next_id <- id + 1;
+        let flight =
+          Telemetry.admit t.telem
+            ~external_tracer:(Option.is_some t.spans)
+            ~id ~session ~statement:q.Query.name ~strategy:strategy_name
+            ~cache_hit ~est_cost:plan.Optimizer.est_cost ()
+        in
         let p =
           {
             p_id = id;
@@ -304,6 +377,7 @@ let submit t ~session ?deadline ?cancel q =
             p_cancel = cancel;
             p_submitted = submitted;
             p_cell = cell;
+            p_flight = flight;
           }
         in
         t.queue <-
@@ -337,6 +411,8 @@ let results t = with_lock t (fun () -> List.rev t.results_rev)
 let dispatch_order t = with_lock t (fun () -> List.rev t.dispatch_rev)
 let peak_queue t = with_lock t (fun () -> t.peak)
 let plan_cache t = t.cache
+let telemetry t = t.telem
+let telemetry_snapshot t = Telemetry.snapshot t.telem
 
 let metrics t =
   let m = Metrics.create () in

@@ -26,7 +26,18 @@
       [Dp_memo]'s epoch discipline;
     - {b observability}: queue-wait, dispatch decisions and deadline
       margins are recorded as [serve] spans, and {!metrics} exports
-      counters + latency histograms in the [Qs_obs.Metrics] format.
+      counters + latency histograms in the [Qs_obs.Metrics] format;
+    - {b always-on telemetry}: every admitted query gets a
+      {!Qs_obs.Flight} record — statement, strategy, plan-cache hit,
+      re-optimization journal, phase rollups, executor / buffer-pool
+      counters, final status — pushed into the server's bounded
+      {!Qs_obs.Telemetry} ring at completion, with tail-sampled full
+      span trees for errors and latency outliers. Read it live with
+      {!telemetry_snapshot} / [Telemetry.render], or scrape
+      [Telemetry.to_prometheus]. When the server has no explicit
+      [?spans] tracer, each flight carries its own, so phase rollups
+      exist by default; an explicit tracer takes precedence and rollups
+      come from the shared recording instead.
 
     Execution mode: with [?strategy] every query runs that
     re-optimization strategy (fresh per-query ctx and [Dp_memo], shared
@@ -55,11 +66,14 @@ type config = {
       (** dispatch on submit (default). [false] queues everything until
           {!start} — used by the scheduler tests to fix the decision
           order. *)
+  telemetry : Qs_obs.Telemetry.config;
+      (** the always-on flight recorder; [Telemetry.disabled] turns the
+          serving path's telemetry off entirely *)
 }
 
 val default_config : config
 (** concurrency 2, queue limit 64, cost-aware, aging 4, no stragglers,
-    autostart. *)
+    autostart, default telemetry. *)
 
 type status =
   | Completed
@@ -127,6 +141,16 @@ val peak_queue : t -> int
 (** High-water mark of the admission queue. *)
 
 val plan_cache : t -> Optimizer.result Plan_cache.t
+
+val telemetry : t -> Qs_obs.Telemetry.t
+(** The server's flight recorder — for [Telemetry.render],
+    [Telemetry.to_prometheus], [Telemetry.metrics]. *)
+
+val telemetry_snapshot : t -> Qs_obs.Telemetry.snapshot
+(** Live structured view of the recorder: in-flight queries, the ring
+    of recent flight records, latency quantiles by status. After
+    {!drain} on a fixed single-threaded workload the snapshot is
+    deterministic (and [Telemetry.render ~timings:false] byte-stable). *)
 
 val metrics : t -> Qs_obs.Metrics.t
 (** Counters: [submitted], [completed], [cancelled],

@@ -30,6 +30,7 @@ let () =
       ("differential", Test_differential.suite);
       ("parallel_dp", Test_parallel_dp.suite);
       ("serve", Test_serve.suite);
+      ("telemetry", Test_telemetry.suite);
       ("driver", Test_driver.suite);
       ("similarity", Test_similarity.suite);
       ("workloads", Test_workloads.suite);

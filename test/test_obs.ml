@@ -88,12 +88,23 @@ let test_histogram_qerror_like () =
 let test_histogram_edge_cases () =
   let h = Histogram.create () in
   Alcotest.(check bool) "empty mean NaN" true (Float.is_nan (Histogram.mean h));
-  Alcotest.(check bool) "empty p50 NaN" true
-    (Float.is_nan (Histogram.percentile h 0.5));
+  (* every percentile of an empty histogram is a well-defined 0.0, never
+     NaN: telemetry thresholds compare against it *)
+  feq "empty p0" 0.0 (Histogram.percentile h 0.0);
+  feq "empty p50" 0.0 (Histogram.percentile h 0.5);
+  feq "empty p100" 0.0 (Histogram.percentile h 1.0);
   Histogram.observe h 42.0;
   feq "single p0" 42.0 (Histogram.percentile h 0.0);
   feq "single p50" 42.0 (Histogram.percentile h 0.5);
   feq "single p100" 42.0 (Histogram.percentile h 1.0);
+  (* the extreme ranks answer from the exact envelope, not a bucket
+     representative: p100 of {1, 1000} is 1000, not the ~970 geometric
+     midpoint of 1000's bucket *)
+  let h2 = Histogram.create () in
+  Histogram.observe h2 1.0;
+  Histogram.observe h2 1000.0;
+  feq "spread p0 exact min" 1.0 (Histogram.percentile h2 0.0);
+  feq "spread p100 exact max" 1000.0 (Histogram.percentile h2 1.0);
   (* negatives and NaN clamp to zero instead of corrupting the counts *)
   Histogram.observe h (-5.0);
   Histogram.observe h Float.nan;

@@ -271,12 +271,23 @@ let test_profile_golden () =
         ("actual_rows", "80"); ("replanned", "yes"); ("remaining", "2");
       ]
     ~start:0.0 ~dur:0.01;
+  (* one span from each serving/IO-era category, so a category dropped
+     from the summary table breaks this golden *)
+  Span.add tr Span.Serve "queue-wait" ~start:0.0 ~dur:0.001;
+  Span.add tr Span.Io "fault" ~start:0.0 ~dur:0.0005;
+  Span.add tr Span.Io "prefetch" ~start:0.0 ~dur:0.0005;
+  Span.add tr Span.Pipeline "pipeline-0" ~start:0.0 ~dur:0.002;
+  Span.add tr Span.Breaker "build@t1" ~start:0.0 ~dur:0.001;
   let golden =
     "spans by category:\n\
     \  optimize         1\n\
     \  dp-level         1\n\
     \  reopt-step       1\n\
     \  pool-wait        2\n\
+    \  serve            1\n\
+    \  io               2\n\
+    \  pipeline         1\n\
+    \  breaker          1\n\
      pool queue-wait: 2 tasks\n\
      reopt journal:\n\
     \   1. q1/q1_s1@x                   est=100 actual=80 score=12.5 \

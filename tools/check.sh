@@ -42,15 +42,37 @@ for c in $constructors $methods; do
   fi
 done
 
+# --- span-category completeness ----------------------------------------
+# Every constructor of Span.category must be listed in Span.all_categories:
+# Profile.summary's per-category table and Flight's phase rollups iterate
+# that list, so a forgotten constructor silently vanishes from both (it
+# happened to Io/Pipeline/Breaker/Serve once — never again).
+span_constructors=$(
+  awk '/^type category =/,/^$/' lib/util/span.mli \
+    | grep -oE '^  \| [A-Z][A-Za-z_]*' | awk '{print $2}'
+)
+cat_region=$(awk '/^let all_categories/,/^$/' lib/util/span.ml)
+if [ -z "$cat_region" ]; then
+  echo "lint: all_categories not found in lib/util/span.ml" >&2
+  status=1
+fi
+for c in $span_constructors; do
+  if ! printf '%s\n' "$cat_region" | grep -qE "\b$c\b"; then
+    echo "lint: Span.$c is missing from Span.all_categories — profiles and flight rollups would drop it" >&2
+    status=1
+  fi
+done
+
 # --- bench baseline drift ----------------------------------------------
 # The committed BENCH_*.json dumps all come from ONE harness run
 # (`bench --queries 12 --baseline-out BENCH_pr5.json --serve-out
-# BENCH_pr6.json --io-out BENCH_pr7.json --metrics-out BENCH_pr8.json`,
-# then BENCH_pr4.json is a copy of the regenerated BENCH_pr5.json), so
-# shared entries are byte-identical across the stack and every diff —
-# histograms included — runs full. Each later baseline is a superset:
-# pr6 adds the "serve" entry, pr7 the "io" buffer-pool entry, pr8 the
-# "pipeline" engine-comparison entry.
+# BENCH_pr6.json --io-out BENCH_pr7.json --pipeline-out BENCH_pr8.json
+# --metrics-out BENCH_pr9.json`, then BENCH_pr4.json is a copy of the
+# regenerated BENCH_pr5.json), so shared entries are byte-identical
+# across the stack and every diff — histograms included — runs full.
+# Each later baseline is a superset: pr6 adds the "serve" entry, pr7
+# the "io" buffer-pool entry, pr8 the "pipeline" engine-comparison
+# entry, pr9 the "telemetry" serving entry.
 # The exe is a declared dep of the runtest rule; when running by hand it
 # lives under _build.
 bench_diff=tools/bench_diff/bench_diff.exe
@@ -86,6 +108,16 @@ if [ -x "$bench_diff" ] && [ -f BENCH_pr7.json ] && [ -f BENCH_pr8.json ]; then
   }
   grep -q '"pipeline"' BENCH_pr8.json || {
     echo "check: BENCH_pr8.json is missing the \"pipeline\" engine entry" >&2
+    status=1
+  }
+fi
+if [ -x "$bench_diff" ] && [ -f BENCH_pr8.json ] && [ -f BENCH_pr9.json ]; then
+  "$bench_diff" BENCH_pr8.json BENCH_pr9.json || {
+    echo "check: BENCH_pr9.json regresses against BENCH_pr8.json" >&2
+    status=1
+  }
+  grep -q '"telemetry"' BENCH_pr9.json || {
+    echo "check: BENCH_pr9.json is missing the \"telemetry\" serving entry" >&2
     status=1
   }
 fi

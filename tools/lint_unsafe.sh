@@ -17,6 +17,10 @@
 #      chunk of a table into one flat array, defeating both morsel
 #      pipelining and out-of-core execution on intermediates; consumers
 #      stream through Table.iter / iter_chunks instead.
+#   5. Telemetry ring-buffer mutation (ring_push / ring_snapshot)
+#      outside lib/obs — the lock-striped flight ring's striping and
+#      overwrite-oldest invariants live entirely in Telemetry; everyone
+#      else goes through Telemetry.complete / Telemetry.snapshot.
 #
 # Allow-list entries:
 #   lib/util/scratch.ml / .mli — only *mention* Obj in documentation
@@ -50,6 +54,14 @@ for f in $(find lib bin bench \( -name '*.ml' -o -name '*.mli' \) | sort); do
     echo "lint: direct chunk-file access in $f — spilled chunks are read through Buffer_pool/Table (see tools/lint_unsafe.sh)" >&2
     status=1
   fi
+  case "$f" in
+    lib/obs/*) : ;;
+    *)
+      if grep -nE '\bring_(push|snapshot)\b' "$f"; then
+        echo "lint: telemetry ring-buffer access in $f — use Telemetry.complete / Telemetry.snapshot (see tools/lint_unsafe.sh)" >&2
+        status=1
+      fi ;;
+  esac
   case "$f" in
     lib/exec/*) continue ;;
   esac
