@@ -14,15 +14,17 @@
      dune exec bench/main.exe -- --metrics-out BENCH.json      # bench_diff dump
      dune exec bench/main.exe -- serve_sweep --metrics-out BENCH.json
      dune exec bench/main.exe -- --spill-dir /tmp/qs --buffer-chunks 8 io_sweep
+     dune exec bench/main.exe -- --layout columnar scan_sweep
      # committed-baseline regeneration (see tools/check.sh): ONE run
      # writing every flavour — roster-only, roster+serve,
-     # roster+serve+io, roster+serve+io+pipeline, and additionally
-     # +telemetry — so their shared entries are byte-identical
-     # (BENCH_pr4.json is a copy of the regenerated BENCH_pr5.json)
+     # roster+serve+io, roster+serve+io+pipeline, additionally
+     # +telemetry, and additionally +columnar — so their shared entries
+     # are byte-identical (BENCH_pr4.json is a copy of the regenerated
+     # BENCH_pr5.json)
      dune exec bench/main.exe -- --queries 12 \
        --baseline-out BENCH_pr5.json --serve-out BENCH_pr6.json \
        --io-out BENCH_pr7.json --pipeline-out BENCH_pr8.json \
-       --metrics-out BENCH_pr9.json
+       --telemetry-out BENCH_pr9.json --metrics-out BENCH_pr10.json
      cp BENCH_pr5.json BENCH_pr4.json *)
 
 module Experiments = Qs_harness.Experiments
@@ -134,6 +136,7 @@ let () =
   let serve_out = ref None in
   let io_out = ref None in
   let pipeline_out = ref None in
+  let telemetry_out = ref None in
   let spill_dir = ref None in
   let buffer_chunks = ref 64 in
   let rec parse = function
@@ -156,6 +159,13 @@ let () =
     | "--chunk-rows" :: v :: rest ->
         Qs_storage.Table.set_default_chunk_rows (int_of_string v);
         parse rest
+    | "--layout" :: v :: rest ->
+        (match Qs_storage.Table.layout_of_string v with
+        | Some l -> Qs_storage.Table.set_default_layout l
+        | None ->
+            Printf.eprintf "unknown --layout %s (row|columnar)\n" v;
+            exit 1);
+        parse rest
     | "--dp-limit" :: v :: rest ->
         Qs_plan.Optimizer.set_dp_input_limit (int_of_string v);
         parse rest
@@ -176,6 +186,9 @@ let () =
         parse rest
     | "--pipeline-out" :: v :: rest ->
         pipeline_out := Some v;
+        parse rest
+    | "--telemetry-out" :: v :: rest ->
+        telemetry_out := Some v;
         parse rest
     | "--spill-dir" :: v :: rest ->
         spill_dir := Some v;
@@ -224,7 +237,7 @@ let () =
   let default_run =
     !chosen = [] && (not !want_micro) && !metrics_out = None
     && !baseline_out = None && !serve_out = None && !io_out = None
-    && !pipeline_out = None
+    && !pipeline_out = None && !telemetry_out = None
   in
   if default_run then want_micro := true;
   let names = if default_run then List.map fst experiments else !chosen in
@@ -249,20 +262,25 @@ let () =
         output_char oc '\n');
     Printf.printf "wrote metrics JSON to %s\n%!" path
   in
-  (match (!metrics_out, !baseline_out, !serve_out, !io_out, !pipeline_out) with
-  | None, None, None, None, None -> ()
-  | Some path, None, None, None, None ->
+  (match
+     ( !metrics_out, !baseline_out, !serve_out, !io_out, !pipeline_out,
+       !telemetry_out )
+   with
+  | None, None, None, None, None, None -> ()
+  | Some path, None, None, None, None, None ->
       write path (Experiments.metrics_json s)
-  | metrics, baseline, serve, io, pipeline ->
+  | metrics, baseline, serve, io, pipeline, telemetry ->
       (* every requested flavour from one harness run, so full
          bench_diffs between the written files are meaningful *)
-      let base_json, serve_json, io_json, pipeline_json, full_json =
+      let base_json, serve_json, io_json, pipeline_json, telemetry_json,
+          full_json =
         Experiments.metrics_json_flavors s
       in
       Option.iter (fun path -> write path base_json) baseline;
       Option.iter (fun path -> write path serve_json) serve;
       Option.iter (fun path -> write path io_json) io;
       Option.iter (fun path -> write path pipeline_json) pipeline;
+      Option.iter (fun path -> write path telemetry_json) telemetry;
       Option.iter (fun path -> write path full_json) metrics);
   Option.iter Qs_util.Pool.shutdown io_pool;
   match (!trace_out, s.Experiments.tracer) with

@@ -60,6 +60,12 @@ val partition_reuses : unit -> int
     preserved partition layout (a temp carrying its {!Qs_storage.Table.
     partitioning}) instead of re-hashing every row. *)
 
+val vectorized_chunks : unit -> int
+(** Cumulative count of columnar chunks whose filter conjunction ran (at
+    least partially) through the vectorized selection-vector kernels
+    ({!Qs_storage.Columnar.eval_cmp}) instead of row-at-a-time
+    [Expr.eval]. Always 0 under the [Row] layout. *)
+
 val reset_counters : unit -> unit
 
 val span_label : Physical.t -> string

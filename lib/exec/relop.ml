@@ -1,6 +1,8 @@
 module Table = Qs_storage.Table
 module Schema = Qs_storage.Schema
 module Value = Qs_storage.Value
+module Chunk = Qs_storage.Chunk
+module Columnar = Qs_storage.Columnar
 module Expr = Qs_query.Expr
 module Logical = Qs_plan.Logical
 module Pool = Qs_util.Pool
@@ -92,17 +94,20 @@ let aggregate ?pool ~name ~group_by ~aggs (tbl : Table.t) =
       (fun (c : Expr.colref) -> Schema.find_exn schema ~rel:c.Expr.rel ~name:c.Expr.name)
       group_by
   in
+  (* the hash key is the group values themselves, which are also the
+     output's group columns — no sample row is retained *)
+  let entry groups order key =
+    match Hashtbl.find_opt groups key with
+    | Some accs -> accs
+    | None ->
+        let accs = Array.init (List.length aggs) (fun _ -> fresh_acc ()) in
+        Hashtbl.replace groups key accs;
+        order := key :: !order;
+        accs
+  in
   let feed_row groups order row =
     let key = List.map (fun p -> row.(p)) gpos in
-    let _, accs =
-      match Hashtbl.find_opt groups key with
-      | Some e -> e
-      | None ->
-          let e = (row, Array.init (List.length aggs) (fun _ -> fresh_acc ())) in
-          Hashtbl.replace groups key e;
-          order := key :: !order;
-          e
-    in
+    let accs = entry groups order key in
     List.iteri
       (fun i (a : Logical.agg) ->
         let v =
@@ -112,6 +117,45 @@ let aggregate ?pool ~name ~group_by ~aggs (tbl : Table.t) =
         in
         feed accs.(i) v)
       aggs
+  in
+  (* Columnar hash aggregation: when every aggregate argument is absent
+     or a plain column reference, a columnar chunk feeds the hash table
+     from batch-decoded group-key and argument columns — one decode
+     sweep per column per chunk instead of per-row schema lookups. Any
+     arithmetic argument (or a row chunk) takes the row path. *)
+  let arg_cols =
+    List.map
+      (fun (a : Logical.agg) ->
+        match a.Logical.arg with
+        | None -> `Count
+        | Some (Expr.Col c) ->
+            `Col (Schema.find_exn schema ~rel:c.Expr.rel ~name:c.Expr.name)
+        | Some _ -> `Eval)
+      aggs
+  in
+  let batchable = List.for_all (fun c -> c <> `Eval) arg_cols in
+  let feed_chunk_data groups order (chunk : Chunk.t) =
+    match Chunk.columnar chunk with
+    | Some col when batchable ->
+        let n = Columnar.n_rows col in
+        let kcols = List.map (Columnar.column_values col) gpos in
+        let acols =
+          List.map
+            (function
+              | `Col p -> Some (Columnar.column_values col p)
+              | `Count | `Eval -> None)
+            arg_cols
+        in
+        for i = 0 to n - 1 do
+          let key = List.map (fun a -> a.(i)) kcols in
+          let accs = entry groups order key in
+          List.iteri
+            (fun ai av ->
+              feed accs.(ai)
+                (match av with Some a -> a.(i) | None -> Value.Int 1))
+            acols
+        done
+    | _ -> Array.iter (feed_row groups order) (Chunk.rows chunk)
   in
   let groups, order =
     match pool with
@@ -125,53 +169,46 @@ let aggregate ?pool ~name ~group_by ~aggs (tbl : Table.t) =
         let feed_chunk ci =
           let groups = Hashtbl.create 64 in
           let order = ref [] in
-          Array.iter (fun row -> feed_row groups order row) (Table.chunk tbl ci);
+          feed_chunk_data groups order (Table.chunk_data tbl ci);
           (groups, List.rev !order)
         in
         let parts =
           Pool.map pool feed_chunk (List.init (Table.n_chunks tbl) Fun.id)
         in
-        let groups : (Value.t list, Value.t array * acc array) Hashtbl.t =
-          Hashtbl.create 64
-        in
+        let groups : (Value.t list, acc array) Hashtbl.t = Hashtbl.create 64 in
         let order = ref [] in
         List.iter
           (fun (part, part_order) ->
             List.iter
               (fun key ->
-                let entry = Hashtbl.find part key in
+                let accs = Hashtbl.find part key in
                 match Hashtbl.find_opt groups key with
                 | None ->
-                    Hashtbl.replace groups key entry;
+                    Hashtbl.replace groups key accs;
                     order := key :: !order
-                | Some (_, into) ->
-                    Array.iteri
-                      (fun i b -> merge_acc ~into:into.(i) b)
-                      (snd entry))
+                | Some into ->
+                    Array.iteri (fun i b -> merge_acc ~into:into.(i) b) accs)
               part_order)
           parts;
         (groups, order)
     | _ ->
-        let groups : (Value.t list, Value.t array * acc array) Hashtbl.t =
-          Hashtbl.create 64
-        in
+        let groups : (Value.t list, acc array) Hashtbl.t = Hashtbl.create 64 in
         let order = ref [] in
-        Table.iter (fun row -> feed_row groups order row) tbl;
+        Table.iter_chunk_data (fun _ c -> feed_chunk_data groups order c) tbl;
         (groups, order)
   in
   (* a global aggregate over an empty input still yields one row *)
   if Hashtbl.length groups = 0 && group_by = [] then begin
-    let e = ([||], Array.init (List.length aggs) (fun _ -> fresh_acc ())) in
-    Hashtbl.replace groups [] e;
+    Hashtbl.replace groups []
+      (Array.init (List.length aggs) (fun _ -> fresh_acc ()));
     order := [ [] ]
   end;
   let rows =
     List.rev_map
       (fun key ->
-        let sample_row, accs = Hashtbl.find groups key in
-        let group_vals = List.map (fun p -> sample_row.(p)) gpos in
+        let accs = Hashtbl.find groups key in
         Array.of_list
-          (group_vals @ List.mapi (fun i (a : Logical.agg) -> finish a.Logical.fn accs.(i)) aggs))
+          (key @ List.mapi (fun i (a : Logical.agg) -> finish a.Logical.fn accs.(i)) aggs))
       !order
   in
   let rows = Array.of_list rows in

@@ -1,27 +1,55 @@
 module Table = Qs_storage.Table
+module Chunk = Qs_storage.Chunk
+module Columnar = Qs_storage.Columnar
 
 let default_sample = 8192
 
-(* Evenly-strided row sample; deterministic so stats are reproducible.
-   Sampling is per chunk with a proportional quota — the telescoping
-   [stop*sample/n - start*sample/n] quotas sum exactly to [sample], and a
-   single-chunk table degenerates to one global stride. *)
-let sample_rows (tbl : Table.t) sample =
+(* Evenly-strided sample, built one column at a time; deterministic so
+   stats are reproducible. Sampling is per chunk with a proportional
+   quota — the telescoping [stop*sample/n - start*sample/n] quotas sum
+   exactly to [sample], and a single-chunk table degenerates to one
+   global stride. Columnar chunks are read straight from their column
+   arrays (the whole column when the quota is dense, point gets
+   otherwise) — no row materialization on either layout. *)
+let sample_columns (tbl : Table.t) sample =
   let n = Table.n_rows tbl in
-  if n <= sample then Table.to_rows tbl
-  else
-    let quota_before start = start * sample / n in
-    let parts =
-      Array.init (Table.n_chunks tbl) (fun ci ->
-          let chunk = Table.chunk tbl ci in
-          let start = Table.chunk_offset tbl ci in
-          let q = quota_before (start + Array.length chunk) - quota_before start in
-          if q <= 0 then [||]
-          else
-            let stride = float_of_int (Array.length chunk) /. float_of_int q in
-            Array.init q (fun i -> chunk.(int_of_float (float_of_int i *. stride))))
-    in
-    Array.concat (Array.to_list parts)
+  let arity = Array.length tbl.Table.schema in
+  let quota_before start = start * sample / n in
+  let picks ci len =
+    if n <= sample then Array.init len Fun.id
+    else
+      let start = Table.chunk_offset tbl ci in
+      let q = quota_before (start + len) - quota_before start in
+      if q <= 0 then [||]
+      else
+        let stride = float_of_int len /. float_of_int q in
+        Array.init q (fun i -> int_of_float (float_of_int i *. stride))
+  in
+  let parts = Array.init arity (fun _ -> ref []) in
+  let sample_n = ref 0 in
+  Table.iter_chunk_data
+    (fun ci chunk ->
+      let len = Chunk.n_rows chunk in
+      let sel = picks ci len in
+      if Array.length sel > 0 then begin
+        sample_n := !sample_n + Array.length sel;
+        match Chunk.columnar chunk with
+        | Some col ->
+            for j = 0 to arity - 1 do
+              let vals =
+                if Array.length sel = len then Columnar.column_values col j
+                else Array.map (fun i -> Columnar.get col ~row:i ~col:j) sel
+              in
+              parts.(j) := vals :: !(parts.(j))
+            done
+        | None ->
+            let rows = Chunk.rows chunk in
+            for j = 0 to arity - 1 do
+              parts.(j) := Array.map (fun i -> rows.(i).(j)) sel :: !(parts.(j))
+            done
+      end)
+    tbl;
+  (!sample_n, Array.map (fun p -> Array.concat (List.rev !p)) parts)
 
 (* Scale a sampled distinct count up to the full table: values seen once in
    a small sample suggest many unseen distincts (a crude stand-in for the
@@ -38,13 +66,11 @@ let extrapolate_distinct ~sampled ~sample_n ~total_n d =
 
 let of_table ?n_mcv ?n_buckets ?(sample = default_sample) (tbl : Table.t) =
   let total_n = Table.n_rows tbl in
-  let rows = sample_rows tbl sample in
-  let sample_n = Array.length rows in
+  let sample_n, columns = sample_columns tbl sample in
   let cols =
     Array.to_list tbl.schema
     |> List.mapi (fun i col ->
-           let values = Array.map (fun r -> r.(i)) rows in
-           let cs = Column_stats.of_values ?n_mcv ?n_buckets values in
+           let cs = Column_stats.of_values ?n_mcv ?n_buckets columns.(i) in
            let cs =
              {
                cs with

@@ -35,7 +35,7 @@ type stats = {
   prefetch_wasted : int;
 }
 
-type state = Queued | Loading | Loaded of Value.t array array
+type state = Queued | Loading | Loaded of Chunk.t
 
 type frame = {
   file : Chunk_file.t;
@@ -199,7 +199,7 @@ let find_slot t =
    NOT held). On failure the frame is torn down so waiters retry and
    observe the exception on their own read. *)
 let load_owned t fr ~what ~pin =
-  let rows =
+  let chunk =
     try read_frame t ~what fr.file fr.idx
     with e ->
       let bt = Printexc.get_raw_backtrace () in
@@ -218,12 +218,12 @@ let load_owned t fr ~what ~pin =
       Printexc.raise_with_backtrace e bt
   in
   Mutex.lock t.mutex;
-  fr.state <- Loaded rows;
+  fr.state <- Loaded chunk;
   fr.refbit <- true;
   if pin then fr.pins <- fr.pins + 1;
   Condition.broadcast t.cond;
   Mutex.unlock t.mutex;
-  rows
+  chunk
 
 let unpin t file idx =
   Mutex.lock t.mutex;
@@ -235,7 +235,7 @@ let unpin t file idx =
   | None -> ());
   Mutex.unlock t.mutex
 
-(* The faulting read path. Returns the rows plus whether a pin was
+(* The faulting read path. Returns the chunk plus whether a pin was
    actually taken (a bypass read has no frame to pin). *)
 let rec acquire t file idx ~pin =
   let key = (Chunk_file.id file, idx) in
@@ -248,7 +248,7 @@ let rec acquire t file idx ~pin =
         | None -> assert false (* index and slots move together *)
       in
       match fr.state with
-      | Loaded rows ->
+      | Loaded chunk ->
           t.hits <- t.hits + 1;
           if fr.prefetched && not fr.referenced then
             t.prefetch_used <- t.prefetch_used + 1;
@@ -256,7 +256,7 @@ let rec acquire t file idx ~pin =
           fr.refbit <- true;
           if pin then fr.pins <- fr.pins + 1;
           Mutex.unlock t.mutex;
-          (rows, pin)
+          (chunk, pin)
       | Loading ->
           (* the loader is actively running on some domain: wait for its
              broadcast, then re-resolve (the frame may have been torn
@@ -302,10 +302,10 @@ let rec acquire t file idx ~pin =
 let get t file idx = fst (acquire t file idx ~pin:false)
 
 let with_pin t file idx f =
-  let rows, pinned = acquire t file idx ~pin:true in
+  let chunk, pinned = acquire t file idx ~pin:true in
   if pinned then
-    Fun.protect ~finally:(fun () -> unpin t file idx) (fun () -> f rows)
-  else f rows
+    Fun.protect ~finally:(fun () -> unpin t file idx) (fun () -> f chunk)
+  else f chunk
 
 (* Asynchronous prefetch: reserve Queued frames under the mutex, then
    hand the reads to the I/O pool. Without an attached pool this is a

@@ -1,0 +1,39 @@
+(* One table chunk in either layout. The constructors are private to
+   lib/storage (lint-banned elsewhere, like [.rows]); consumers that can
+   exploit the columnar form match on [columnar], everyone else calls
+   [rows] and sees the classic row array. *)
+
+type t =
+  | Rows of Value.t array array
+  | Cols of Columnar.t
+
+let of_rows rows = Rows rows
+let of_columnar c = Cols c
+
+let n_rows = function
+  | Rows r -> Array.length r
+  | Cols c -> Columnar.n_rows c
+
+(* Row view of the chunk. For a columnar chunk this decodes — callers on
+   hot paths should match [columnar] first and keep the decode out of
+   per-row loops. *)
+let rows = function
+  | Rows r -> r
+  | Cols c -> Columnar.to_rows c
+
+let columnar = function
+  | Rows _ -> None
+  | Cols c -> Some c
+
+let row t i =
+  match t with
+  | Rows r -> r.(i)
+  | Cols c -> Columnar.row c i
+
+let byte_size = function
+  | Rows r ->
+      Array.fold_left
+        (fun acc row ->
+          Array.fold_left (fun acc v -> acc + Value.byte_size v) acc row)
+        0 r
+  | Cols c -> Columnar.byte_size c

@@ -67,12 +67,14 @@ done
 # The committed BENCH_*.json dumps all come from ONE harness run
 # (`bench --queries 12 --baseline-out BENCH_pr5.json --serve-out
 # BENCH_pr6.json --io-out BENCH_pr7.json --pipeline-out BENCH_pr8.json
-# --metrics-out BENCH_pr9.json`, then BENCH_pr4.json is a copy of the
-# regenerated BENCH_pr5.json), so shared entries are byte-identical
-# across the stack and every diff — histograms included — runs full.
+# --telemetry-out BENCH_pr9.json --metrics-out BENCH_pr10.json`, then
+# BENCH_pr4.json is a copy of the regenerated BENCH_pr5.json), so
+# shared entries are byte-identical across the stack and every diff —
+# histograms included — runs full.
 # Each later baseline is a superset: pr6 adds the "serve" entry, pr7
 # the "io" buffer-pool entry, pr8 the "pipeline" engine-comparison
-# entry, pr9 the "telemetry" serving entry.
+# entry, pr9 the "telemetry" serving entry, pr10 the "columnar"
+# layout entry.
 # The exe is a declared dep of the runtest rule; when running by hand it
 # lives under _build.
 bench_diff=tools/bench_diff/bench_diff.exe
@@ -118,6 +120,16 @@ if [ -x "$bench_diff" ] && [ -f BENCH_pr8.json ] && [ -f BENCH_pr9.json ]; then
   }
   grep -q '"telemetry"' BENCH_pr9.json || {
     echo "check: BENCH_pr9.json is missing the \"telemetry\" serving entry" >&2
+    status=1
+  }
+fi
+if [ -x "$bench_diff" ] && [ -f BENCH_pr9.json ] && [ -f BENCH_pr10.json ]; then
+  "$bench_diff" BENCH_pr9.json BENCH_pr10.json || {
+    echo "check: BENCH_pr10.json regresses against BENCH_pr9.json" >&2
+    status=1
+  }
+  grep -q '"columnar"' BENCH_pr10.json || {
+    echo "check: BENCH_pr10.json is missing the \"columnar\" layout entry" >&2
     status=1
   }
 fi
